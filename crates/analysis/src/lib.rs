@@ -1,0 +1,29 @@
+//! Closed-form performance model from Section 5 of the paper, plus
+//! Erlang-B as an independent check on the fixed-allocation baseline.
+//!
+//! The paper derives, for each scheme, the expected control-message count
+//! and channel-acquisition time per acquisition as functions of:
+//!
+//! | symbol | meaning |
+//! |--------|---------|
+//! | `N` | cells in the interference region |
+//! | `N_borrow` | average neighbors in borrowing mode |
+//! | `N_search` | average simultaneous searchers in a neighborhood |
+//! | `α` | max update attempts before falling back to search |
+//! | `m` | average update attempts (`m ≤ α`) |
+//! | `ξ1, ξ2, ξ3` | fraction of acquisitions that were local / update / search |
+//! | `n_p` | primary cells of a channel within a region (advanced update) |
+//!
+//! The experiment binaries measure these inputs from simulation runs and
+//! compare measured message/latency averages against these formulas
+//! (Table 1), their low-load specializations (Table 2), and their bounds
+//! (Table 3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod erlang;
+pub mod model;
+
+pub use erlang::erlang_b;
+pub use model::{Bounds, ModelInputs, SchemeModel};

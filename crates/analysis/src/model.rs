@@ -1,0 +1,242 @@
+//! Section 5's formulas: message complexity and acquisition time.
+
+/// Measured/assumed inputs to the Section 5 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInputs {
+    /// `N`: cells in the interference region.
+    pub n: f64,
+    /// `N_borrow`: average neighbors in borrowing mode.
+    pub n_borrow: f64,
+    /// `N_search`: average simultaneous searches in a neighborhood.
+    pub n_search: f64,
+    /// `α`: update-attempt bound of the adaptive scheme.
+    pub alpha: f64,
+    /// `m`: average update attempts.
+    pub m: f64,
+    /// `ξ1`: fraction of local acquisitions.
+    pub xi1: f64,
+    /// `ξ2`: fraction of borrowing-update acquisitions.
+    pub xi2: f64,
+    /// `ξ3`: fraction of borrowing-search acquisitions.
+    pub xi3: f64,
+    /// `n_p`: primary cells of a channel within a region.
+    pub n_p: f64,
+}
+
+impl ModelInputs {
+    /// The low-load operating point of Table 2: everything local.
+    pub fn low_load(n: f64, alpha: f64, n_p: f64) -> Self {
+        ModelInputs {
+            n,
+            n_borrow: 0.0,
+            n_search: 1.0,
+            alpha,
+            m: 0.0,
+            xi1: 1.0,
+            xi2: 0.0,
+            xi3: 0.0,
+            n_p,
+        }
+    }
+}
+
+/// Min/max bounds (Table 3). `None` encodes the paper's `∞`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Minimum message complexity.
+    pub msg_min: f64,
+    /// Maximum message complexity (`None` = unbounded).
+    pub msg_max: Option<f64>,
+    /// Minimum acquisition time (units of `T`).
+    pub time_min: f64,
+    /// Maximum acquisition time (units of `T`, `None` = unbounded).
+    pub time_max: Option<f64>,
+}
+
+/// Per-scheme closed forms. All times are in units of the message
+/// latency `T`; all message counts are per acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeModel {
+    /// Dong & Lai basic search.
+    BasicSearch,
+    /// Dong & Lai basic update.
+    BasicUpdate,
+    /// Dong & Lai advanced update.
+    AdvancedUpdate,
+    /// The paper's adaptive scheme.
+    Adaptive,
+}
+
+impl SchemeModel {
+    /// Table 1's general-case message complexity.
+    ///
+    /// The adaptive row uses Section 5's in-text derivation
+    /// `2ξ1·N_borrow + 3ξ2·m·N + ξ3·(3α + 4)·N`; the table's printed row
+    /// (`… + 3ξ3 m N + 2ξ3(α+2)N`) disagrees with the text's
+    /// observation-by-observation derivation and is taken to be a
+    /// typesetting error (`ξ3↔ξ2` swap and a dropped `α` term).
+    pub fn messages(self, p: &ModelInputs) -> f64 {
+        match self {
+            SchemeModel::BasicSearch => 2.0 * p.n,
+            SchemeModel::BasicUpdate => 2.0 * p.n * p.m + 2.0 * p.n,
+            SchemeModel::AdvancedUpdate => {
+                (1.0 - p.xi1) * (2.0 * p.n_p * p.m + p.n_p * (p.m - 1.0).max(0.0)) + 2.0 * p.n
+            }
+            SchemeModel::Adaptive => {
+                2.0 * p.xi1 * p.n_borrow
+                    + 3.0 * p.xi2 * p.m * p.n
+                    + p.xi3 * (3.0 * p.alpha + 4.0) * p.n
+            }
+        }
+    }
+
+    /// Table 1's general-case channel acquisition time (units of `T`).
+    pub fn acquisition_time(self, p: &ModelInputs) -> f64 {
+        match self {
+            SchemeModel::BasicSearch => p.n_search + 1.0,
+            SchemeModel::BasicUpdate => 2.0 * p.m,
+            SchemeModel::AdvancedUpdate => (1.0 - p.xi1) * 2.0 * p.m,
+            SchemeModel::Adaptive => {
+                2.0 * p.m * p.xi2 + (2.0 * p.alpha + p.n_search + 1.0) * p.xi3
+            }
+        }
+    }
+
+    /// Table 2's low-load specialization `(messages, time)`.
+    pub fn low_load(self, n: f64, alpha: f64, n_p: f64) -> (f64, f64) {
+        let p = ModelInputs::low_load(n, alpha, n_p);
+        match self {
+            // Table 2 charges basic search its 2N/2T probe cost and basic
+            // update a full grant round (4N with the acquisition
+            // broadcast, 2T) even at low load; advanced update and the
+            // adaptive scheme serve locally.
+            SchemeModel::BasicSearch => (2.0 * n, 2.0),
+            SchemeModel::BasicUpdate => (4.0 * n, 2.0),
+            SchemeModel::AdvancedUpdate => (2.0 * n, 0.0),
+            SchemeModel::Adaptive => (self.messages(&p), self.acquisition_time(&p)),
+        }
+    }
+
+    /// Table 3's bounds over all loads.
+    pub fn bounds(self, n: f64, alpha: f64) -> Bounds {
+        match self {
+            SchemeModel::BasicSearch => Bounds {
+                msg_min: 2.0 * n,
+                msg_max: Some(2.0 * n),
+                time_min: 2.0,
+                time_max: Some(n + 1.0),
+            },
+            SchemeModel::BasicUpdate => Bounds {
+                msg_min: 2.0 * n,
+                msg_max: None,
+                time_min: 2.0,
+                time_max: None,
+            },
+            SchemeModel::AdvancedUpdate => Bounds {
+                msg_min: n,
+                msg_max: None,
+                time_min: 0.0,
+                time_max: None,
+            },
+            SchemeModel::Adaptive => Bounds {
+                msg_min: 0.0,
+                msg_max: Some(2.0 * alpha * n + 4.0 * n),
+                time_min: 0.0,
+                // Table 3 prints (2αN + 1)T where Section 5's in-text
+                // derivation would give (2α + N_search + 1)T with
+                // N_search the *instantaneous* searcher count. Under
+                // sustained load searches chain, so the instantaneous
+                // form is optimistic; measurement (EXPERIMENTS.md,
+                // `table3`) confirms protocol-level acquisition latency
+                // exceeds (2α + N + 1)T but stays well inside the
+                // table's (2αN + 1)T. We therefore model the printed
+                // table value.
+                time_max: Some(2.0 * alpha * n + 1.0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> ModelInputs {
+        ModelInputs {
+            n: 18.0,
+            n_borrow: 2.0,
+            n_search: 1.5,
+            alpha: 3.0,
+            m: 1.2,
+            xi1: 0.7,
+            xi2: 0.25,
+            xi3: 0.05,
+            n_p: 3.0,
+        }
+    }
+
+    #[test]
+    fn basic_search_costs() {
+        let p = inputs();
+        assert_eq!(SchemeModel::BasicSearch.messages(&p), 36.0);
+        assert_eq!(SchemeModel::BasicSearch.acquisition_time(&p), 2.5);
+    }
+
+    #[test]
+    fn basic_update_costs() {
+        let p = inputs();
+        assert!((SchemeModel::BasicUpdate.messages(&p) - (36.0 * 1.2 + 36.0)).abs() < 1e-12);
+        assert!((SchemeModel::BasicUpdate.acquisition_time(&p) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_general_formula() {
+        let p = inputs();
+        let msgs = SchemeModel::Adaptive.messages(&p);
+        let expect = 2.0 * 0.7 * 2.0 + 3.0 * 0.25 * 1.2 * 18.0 + 0.05 * 13.0 * 18.0;
+        assert!((msgs - expect).abs() < 1e-9, "{msgs} vs {expect}");
+        let t = SchemeModel::Adaptive.acquisition_time(&p);
+        let expect_t = 2.0 * 1.2 * 0.25 + (6.0 + 1.5 + 1.0) * 0.05;
+        assert!((t - expect_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_low_load_is_free() {
+        // Table 2's flagship row: 0 messages, 0 time.
+        let (msgs, t) = SchemeModel::Adaptive.low_load(18.0, 3.0, 3.0);
+        assert_eq!(msgs, 0.0);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn table2_other_rows() {
+        assert_eq!(SchemeModel::BasicSearch.low_load(18.0, 3.0, 3.0), (36.0, 2.0));
+        assert_eq!(SchemeModel::BasicUpdate.low_load(18.0, 3.0, 3.0), (72.0, 2.0));
+        assert_eq!(
+            SchemeModel::AdvancedUpdate.low_load(18.0, 3.0, 3.0),
+            (36.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn table3_bounds() {
+        let b = SchemeModel::Adaptive.bounds(18.0, 3.0);
+        assert_eq!(b.msg_min, 0.0);
+        assert_eq!(b.msg_max, Some(2.0 * 3.0 * 18.0 + 4.0 * 18.0));
+        assert_eq!(b.time_min, 0.0);
+        let bu = SchemeModel::BasicUpdate.bounds(18.0, 3.0);
+        assert_eq!(bu.msg_max, None, "basic update is unbounded");
+        assert_eq!(bu.time_max, None);
+        let bs = SchemeModel::BasicSearch.bounds(18.0, 3.0);
+        assert_eq!(bs.msg_min, bs.msg_max.unwrap(), "search cost is constant");
+    }
+
+    #[test]
+    fn advanced_update_m1_has_no_release_round() {
+        let mut p = inputs();
+        p.m = 1.0;
+        p.xi1 = 0.0;
+        let msgs = SchemeModel::AdvancedUpdate.messages(&p);
+        assert!((msgs - (2.0 * 3.0 + 2.0 * 18.0)).abs() < 1e-12);
+    }
+}

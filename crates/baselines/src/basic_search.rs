@@ -1,0 +1,311 @@
+//! The basic search scheme (Dong & Lai, ICDCS '97), Section 2.2 of the
+//! paper.
+//!
+//! "In the basic search scheme a MSS needing a channel searches its
+//! interference region for an available channel … by sending a request
+//! message to every MSS in the interference region. Each MSS responds by
+//! sending its set of used channels. … The search procedure ensures that
+//! no two MSS in each other's interference regions simultaneously select
+//! the same channel by using timestamps with the request messages. An MSS
+//! which is currently searching for a channel defers the response to any
+//! request message with a higher timestamp than its request message until
+//! it has completed its search."
+//!
+//! Cost per acquisition: `2N` messages, `(N_search + 1)·T` latency
+//! (Table 1).
+
+use adca_core::{CallQueue, LamportClock, Timestamp};
+use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// Wire messages of the basic search scheme.
+#[derive(Debug, Clone)]
+pub enum BasicSearchMsg {
+    /// Search request with the requester's timestamp.
+    Request {
+        /// Requester's timestamp.
+        ts: Timestamp,
+    },
+    /// The responder's used-channel set.
+    Response {
+        /// `Use_j` of the responder.
+        used: ChannelSet,
+    },
+}
+
+/// One in-flight search.
+#[derive(Debug, Clone)]
+struct Search {
+    req: RequestId,
+    ts: Timestamp,
+    started: adca_simkit::SimTime,
+    remaining: BTreeSet<CellId>,
+    /// Union of collected `Use_j` sets.
+    seen_used: ChannelSet,
+}
+
+/// A mobile service station running basic search.
+#[derive(Debug, Clone)]
+pub struct BasicSearchNode {
+    spectrum: Spectrum,
+    region: Vec<CellId>,
+    used: ChannelSet,
+    clock: LamportClock,
+    call_q: CallQueue,
+    search: Option<Search>,
+    /// Requests deferred because our own search has a lower timestamp.
+    deferred: VecDeque<CellId>,
+}
+
+impl BasicSearchNode {
+    /// Creates the node for `cell`.
+    pub fn new(cell: CellId, topo: &Topology) -> Self {
+        BasicSearchNode {
+            spectrum: topo.spectrum(),
+            region: topo.region(cell).to_vec(),
+            used: topo.spectrum().empty_set(),
+            clock: LamportClock::new(cell),
+            call_q: CallQueue::new(),
+            search: None,
+            deferred: VecDeque::new(),
+        }
+    }
+
+    /// Channels currently in use.
+    pub fn used(&self) -> &ChannelSet {
+        &self.used
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_, BasicSearchMsg>, to: CellId, msg: BasicSearchMsg) {
+        ctx.send_kind(to, Self::msg_kind(&msg), msg);
+    }
+
+    fn try_start_next(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        if self.search.is_some() {
+            return;
+        }
+        let Some((req, _)) = self.call_q.front() else {
+            return;
+        };
+        let ts = self.clock.tick();
+        let started = ctx.now();
+        let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+        if remaining.is_empty() {
+            // Degenerate: no interference region; pick from the spectrum.
+            self.search = Some(Search {
+                req,
+                ts,
+                started,
+                remaining,
+                seen_used: self.spectrum.empty_set(),
+            });
+            self.conclude(ctx);
+            return;
+        }
+        for idx in 0..self.region.len() {
+            let j = self.region[idx];
+            self.send(ctx, j, BasicSearchMsg::Request { ts });
+        }
+        self.search = Some(Search {
+            req,
+            ts,
+            started,
+            remaining,
+            seen_used: self.spectrum.empty_set(),
+        });
+    }
+
+    fn conclude(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        let search = self.search.take().expect("search in flight");
+        ctx.sample(
+            "attempt_ticks",
+            ctx.now().saturating_since(search.started) as f64,
+        );
+        let free = self.used.union(&search.seen_used).complement();
+        match free.first() {
+            Some(ch) => {
+                self.used.insert(ch);
+                ctx.count("acq_search");
+                ctx.grant(search.req, ch);
+            }
+            None => {
+                ctx.count("acq_failed");
+                ctx.reject(search.req);
+            }
+        }
+        // Answer everyone we deferred — with the post-acquisition Use set,
+        // which is what makes the deferral safe.
+        while let Some(j) = self.deferred.pop_front() {
+            self.send(
+                ctx,
+                j,
+                BasicSearchMsg::Response {
+                    used: self.used.clone(),
+                },
+            );
+        }
+        self.call_q.pop();
+        self.try_start_next(ctx);
+    }
+}
+
+impl Protocol for BasicSearchNode {
+    type Msg = BasicSearchMsg;
+
+    fn msg_kind(msg: &BasicSearchMsg) -> &'static str {
+        match msg {
+            BasicSearchMsg::Request { .. } => "REQUEST",
+            BasicSearchMsg::Response { .. } => "RESPONSE",
+        }
+    }
+
+    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.call_q.push(req, kind);
+        self.try_start_next(ctx);
+    }
+
+    fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, Self::Msg>) {
+        let was = self.used.remove(ch);
+        debug_assert!(was, "released channel {ch} not in use");
+    }
+
+    fn on_message(&mut self, from: CellId, msg: BasicSearchMsg, ctx: &mut Ctx<'_, Self::Msg>) {
+        match msg {
+            BasicSearchMsg::Request { ts } => {
+                self.clock.observe(ts);
+                let defer = self
+                    .search
+                    .as_ref()
+                    .is_some_and(|s| s.ts < ts);
+                if defer {
+                    ctx.count("deferred_search_reqs");
+                    self.deferred.push_back(from);
+                } else {
+                    self.send(
+                        ctx,
+                        from,
+                        BasicSearchMsg::Response {
+                            used: self.used.clone(),
+                        },
+                    );
+                }
+            }
+            BasicSearchMsg::Response { used } => {
+                let conclude = {
+                    let Some(search) = self.search.as_mut() else {
+                        ctx.count("stale_responses");
+                        return;
+                    };
+                    search.seen_used.union_with(&used);
+                    search.remaining.remove(&from);
+                    search.remaining.is_empty()
+                };
+                if conclude {
+                    self.conclude(ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adca_simkit::engine::run_protocol;
+    use adca_simkit::{Arrival, LatencyModel, SimConfig, SimTime};
+    use std::rc::Rc;
+
+    fn topo() -> Rc<Topology> {
+        Rc::new(Topology::default_paper(6, 6))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            latency: LatencyModel::Fixed(100),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uncontended_search_costs_2n_messages_and_2t() {
+        let t = topo();
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let n = t.region(center).len() as u64; // 18
+        let arrivals = vec![Arrival::new(0, center, 1_000)];
+        let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 1);
+        assert_eq!(r.messages_total, 2 * n, "Table 1: 2N messages");
+        // Round trip = 2T = 200 ticks.
+        assert_eq!(r.acq_latency.stats().max(), Some(200.0));
+    }
+
+    #[test]
+    fn search_uses_whole_region_pool() {
+        // One cell can absorb far more than a static allotment: with an
+        // idle region the whole spectrum is reachable.
+        let t = topo();
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let arrivals: Vec<Arrival> = (0..70).map(|i| Arrival::new(i, center, 500_000)).collect();
+        let r = run_protocol(t.clone(), cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 70);
+        assert_eq!(r.dropped_new, 0);
+        // The 71st call fails.
+        let arrivals: Vec<Arrival> = (0..71).map(|i| Arrival::new(i, center, 500_000)).collect();
+        let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.dropped_new, 1);
+    }
+
+    #[test]
+    fn concurrent_searches_are_sequenced_safely() {
+        // Saturate a small grid: every cell requests simultaneously.
+        // Timestamp deferral must sequence them; the engine audits safety
+        // and liveness.
+        let t = Rc::new(Topology::default_paper(5, 5));
+        let mut arrivals = Vec::new();
+        for c in 0..25u32 {
+            for i in 0..4 {
+                arrivals.push(Arrival::new(i, CellId(c), 300_000));
+            }
+        }
+        let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 100, "4 calls × 25 cells all fit");
+        assert!(r.custom.get("deferred_search_reqs") > 0, "contention must defer");
+    }
+
+    #[test]
+    fn deferral_delays_younger_search() {
+        let t = topo();
+        let a = t.grid().at_offset(2, 2).unwrap();
+        let b = t.grid().at_offset(3, 2).unwrap();
+        // Two adjacent cells search at the same instant.
+        let arrivals = vec![Arrival::new(0, a, 10_000), Arrival::new(0, b, 10_000)];
+        let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 2);
+        // One of the two completed in 2T; the other waited for the first:
+        // its latency exceeds 2T.
+        let lats: Vec<f64> = r.acq_latency.samples().to_vec();
+        assert_eq!(lats.iter().filter(|&&l| l == 200.0).count(), 1);
+        assert_eq!(lats.iter().filter(|&&l| l > 200.0).count(), 1);
+        assert!(r.end_time > SimTime(0));
+    }
+
+    #[test]
+    fn releases_are_message_free() {
+        let t = topo();
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let n = t.region(center).len() as u64;
+        let arrivals = vec![Arrival::new(0, center, 100)];
+        let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
+        r.assert_clean();
+        assert_eq!(r.completed_calls, 1);
+        // Still only the 2N search messages — release is silent.
+        assert_eq!(r.messages_total, 2 * n);
+    }
+}

@@ -1,0 +1,434 @@
+//! The basic update scheme (Dong & Lai, ICDCS '97), Section 2.2 of the
+//! paper.
+//!
+//! Every node mirrors the channel usage of its interference region
+//! (via ACQUISITION/RELEASE broadcasts). To acquire, it picks a channel
+//! free *according to its local information* and asks the whole region
+//! for permission; concurrent requests for the same channel are resolved
+//! by timestamp (the younger request is rejected; a node grants an older
+//! conflicting request and its own attempt is doomed to rejection by the
+//! grantee, after which it retries with another channel).
+//!
+//! Costs per acquisition (Table 1): `2Nm + 2N` messages and `2Tm`
+//! latency, with an *unbounded* number of attempts `m` under contention —
+//! the starvation the adaptive scheme's `α` bound eliminates.
+
+use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
+use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use std::collections::BTreeSet;
+
+/// Configuration of the basic update baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicUpdateConfig {
+    /// Safety valve: give up (drop the call) after this many rejected
+    /// attempts. The original scheme retries forever — `m` is unbounded
+    /// (Table 3) — which a simulation cannot admit verbatim; the cap is
+    /// set high enough (default 64) that it only triggers under loads
+    /// where the pure scheme would starve. Give-ups are counted in the
+    /// `update_gaveup` metric so experiments can report them.
+    pub max_attempts: u32,
+}
+
+impl Default for BasicUpdateConfig {
+    fn default() -> Self {
+        BasicUpdateConfig { max_attempts: 64 }
+    }
+}
+
+/// Wire messages of the basic update scheme.
+#[derive(Debug, Clone)]
+pub enum BasicUpdateMsg {
+    /// Permission request for a channel.
+    Request {
+        /// The channel the sender wants.
+        ch: Channel,
+        /// The sender's timestamp for this attempt.
+        ts: Timestamp,
+    },
+    /// Permission granted.
+    Grant {
+        /// The requested channel.
+        ch: Channel,
+    },
+    /// Permission denied.
+    Reject {
+        /// The requested channel.
+        ch: Channel,
+    },
+    /// The sender acquired the channel.
+    Acquisition {
+        /// The acquired channel.
+        ch: Channel,
+    },
+    /// The sender released the channel.
+    Release {
+        /// The released channel.
+        ch: Channel,
+    },
+}
+
+/// One permission round.
+#[derive(Debug, Clone)]
+struct Attempt {
+    req: RequestId,
+    ts: Timestamp,
+    ch: Channel,
+    remaining: BTreeSet<CellId>,
+    granted: Vec<CellId>,
+    rejected: bool,
+    /// We granted an older request for the same channel mid-round; our
+    /// attempt must be abandoned even if everyone grants it.
+    aborted: bool,
+    attempts_so_far: u32,
+}
+
+/// A mobile service station running basic update.
+#[derive(Debug, Clone)]
+pub struct BasicUpdateNode {
+    cfg: BasicUpdateConfig,
+    spectrum: Spectrum,
+    region: Vec<CellId>,
+    used: ChannelSet,
+    view: NeighborView,
+    clock: LamportClock,
+    call_q: CallQueue,
+    attempt: Option<Attempt>,
+    /// When service of the head request began (protocol latency metric).
+    serving_since: Option<adca_simkit::SimTime>,
+}
+
+impl BasicUpdateNode {
+    /// Creates the node for `cell`.
+    pub fn new(cell: CellId, topo: &Topology, cfg: BasicUpdateConfig) -> Self {
+        let region = topo.region(cell).to_vec();
+        BasicUpdateNode {
+            cfg,
+            spectrum: topo.spectrum(),
+            used: topo.spectrum().empty_set(),
+            view: NeighborView::new(topo.spectrum(), &region),
+            clock: LamportClock::new(cell),
+            call_q: CallQueue::new(),
+            attempt: None,
+            serving_since: None,
+            region,
+        }
+    }
+
+    /// Channels currently in use.
+    pub fn used(&self) -> &ChannelSet {
+        &self.used
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_, BasicUpdateMsg>, to: CellId, msg: BasicUpdateMsg) {
+        ctx.send_kind(to, Self::msg_kind(&msg), msg);
+    }
+
+    /// Picks the lowest channel free per local information, excluding
+    /// `tried` (channels already rejected in this acquisition).
+    fn pick_channel(&self, tried: &ChannelSet) -> Option<Channel> {
+        let mut free = self.used.union(self.view.interference()).complement();
+        free.subtract(tried);
+        free.first()
+    }
+
+    fn start_attempt(
+        &mut self,
+        req: RequestId,
+        attempts_so_far: u32,
+        tried: &ChannelSet,
+        ctx: &mut Ctx<'_, BasicUpdateMsg>,
+    ) {
+        if attempts_so_far >= self.cfg.max_attempts {
+            ctx.count("update_gaveup");
+            self.finish(None, attempts_so_far, ctx);
+            return;
+        }
+        let Some(ch) = self.pick_channel(tried) else {
+            // Nothing looks free: the call is dropped.
+            self.finish(None, attempts_so_far, ctx);
+            return;
+        };
+        let ts = self.clock.tick();
+        let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+        if remaining.is_empty() {
+            // No region: take it.
+            self.used.insert(ch);
+            self.finish(Some(ch), attempts_so_far + 1, ctx);
+            return;
+        }
+        for idx in 0..self.region.len() {
+            let j = self.region[idx];
+            self.send(ctx, j, BasicUpdateMsg::Request { ch, ts });
+        }
+        self.attempt = Some(Attempt {
+            req,
+            ts,
+            ch,
+            remaining,
+            granted: Vec::new(),
+            rejected: false,
+            aborted: false,
+            attempts_so_far: attempts_so_far + 1,
+        });
+    }
+
+    /// Resolves the head request; `ch = None` means dropped.
+    fn finish(&mut self, ch: Option<Channel>, attempts: u32, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+        let (req, _) = self.call_q.pop().expect("head request present");
+        if let Some(started) = self.serving_since.take() {
+            ctx.sample("attempt_ticks", ctx.now().saturating_since(started) as f64);
+        }
+        match ch {
+            Some(ch) => {
+                ctx.count("acq_update");
+                ctx.sample("update_attempts", attempts as f64);
+                // Tell the whole region so their mirrors stay fresh.
+                for idx in 0..self.region.len() {
+                    let j = self.region[idx];
+                    self.send(ctx, j, BasicUpdateMsg::Acquisition { ch });
+                }
+                ctx.grant(req, ch);
+            }
+            None => {
+                ctx.count("acq_failed");
+                ctx.reject(req);
+            }
+        }
+        self.try_start_next(ctx);
+    }
+
+    fn try_start_next(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+        if self.attempt.is_some() {
+            return;
+        }
+        let Some((req, _)) = self.call_q.front() else {
+            return;
+        };
+        self.serving_since = Some(ctx.now());
+        self.start_attempt(req, 0, &self.spectrum.empty_set(), ctx);
+    }
+
+    fn conclude(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+        let attempt = self.attempt.take().expect("attempt in flight");
+        let failed = attempt.rejected || attempt.aborted;
+        if !failed {
+            self.used.insert(attempt.ch);
+            self.finish(Some(attempt.ch), attempt.attempts_so_far, ctx);
+            return;
+        }
+        ctx.count("update_rounds_failed");
+        // Release whoever granted us.
+        for j in attempt.granted {
+            self.send(ctx, j, BasicUpdateMsg::Release { ch: attempt.ch });
+        }
+        // Retry with another channel. We exclude the just-rejected channel
+        // for this retry; the view usually reflects the winner's
+        // ACQUISITION by the time the round failed anyway.
+        let mut tried = self.spectrum.empty_set();
+        tried.insert(attempt.ch);
+        self.start_attempt(attempt.req, attempt.attempts_so_far, &tried, ctx);
+    }
+}
+
+impl Protocol for BasicUpdateNode {
+    type Msg = BasicUpdateMsg;
+
+    fn msg_kind(msg: &BasicUpdateMsg) -> &'static str {
+        match msg {
+            BasicUpdateMsg::Request { .. } => "REQUEST",
+            BasicUpdateMsg::Grant { .. } | BasicUpdateMsg::Reject { .. } => "RESPONSE",
+            BasicUpdateMsg::Acquisition { .. } => "ACQUISITION",
+            BasicUpdateMsg::Release { .. } => "RELEASE",
+        }
+    }
+
+    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.call_q.push(req, kind);
+        self.try_start_next(ctx);
+    }
+
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
+        let was = self.used.remove(ch);
+        debug_assert!(was, "released channel {ch} not in use");
+        for idx in 0..self.region.len() {
+            let j = self.region[idx];
+            self.send(ctx, j, BasicUpdateMsg::Release { ch });
+        }
+    }
+
+    fn on_message(&mut self, from: CellId, msg: BasicUpdateMsg, ctx: &mut Ctx<'_, Self::Msg>) {
+        match msg {
+            BasicUpdateMsg::Request { ch, ts } => {
+                self.clock.observe(ts);
+                if self.used.contains(ch) {
+                    self.send(ctx, from, BasicUpdateMsg::Reject { ch });
+                    return;
+                }
+                // Conflict with our own pending attempt for the same
+                // channel: the younger timestamp loses.
+                let conflict = self
+                    .attempt
+                    .as_ref()
+                    .is_some_and(|a| a.ch == ch);
+                if conflict {
+                    let my_ts = self.attempt.as_ref().expect("checked").ts;
+                    if my_ts < ts {
+                        self.send(ctx, from, BasicUpdateMsg::Reject { ch });
+                        return;
+                    }
+                    // Grant the older request and abandon our own attempt
+                    // ("grant and abort its own request").
+                    self.attempt.as_mut().expect("checked").aborted = true;
+                    ctx.count("update_self_aborts");
+                }
+                self.send(ctx, from, BasicUpdateMsg::Grant { ch });
+                self.view.set_used(from, ch);
+            }
+            BasicUpdateMsg::Grant { ch } => {
+                let conclude = {
+                    let Some(a) = self.attempt.as_mut() else {
+                        ctx.count("stale_responses");
+                        return;
+                    };
+                    if a.ch != ch {
+                        ctx.count("stale_responses");
+                        return;
+                    }
+                    if a.remaining.remove(&from) {
+                        a.granted.push(from);
+                    }
+                    a.remaining.is_empty()
+                };
+                if conclude {
+                    self.conclude(ctx);
+                }
+            }
+            BasicUpdateMsg::Reject { ch } => {
+                let conclude = {
+                    let Some(a) = self.attempt.as_mut() else {
+                        ctx.count("stale_responses");
+                        return;
+                    };
+                    if a.ch != ch {
+                        ctx.count("stale_responses");
+                        return;
+                    }
+                    a.remaining.remove(&from);
+                    a.rejected = true;
+                    a.remaining.is_empty()
+                };
+                if conclude {
+                    self.conclude(ctx);
+                }
+            }
+            BasicUpdateMsg::Acquisition { ch } => {
+                self.view.set_used(from, ch);
+            }
+            BasicUpdateMsg::Release { ch } => {
+                self.view.clear_used(from, ch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adca_simkit::engine::run_protocol;
+    use adca_simkit::{Arrival, LatencyModel, SimConfig};
+    use std::rc::Rc;
+
+    fn topo() -> Rc<Topology> {
+        Rc::new(Topology::default_paper(6, 6))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            latency: LatencyModel::Fixed(100),
+            ..Default::default()
+        }
+    }
+
+    fn factory(cell: CellId, topo: &Topology) -> BasicUpdateNode {
+        BasicUpdateNode::new(cell, topo, BasicUpdateConfig::default())
+    }
+
+    #[test]
+    fn uncontended_acquisition_costs_4n_and_2t() {
+        // Table 2: one attempt = REQUEST×N + RESPONSE×N + ACQUISITION×N,
+        // plus RELEASE×N at deallocation → 4N messages over the call's
+        // life, acquisition latency 2T.
+        let t = topo();
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let n = t.region(center).len() as u64;
+        let arrivals = vec![Arrival::new(0, center, 1_000)];
+        let r = run_protocol(t, cfg(), factory, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 1);
+        assert_eq!(r.messages_total, 4 * n);
+        assert_eq!(r.acq_latency.stats().max(), Some(200.0));
+    }
+
+    #[test]
+    fn whole_spectrum_reachable() {
+        let t = topo();
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let arrivals: Vec<Arrival> = (0..70).map(|i| Arrival::new(i, center, 500_000)).collect();
+        let r = run_protocol(t, cfg(), factory, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 70);
+    }
+
+    #[test]
+    fn same_channel_race_resolves_by_timestamp() {
+        // Two adjacent idle cells request simultaneously: both pick
+        // channel 0. Exactly one wins the round; the other retries and
+        // gets a different channel. Safety is audited.
+        let t = topo();
+        let a = t.grid().at_offset(2, 2).unwrap();
+        let b = t.grid().at_offset(3, 2).unwrap();
+        let arrivals = vec![Arrival::new(0, a, 50_000), Arrival::new(0, b, 50_000)];
+        let r = run_protocol(t, cfg(), factory, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 2);
+        assert!(
+            r.custom.get("update_rounds_failed") >= 1
+                || r.custom.get("update_self_aborts") >= 1,
+            "the race must cost at least one retry"
+        );
+        // The retry costs extra round trips for the loser.
+        assert!(r.acq_latency.stats().max().unwrap() > 200.0);
+    }
+
+    #[test]
+    fn saturated_region_is_safe_and_live() {
+        let t = Rc::new(Topology::default_paper(5, 5));
+        let mut arrivals = Vec::new();
+        for c in 0..25u32 {
+            for i in 0..5 {
+                arrivals.push(Arrival::new(i * 3, CellId(c), 200_000));
+            }
+        }
+        let r = run_protocol(t, cfg(), factory, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted + r.dropped_new, 125);
+        assert!(r.granted >= 100, "granted {}", r.granted);
+    }
+
+    #[test]
+    fn view_mirrors_keep_messages_at_steady_state() {
+        // After an acquisition, neighbors know; a later non-conflicting
+        // acquisition in a neighbor proceeds in one round.
+        let t = topo();
+        let a = t.grid().at_offset(2, 2).unwrap();
+        let b = t.grid().at_offset(3, 2).unwrap();
+        let arrivals = vec![Arrival::new(0, a, 100_000), Arrival::new(1_000, b, 100_000)];
+        let r = run_protocol(t, cfg(), factory, arrivals);
+        r.assert_clean();
+        assert_eq!(r.granted, 2);
+        // Second request sees channel 0 taken via its mirror and asks for
+        // channel 1 directly: no failed rounds.
+        assert_eq!(r.custom.get("update_rounds_failed"), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end simulation throughput per scheme: one fixed workload
+//! (6×6 grid, ρ = 0.8, 30k ticks), full engine + audit. This is the
+//! "how fast can the reproduction iterate" number — and a regression
+//! guard on protocol hot paths.
+
+use adca_harness::{Scenario, SchemeKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn scheme_throughput(c: &mut Criterion) {
+    let sc = Scenario::uniform(0.8, 30_000).with_grid(6, 6);
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |bench| {
+            bench.iter(|| {
+                let s = sc.run_with(
+                    black_box(kind),
+                    topo.clone(),
+                    arrivals.clone(),
+                );
+                s.report.assert_clean();
+                black_box(s.report.granted)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn hotspot_burst(c: &mut Criterion) {
+    use adca_hexgrid::CellId;
+    use adca_traffic::{Hotspot, WorkloadSpec};
+    let wl = WorkloadSpec::uniform(0.3, 5_000.0, 40_000).with_hotspot(Hotspot {
+        cells: vec![CellId(14), CellId(15)],
+        from: 10_000,
+        until: 30_000,
+        multiplier: 8.0,
+    });
+    let sc = Scenario::uniform(0.3, 40_000).with_grid(6, 6).with_workload(wl);
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let mut group = c.benchmark_group("hotspot");
+    group.sample_size(20);
+    group.bench_function("adaptive", |bench| {
+        bench.iter(|| {
+            let s = sc.run_with(SchemeKind::Adaptive, topo.clone(), arrivals.clone());
+            s.report.assert_clean();
+            black_box(s.report.messages_total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheme_throughput, hotspot_burst);
+criterion_main!(benches);

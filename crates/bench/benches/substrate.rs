@@ -1,0 +1,57 @@
+//! Microbenchmarks of the hot substrate: channel-set algebra, topology
+//! construction, and region queries — the operations on every protocol
+//! hot path.
+
+use adca_hexgrid::{Channel, ChannelSet, ReusePattern, Spectrum, Topology};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn channelset_ops(c: &mut Criterion) {
+    let spectrum = Spectrum::new(70);
+    let a = ChannelSet::from_iter_sized(70, (0..70).step_by(2).map(Channel));
+    let b = ChannelSet::from_iter_sized(70, (0..70).step_by(3).map(Channel));
+    c.bench_function("channelset/union", |bench| {
+        bench.iter(|| black_box(&a).union(black_box(&b)))
+    });
+    c.bench_function("channelset/difference_first", |bench| {
+        bench.iter(|| black_box(&a).difference(black_box(&b)).first())
+    });
+    c.bench_function("channelset/complement", |bench| {
+        bench.iter(|| black_box(&a).complement())
+    });
+    c.bench_function("channelset/iter_count", |bench| {
+        bench.iter(|| black_box(&a).iter().count())
+    });
+    let full = spectrum.full_set();
+    c.bench_function("channelset/is_disjoint", |bench| {
+        bench.iter(|| black_box(&a).is_disjoint(black_box(&full)))
+    });
+}
+
+fn topology_build(c: &mut Criterion) {
+    c.bench_function("topology/build_12x12", |bench| {
+        bench.iter(|| Topology::default_paper(black_box(12), black_box(12)))
+    });
+    let topo = Topology::default_paper(12, 12);
+    c.bench_function("topology/region_lookup", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for cell in topo.cells() {
+                acc += topo.region(black_box(cell)).len();
+            }
+            acc
+        })
+    });
+    let pattern = ReusePattern::seven_cell();
+    c.bench_function("reuse/color_grid", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u32;
+            for cell in topo.cells() {
+                acc += pattern.color(topo.grid().axial(cell));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, channelset_ops, topology_build);
+criterion_main!(benches);

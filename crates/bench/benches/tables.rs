@@ -1,0 +1,78 @@
+//! `cargo bench` coverage of the table/figure reproduction paths:
+//! shrunken versions of the table sweeps and the Figure 11 scenario, so
+//! the standard bench run exercises every experiment code path.
+
+use adca_core::{AdaptiveConfig, AdaptiveNode};
+use adca_harness::{Scenario, SchemeKind};
+use adca_hexgrid::Topology;
+use adca_simkit::engine::run_protocol;
+use adca_simkit::{Arrival, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn table_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    // table2's low-load point, all four table schemes.
+    group.bench_function("table2_low_load", |bench| {
+        let sc = Scenario::uniform(0.12, 40_000).with_grid(6, 6);
+        let topo = sc.topology();
+        let arrivals = sc.arrivals(&topo);
+        bench.iter(|| {
+            let mut total = 0u64;
+            for kind in SchemeKind::TABLE_SCHEMES {
+                let s = sc.run_with(kind, topo.clone(), arrivals.clone());
+                total += s.report.messages_total;
+            }
+            black_box(total)
+        })
+    });
+    // table3's overload point.
+    group.bench_function("table3_overload", |bench| {
+        let sc = Scenario::uniform(2.0, 30_000).with_grid(6, 6);
+        let topo = sc.topology();
+        let arrivals = sc.arrivals(&topo);
+        bench.iter(|| {
+            let s = sc.run_with(SchemeKind::Adaptive, topo.clone(), arrivals.clone());
+            black_box(s.report.granted)
+        })
+    });
+    group.finish();
+}
+
+fn fig11_scenario(c: &mut Criterion) {
+    // The saturation + contention scenario of the fig11 binary, as a
+    // bench (adaptive protocol under a fully saturated neighborhood).
+    let topo = Rc::new(Topology::default_paper(8, 8));
+    let p = topo.grid().at_offset(4, 4).expect("interior");
+    let mut arrivals = Vec::new();
+    for cell in topo.cells() {
+        if topo.distance(cell, p) <= 3 {
+            let count = if topo.color(cell) == topo.color(p) { 9 } else { 10 };
+            for k in 0..count {
+                arrivals.push(Arrival::new(k, cell, 60_000));
+            }
+        }
+    }
+    arrivals.push(Arrival::new(5_000, topo.grid().at_offset(3, 4).expect("in"), 20_000));
+    arrivals.push(Arrival::new(5_100, topo.grid().at_offset(5, 4).expect("in"), 20_000));
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(20);
+    group.bench_function("saturated_contention", |bench| {
+        bench.iter(|| {
+            let cfg = AdaptiveConfig::default();
+            let report = run_protocol(
+                topo.clone(),
+                SimConfig::default(),
+                move |cell, t| AdaptiveNode::new(cell, t, cfg.clone()),
+                arrivals.clone(),
+            );
+            report.assert_clean();
+            black_box(report.granted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_sweeps, fig11_scenario);
+criterion_main!(benches);

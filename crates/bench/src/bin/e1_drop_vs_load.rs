@@ -1,0 +1,37 @@
+//! `e1_drop_vs_load` — call-drop (blocking) rate vs offered load for all
+//! six schemes, the claim behind the paper's introduction: static
+//! allocation degrades first; dynamic schemes track the pooled capacity;
+//! the adaptive scheme matches the dynamic schemes' drop rate.
+
+use adca_analysis::erlang_b;
+use adca_bench::{banner, pct, TextTable};
+use adca_harness::{Scenario, SchemeKind};
+
+fn main() {
+    banner(
+        "e1_drop_vs_load",
+        "the §1/§6 drop-rate claims (series, one row per load)",
+        "new-call blocking probability per scheme; Erlang-B(10, a) shown for reference",
+    );
+    let loads = [0.3, 0.5, 0.7, 0.9, 1.1, 1.4, 1.8, 2.4];
+    let mut cols = vec![("rho", 5), ("erlangB", 8)];
+    for k in SchemeKind::ALL {
+        cols.push((k.name(), 16));
+    }
+    let table = TextTable::new(&cols);
+    for &rho in &loads {
+        let sc = Scenario::uniform(rho, 120_000);
+        let mut cells = vec![format!("{rho}"), pct(erlang_b(10, rho * 10.0))];
+        for s in sc.run_all(&SchemeKind::ALL) {
+            s.report.assert_clean();
+            cells.push(pct(s.drop_rate()));
+        }
+        table.row(&cells);
+    }
+    println!(
+        "\nshape checks: fixed ≈ Erlang-B at every load; every dynamic scheme\n\
+         beats fixed once load is unbalanced/high; the adaptive scheme tracks\n\
+         the search schemes' drop rate while paying far fewer messages at low\n\
+         load (see e3)."
+    );
+}

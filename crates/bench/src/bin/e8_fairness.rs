@@ -1,0 +1,53 @@
+//! `e8_fairness` — "The algorithm provides fair service to all cells"
+//! (§6). Under uniformly high load we measure Jain's fairness index over
+//! per-cell service rates (grants/arrivals) and per-cell drops, plus the
+//! worst-served cell — the starvation the bounded search fallback is
+//! designed to prevent.
+
+use adca_bench::{banner, f2, opt2, pct, TextTable};
+use adca_harness::{Scenario, SchemeKind};
+
+fn main() {
+    banner(
+        "e8_fairness",
+        "§5/§6's fairness claims",
+        "uniformly high load: Jain index of per-cell service, worst-served cell",
+    );
+    for rho in [1.2, 1.8] {
+        println!("--- rho = {rho} ---\n");
+        let sc = Scenario::uniform(rho, 150_000);
+        let table = TextTable::new(&[
+            ("scheme", 18),
+            ("drop%", 7),
+            ("service_jain", 13),
+            ("drop_jain", 10),
+            ("worst_cell_svc", 15),
+        ]);
+        for s in sc.run_all(&SchemeKind::ALL) {
+            s.report.assert_clean();
+            let worst = s
+                .report
+                .per_cell_arrivals
+                .iter()
+                .zip(&s.report.per_cell_grants)
+                .filter(|(&a, _)| a > 0)
+                .map(|(&a, &g)| g as f64 / a as f64)
+                .fold(f64::INFINITY, f64::min);
+            table.row(&[
+                s.scheme.name().to_string(),
+                pct(s.drop_rate()),
+                opt2(s.service_fairness()),
+                opt2(s.drop_fairness()),
+                f2(worst),
+            ]);
+        }
+        println!();
+    }
+    println!(
+        "shape: the adaptive scheme's service fairness stays near the search\n\
+         schemes' (close to 1.0) and its worst-served cell is no outlier —\n\
+         the bounded fallback prevents the per-cell starvation the pure\n\
+         update scheme risks (visible in its lower drop_jain: drops pile on\n\
+         unlucky cells)."
+    );
+}

@@ -1,0 +1,33 @@
+//! `fig1` — regenerates the paper's Figure 1 (cellular communication
+//! architecture): the hexagonal field, the 7-cell reuse coloring, and one
+//! cell's interference region.
+
+use adca_bench::banner;
+use adca_hexgrid::{render, Topology};
+
+fn main() {
+    banner(
+        "fig1",
+        "Figure 1 (cellular communication architecture)",
+        "hex grid, 7-cell reuse coloring, and the interference region IN_i",
+    );
+    let topo = Topology::default_paper(12, 12);
+    println!(
+        "{} cells, {} channels, cluster {}, interference radius {} (N = {})\n",
+        topo.num_cells(),
+        topo.spectrum().len(),
+        topo.pattern().cluster_size(),
+        topo.interference_radius(),
+        topo.max_region_size()
+    );
+    println!("reuse colors (primary set per color, {} channels each):", 70 / 7);
+    println!("{}", render::render_colors(&topo));
+    let center = topo.grid().at_offset(5, 5).expect("interior cell");
+    println!("interference region of {center} (* = cell, # = IN):");
+    println!("{}", render::render_region(&topo, center));
+    println!(
+        "primary channels of {center} (color {}): {:?}",
+        topo.color(center),
+        topo.primary(center)
+    );
+}

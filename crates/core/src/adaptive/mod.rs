@@ -1,0 +1,982 @@
+//! The adaptive distributed dynamic channel allocation protocol
+//! (Figures 2–10 of the paper), as an event-driven state machine.
+//!
+//! # Mapping from the paper's pseudocode
+//!
+//! The paper presents the algorithm with blocking waits (`wait UNTIL …`);
+//! here every wait is reified as a `Phase` of the single in-flight
+//! `Attempt`:
+//!
+//! | paper                                                | here                      |
+//! |------------------------------------------------------|---------------------------|
+//! | `wait UNTIL waiting_i = 0` (local mode)              | `Phase::WaitQuiet`        |
+//! | `wait UNTIL RESPONSE(3, j, U_j) from each j ∈ IN_i`  | `Phase::AwaitStatus`      |
+//! | `wait UNTIL RESPONSE(G_j, j, r) from each j ∈ IN_i`  | `Phase::Update`           |
+//! | `wait UNTIL RESPONSE(G_j, j, U_j) from each j ∈ IN_i`| `Phase::Search`           |
+//!
+//! Calls arriving while an attempt is in flight queue FIFO behind it
+//! (`pending_i` is a single flag in the paper — acquisitions are
+//! serialized per node).
+//!
+//! # Documented deviations from the pseudocode (see `DESIGN.md` §3)
+//!
+//! 1. `I_i` is derived from per-neighbor `U_j` sets with reference counts
+//!    ([`crate::view::NeighborView`]) instead of plain set add/remove,
+//!    fixing the release bug where two out-of-range neighbors share a
+//!    channel.
+//! 2. The borrowing-update candidate channel is drawn from the *lender's*
+//!    primary set (`r ∈ PR_j − (Use_i ∪ I_i)` with `j = Best()`); the
+//!    paper's literal `r ∈ PR_i ∩ …` is the local case already handled
+//!    one line earlier and would make borrowing unreachable.
+//! 3. Request timestamps are Lamport timestamps with node-id tie-break.
+//! 4. A failed search still broadcasts `ACQUISITION(1, i, −1)` (here
+//!    `ch = None`) so responders decrement `waiting_i` — as in the
+//!    pseudocode, whose `case 3` does not test `r ∈ Spectrum`.
+//! 5. `mode = 2` nodes reject younger update requests regardless of the
+//!    requested channel (pseudocode) unless
+//!    [`AdaptiveConfig::strict_mode2_reject`] is `false`, which
+//!    restricts rejection to conflicts on the same channel (prose).
+//! 6. `check_mode()` runs after *every* deallocation, not only in the
+//!    borrowing branch of Figure 9 (the figure's indentation is
+//!    ambiguous; running it unconditionally can only make mode switches
+//!    timelier and does not change the protocol's messages otherwise).
+
+use crate::config::AdaptiveConfig;
+use crate::lamport::{LamportClock, Timestamp};
+use crate::nfc::NfcWindow;
+use crate::queue::CallQueue;
+use crate::view::NeighborView;
+use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use std::collections::{BTreeSet, VecDeque};
+
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod unit_tests;
+
+/// The node's allocation mode (`mode_i` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `0`: serving from the primary set, no coordination.
+    Local,
+    /// `1`: borrowing-capable, no request in flight.
+    Borrowing,
+    /// `2`: borrowing with a pending update request.
+    BorrowUpdate,
+    /// `3`: borrowing with a pending search request.
+    BorrowSearch,
+}
+
+impl Mode {
+    /// Whether the node is in any borrowing mode (`mode_i ≠ 0`).
+    pub fn is_borrowing(self) -> bool {
+        self != Mode::Local
+    }
+}
+
+/// Wire messages of the adaptive protocol (Section 3.2).
+#[derive(Debug, Clone)]
+pub enum AdaptiveMsg {
+    /// `REQUEST(req_type, r, ts_j, j)`: `update = Some(r)` is an update
+    /// request for channel `r`; `update = None` is a search request.
+    Request {
+        /// The channel to borrow (update) or `None` (search).
+        update: Option<Channel>,
+        /// The requester's timestamp.
+        ts: Timestamp,
+    },
+    /// `RESPONSE(0, j, r)`: update request for `r` rejected.
+    Reject {
+        /// The channel that was refused.
+        ch: Channel,
+    },
+    /// `RESPONSE(1, j, r)`: update request for `r` granted.
+    Grant {
+        /// The channel that was granted.
+        ch: Channel,
+    },
+    /// `RESPONSE(2, j, Use_j)`: reply to a search request.
+    SearchUse {
+        /// The responder's full use set.
+        used: ChannelSet,
+    },
+    /// `RESPONSE(3, j, Use_j)`: status reply to a `CHANGE_MODE`.
+    Status {
+        /// The responder's full use set.
+        used: ChannelSet,
+    },
+    /// `CHANGE_MODE(mode, j)`.
+    ChangeMode {
+        /// `true` = the sender entered borrowing mode.
+        borrowing: bool,
+    },
+    /// `RELEASE(j, r)`.
+    Release {
+        /// The freed channel.
+        ch: Channel,
+    },
+    /// `ACQUISITION(acq_type, j, r)`; `ch = None` encodes the paper's
+    /// `r = −1` after a failed search.
+    Acquisition {
+        /// `true` = acquired through the search procedure.
+        search: bool,
+        /// The acquired channel, or `None` for a failed search.
+        ch: Option<Channel>,
+    },
+}
+
+/// A request deferred for later response (`DeferQ_i`).
+#[derive(Debug, Clone)]
+enum Deferred {
+    /// A deferred update request for a channel.
+    Update { from: CellId, ch: Channel },
+    /// A deferred search request.
+    Search { from: CellId },
+}
+
+/// How the current acquisition attempt is waiting.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Local mode, blocked on `waiting_i = 0`.
+    WaitQuiet,
+    /// Waiting for `RESPONSE(3)` from every region member after the
+    /// local→borrowing transition.
+    AwaitStatus { remaining: BTreeSet<CellId> },
+    /// A borrowing-update round for channel `ch`.
+    Update {
+        ch: Channel,
+        remaining: BTreeSet<CellId>,
+        granted: Vec<CellId>,
+        rejected: bool,
+    },
+    /// A borrowing-search round.
+    Search { remaining: BTreeSet<CellId> },
+}
+
+/// How an acquisition was ultimately satisfied (for the ξ metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Via {
+    Local,
+    Update,
+    Search,
+}
+
+/// The in-flight acquisition attempt (at most one per node).
+#[derive(Debug, Clone)]
+struct Attempt {
+    req: RequestId,
+    ts: Timestamp,
+    /// When the attempt began service (excludes MSS queueing time;
+    /// this is the protocol latency the paper's Section 5 analyzes).
+    started: adca_simkit::SimTime,
+    phase: Phase,
+}
+
+/// One mobile service station running the adaptive scheme.
+#[derive(Debug, Clone)]
+pub struct AdaptiveNode {
+    cfg: AdaptiveConfig,
+    me: CellId,
+    spectrum: Spectrum,
+    /// `IN_i`, sorted.
+    region: Vec<CellId>,
+    /// `PR_i`.
+    pr: ChannelSet,
+    /// `PR_j` for each region member (parallel to `region`).
+    pr_of: Vec<ChannelSet>,
+    /// `IN_j` for each region member (parallel to `region`), for `Best()`.
+    region_of: Vec<Vec<CellId>>,
+    /// `Use_i`.
+    used: ChannelSet,
+    /// `U_j` and derived `I_i`.
+    view: NeighborView,
+    /// `NFC_i`.
+    nfc: NfcWindow,
+    /// `mode_i`.
+    mode: Mode,
+    /// `UpdateS_i`.
+    update_subs: BTreeSet<CellId>,
+    /// `DeferQ_i`.
+    defer_q: VecDeque<Deferred>,
+    /// `waiting_i`.
+    waiting: u32,
+    /// `rounds` (persists across retries within one attempt).
+    rounds: u32,
+    clock: LamportClock,
+    call_q: CallQueue,
+    attempt: Option<Attempt>,
+    /// Debug-only mirror of `waiting`: which searchers we owe an
+    /// ACQUISITION from.
+    #[cfg(debug_assertions)]
+    dbg_owed: Vec<CellId>,
+}
+
+impl AdaptiveNode {
+    /// Creates the node for `cell` with the given tunables.
+    pub fn new(cell: CellId, topo: &Topology, cfg: AdaptiveConfig) -> Self {
+        cfg.validate();
+        let region = topo.region(cell).to_vec();
+        let pr_of = region.iter().map(|&j| topo.primary(j).clone()).collect();
+        let region_of = region.iter().map(|&j| topo.region(j).to_vec()).collect();
+        AdaptiveNode {
+            me: cell,
+            spectrum: topo.spectrum(),
+            pr: topo.primary(cell).clone(),
+            pr_of,
+            region_of,
+            used: topo.spectrum().empty_set(),
+            view: NeighborView::new(topo.spectrum(), &region),
+            nfc: NfcWindow::new(cfg.window),
+            mode: Mode::Local,
+            update_subs: BTreeSet::new(),
+            defer_q: VecDeque::new(),
+            waiting: 0,
+            rounds: 0,
+            clock: LamportClock::new(cell),
+            call_q: CallQueue::new(),
+            attempt: None,
+            #[cfg(debug_assertions)]
+            dbg_owed: Vec::new(),
+            region,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (tests, harness diagnostics)
+    // ------------------------------------------------------------------
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The cell this node manages.
+    pub fn cell(&self) -> CellId {
+        self.me
+    }
+
+    /// The spectrum this node allocates from.
+    pub fn spectrum(&self) -> Spectrum {
+        self.spectrum
+    }
+
+    /// Current use set.
+    pub fn used(&self) -> &ChannelSet {
+        &self.used
+    }
+
+    /// Current `waiting_i`.
+    pub fn waiting(&self) -> u32 {
+        self.waiting
+    }
+
+    /// Number of deferred requests.
+    pub fn deferred(&self) -> usize {
+        self.defer_q.len()
+    }
+
+    /// Borrowing neighbors this node knows about (`UpdateS_i`).
+    pub fn update_subscribers(&self) -> &BTreeSet<CellId> {
+        &self.update_subs
+    }
+
+    /// Diagnostic description of the in-flight attempt, if any: phase
+    /// name, timestamp, and outstanding response count.
+    pub fn attempt_summary(&self) -> Option<String> {
+        self.attempt.as_ref().map(|a| match &a.phase {
+            Phase::WaitQuiet => format!("WaitQuiet ts={}", a.ts),
+            Phase::AwaitStatus { remaining } => {
+                format!("AwaitStatus ts={} remaining={}", a.ts, remaining.len())
+            }
+            Phase::Update { ch, remaining, .. } => {
+                format!("Update({ch}) ts={} remaining={}", a.ts, remaining.len())
+            }
+            Phase::Search { remaining } => {
+                format!("Search ts={} remaining={}", a.ts, remaining.len())
+            }
+        })
+    }
+
+    /// Number of queued (not yet served) call requests.
+    pub fn queued_calls(&self) -> usize {
+        self.call_q.len()
+    }
+
+    /// Debug builds only: the searchers this node owes an ACQUISITION.
+    #[cfg(debug_assertions)]
+    pub fn debug_owed(&self) -> &[CellId] {
+        &self.dbg_owed
+    }
+
+    /// The deferred requests, as `(kind, requester)` pairs.
+    pub fn deferred_list(&self) -> Vec<(&'static str, CellId)> {
+        self.defer_q
+            .iter()
+            .map(|d| match d {
+                Deferred::Update { from, .. } => ("update", *from),
+                Deferred::Search { from } => ("search", *from),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn send(&self, ctx: &mut Ctx<'_, AdaptiveMsg>, to: CellId, msg: AdaptiveMsg) {
+        ctx.send_kind(to, Self::msg_kind(&msg), msg);
+    }
+
+    /// The timestamp of the node's pending request, if any (`ts_i`).
+    fn my_ts(&self) -> Option<Timestamp> {
+        self.attempt.as_ref().map(|a| a.ts)
+    }
+
+    /// `pending_i`: a local-mode request is blocked on `waiting_i`.
+    fn pending(&self) -> bool {
+        matches!(
+            self.attempt,
+            Some(Attempt {
+                phase: Phase::WaitQuiet,
+                ..
+            })
+        )
+    }
+
+    /// Free channels by local knowledge: `Spectrum − (Use_i ∪ I_i)`.
+    fn free_set(&self) -> ChannelSet {
+        let mut free = self.used.union(self.view.interference());
+        free = free.complement();
+        free
+    }
+
+    /// A free channel from the primary set, if any:
+    /// `PR_i − (Use_i ∪ I_i)`.
+    fn free_primary(&self) -> Option<Channel> {
+        let mut s = self.pr.difference(&self.used);
+        s.subtract(self.view.interference());
+        s.first()
+    }
+
+    /// Figure 6's `check_mode()`.
+    fn check_mode(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        let mut free_pr = self.pr.difference(&self.used);
+        free_pr.subtract(self.view.interference());
+        let s = free_pr.len() as u32;
+        let now = ctx.now();
+        self.nfc.record(now, s);
+        let next = self.nfc.predict(now, s, self.cfg.t_latency);
+        if self.mode == Mode::Local && next < self.cfg.theta_l {
+            self.mode = Mode::Borrowing;
+            ctx.count("mode_to_borrowing");
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: true });
+            }
+        } else if self.mode == Mode::Borrowing && next >= self.cfg.theta_h {
+            self.mode = Mode::Local;
+            ctx.count("mode_to_local");
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: false });
+            }
+        }
+    }
+
+    /// Figure 10's `Best()`: the non-borrowing region member with a
+    /// lendable channel and the fewest borrowing neighbors of its own.
+    /// Returns the lender and the channel to request (deviation #2:
+    /// candidate channels come from the lender's primary set).
+    fn best(&self) -> Option<(CellId, Channel)> {
+        let free = self.free_set();
+        let mut best: Option<(CellId, Channel)> = None;
+        let mut best_bn = usize::MAX;
+        for (idx, &j) in self.region.iter().enumerate() {
+            if self.update_subs.contains(&j) {
+                continue; // j is itself borrowing
+            }
+            let candidates = self.pr_of[idx].intersection(&free);
+            let Some(ch) = candidates.first() else {
+                continue;
+            };
+            let common_bn = self
+                .update_subs
+                .iter()
+                .filter(|b| self.region_of[idx].contains(b))
+                .count();
+            if common_bn < best_bn {
+                best_bn = common_bn;
+                best = Some((j, ch));
+            }
+        }
+        best
+    }
+
+    /// Starts serving the head of the call queue if idle.
+    fn try_start_next(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        if self.attempt.is_some() {
+            return;
+        }
+        let Some((req, _kind)) = self.call_q.front() else {
+            return;
+        };
+        let ts = self.clock.tick();
+        self.rounds = 0;
+        self.attempt = Some(Attempt {
+            req,
+            ts,
+            started: ctx.now(),
+            phase: Phase::WaitQuiet, // placeholder; request_channel sets it
+        });
+        self.request_channel(ctx);
+    }
+
+    /// Figure 2's `Request_Channel`, entered with `self.attempt` set.
+    /// Re-entered on retries (same timestamp, `rounds` preserved).
+    fn request_channel(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        debug_assert!(self.attempt.is_some());
+        if self.waiting > 0 {
+            // wait UNTIL waiting_i = 0. The paper gates only the local
+            // branch on `waiting_i`, but the silent free-primary
+            // acquisition in the borrowing branch is equally racy: a
+            // searcher holding our pre-acquisition Use snapshot may pick
+            // the same primary channel. Gating both branches closes the
+            // hole (documented deviation #7); progress is preserved
+            // because every answered search terminates with an
+            // ACQUISITION broadcast, which resumes us.
+            self.attempt.as_mut().expect("attempt set").phase = Phase::WaitQuiet;
+            return;
+        }
+        if self.mode == Mode::Local {
+            if let Some(r) = self.free_primary() {
+                self.complete(Some(r), Via::Local, ctx);
+                return;
+            }
+            // Out of primaries: check_mode necessarily switches to
+            // borrowing (s = 0 ⇒ predicted ≤ 0 < θ_l) and announces it;
+            // then wait for a status snapshot from the whole region.
+            self.check_mode(ctx);
+            debug_assert!(
+                self.mode == Mode::Borrowing,
+                "θ_l ≥ 1 guarantees the switch when no primary is free"
+            );
+            let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+            if remaining.is_empty() {
+                // Degenerate single-cell system: retry immediately in
+                // borrowing mode.
+                self.request_channel(ctx);
+                return;
+            }
+            self.attempt.as_mut().expect("attempt set").phase = Phase::AwaitStatus { remaining };
+            return;
+        }
+        // Borrowing mode (mode = 1 on entry; 2/3 are transient while a
+        // round is in flight and never re-enter here).
+        debug_assert_eq!(self.mode, Mode::Borrowing);
+        if let Some(r) = self.free_primary() {
+            self.complete(Some(r), Via::Local, ctx);
+            return;
+        }
+        self.rounds += 1;
+        if self.rounds <= self.cfg.alpha {
+            if let Some((_lender, ch)) = self.best() {
+                // Borrowing-update round: ask the whole region for
+                // permission to use `ch`.
+                self.mode = Mode::BorrowUpdate;
+                ctx.count("update_rounds_started");
+                let ts = self.attempt.as_ref().expect("attempt set").ts;
+                let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+                for idx in 0..self.region.len() {
+                    let j = self.region[idx];
+                    self.send(
+                        ctx,
+                        j,
+                        AdaptiveMsg::Request {
+                            update: Some(ch),
+                            ts,
+                        },
+                    );
+                }
+                self.attempt.as_mut().expect("attempt set").phase = Phase::Update {
+                    ch,
+                    remaining,
+                    granted: Vec::new(),
+                    rejected: false,
+                };
+                return;
+            }
+        }
+        // Borrowing-search round.
+        self.mode = Mode::BorrowSearch;
+        ctx.count("search_rounds_started");
+        let ts = self.attempt.as_ref().expect("attempt set").ts;
+        let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+        if remaining.is_empty() {
+            // No interference region at all: anything free locally works.
+            let pick = self.free_set().first();
+            match pick {
+                Some(r) => self.complete(Some(r), Via::Search, ctx),
+                None => self.complete(None, Via::Search, ctx),
+            }
+            return;
+        }
+        for idx in 0..self.region.len() {
+            let j = self.region[idx];
+            self.send(ctx, j, AdaptiveMsg::Request { update: None, ts });
+        }
+        self.attempt.as_mut().expect("attempt set").phase = Phase::Search { remaining };
+    }
+
+    /// Figure 3's `acquire(r)` followed by resolving the engine request;
+    /// `ch = None` is the failed-search `acquire(−1)`.
+    fn complete(&mut self, ch: Option<Channel>, via: Via, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        let attempt = self.attempt.take().expect("attempt in flight");
+        let entry_mode = self.mode;
+        let rounds_used = self.rounds;
+        if let Some(r) = ch {
+            self.used.insert(r);
+        }
+        self.rounds = 0;
+        match entry_mode {
+            Mode::Local | Mode::Borrowing => {
+                // ACQUISITION(0, i, r) to the borrowing subscribers. The
+                // subscriber count at acquisition time is the paper's
+                // N_borrow, sampled here for the Table 1 comparison.
+                ctx.sample("n_borrow_at_acq", self.update_subs.len() as f64);
+                if let Some(r) = ch {
+                    let subs: Vec<CellId> = self.update_subs.iter().copied().collect();
+                    for j in subs {
+                        self.send(
+                            ctx,
+                            j,
+                            AdaptiveMsg::Acquisition {
+                                search: false,
+                                ch: Some(r),
+                            },
+                        );
+                    }
+                }
+            }
+            Mode::BorrowUpdate => {
+                // Granters already learned of the acquisition when they
+                // granted; no broadcast (Figure 3, case 2).
+                self.mode = Mode::Borrowing;
+            }
+            Mode::BorrowSearch => {
+                // ACQUISITION(1, i, r) to the whole region — including the
+                // failed-search r = −1 (ch = None) so responders decrement
+                // `waiting` (deviation note #4).
+                for idx in 0..self.region.len() {
+                    let j = self.region[idx];
+                    self.send(ctx, j, AdaptiveMsg::Acquisition { search: true, ch });
+                }
+                self.mode = Mode::Borrowing;
+            }
+        }
+        // Drain DeferQ_i.
+        while let Some(d) = self.defer_q.pop_front() {
+            match d {
+                Deferred::Update { from, ch } => {
+                    if self.used.contains(ch) {
+                        self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                    } else {
+                        self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                        self.view.pledge(from, ch);
+                    }
+                }
+                Deferred::Search { from } => {
+                    self.waiting += 1;
+                    #[cfg(debug_assertions)]
+                    self.dbg_owed.push(from);
+                    self.send(
+                        ctx,
+                        from,
+                        AdaptiveMsg::SearchUse {
+                            used: self.used.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        if entry_mode == Mode::Local {
+            self.check_mode(ctx);
+        }
+        // Resolve the engine request and account the acquisition class.
+        ctx.sample(
+            "attempt_ticks",
+            ctx.now().saturating_since(attempt.started) as f64,
+        );
+        match ch {
+            Some(r) => {
+                match via {
+                    Via::Local => ctx.count("acq_local"),
+                    Via::Update => {
+                        ctx.count("acq_update");
+                        // The paper's `m`: update attempts consumed by
+                        // this acquisition.
+                        ctx.sample("update_attempts", rounds_used as f64);
+                    }
+                    Via::Search => {
+                        ctx.count("acq_search");
+                        ctx.sample("rounds_before_search", rounds_used as f64);
+                    }
+                }
+                ctx.grant(attempt.req, r);
+            }
+            None => {
+                ctx.count("acq_failed");
+                ctx.reject(attempt.req);
+            }
+        }
+        self.call_q.pop();
+        self.try_start_next(ctx);
+    }
+
+    /// A borrowing-update round concluded (all responses in).
+    fn conclude_update(
+        &mut self,
+        ch: Channel,
+        granted: Vec<CellId>,
+        rejected: bool,
+        ctx: &mut Ctx<'_, AdaptiveMsg>,
+    ) {
+        if !rejected {
+            self.complete(Some(ch), Via::Update, ctx);
+            return;
+        }
+        ctx.count("update_rounds_failed");
+        self.mode = Mode::Borrowing;
+        for j in granted {
+            self.send(ctx, j, AdaptiveMsg::Release { ch });
+            // The granter recorded `U_i ∋ ch`; the release clears it.
+        }
+        self.request_channel(ctx);
+    }
+
+    /// A borrowing-search round concluded (all `U_j` collected).
+    fn conclude_search(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Free_i = Spectrum − Use_i − ∪_j U_j; the view was refreshed by
+        // the SearchUse responses.
+        let pick = self.free_set().first();
+        match pick {
+            Some(r) => self.complete(Some(r), Via::Search, ctx),
+            None => self.complete(None, Via::Search, ctx),
+        }
+    }
+
+    /// Figure 4: `Receive_Request(req_type, r, TS, j)`, update flavor.
+    fn on_update_request(
+        &mut self,
+        from: CellId,
+        ch: Channel,
+        ts: Timestamp,
+        ctx: &mut Ctx<'_, AdaptiveMsg>,
+    ) {
+        match self.mode {
+            Mode::Local | Mode::Borrowing => {
+                if self.used.contains(ch) {
+                    self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                } else {
+                    self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                    self.view.pledge(from, ch);
+                    self.check_mode(ctx);
+                }
+            }
+            Mode::BorrowUpdate => {
+                let my_ts = self.my_ts().expect("mode 2 implies pending update");
+                let conflict = if self.cfg.strict_mode2_reject {
+                    my_ts < ts
+                } else {
+                    // Prose variant: only a race on the same channel is
+                    // rejected by timestamp order.
+                    my_ts < ts
+                        && matches!(
+                            self.attempt.as_ref().map(|a| &a.phase),
+                            Some(Phase::Update { ch: mine, .. }) if *mine == ch
+                        )
+                };
+                if self.used.contains(ch) || conflict {
+                    self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                } else {
+                    self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                    self.view.pledge(from, ch);
+                    self.check_mode(ctx);
+                }
+            }
+            Mode::BorrowSearch => {
+                let my_ts = self.my_ts().expect("mode 3 implies pending search");
+                if my_ts < ts {
+                    ctx.count("deferred_update_reqs");
+                    self.defer_q.push_back(Deferred::Update { from, ch });
+                } else {
+                    // An older request than our search: answer now. (It
+                    // cannot be granted a channel we hold.)
+                    if self.used.contains(ch) {
+                        self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                    } else {
+                        self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                        self.view.pledge(from, ch);
+                        self.check_mode(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Figure 4: `Receive_Request`, search flavor.
+    /// Unified deferral rule: defer iff we have *any* in-flight attempt
+    /// older than the incoming request. This is exactly the paper's rule
+    /// for local mode (`pending_i ∧ ts_i < TS`) and for modes 2/3 — and
+    /// its necessary completion for mode 1, where deviation #7's
+    /// `WaitQuiet` gate can leave a pending attempt. Responding to a
+    /// *younger* search while pending creates a wait-for edge with no
+    /// timestamp order behind it, and a three-party cycle
+    /// (owes → withheld-by → withheld-by) then deadlocks — observed in
+    /// simulation before this rule. With it every "owes" edge points to
+    /// an older request and Theorem 2's descending-timestamp argument
+    /// goes through again. (In the paper's blocking formulation a mode-1
+    /// node never has a pending request, so the case is simply absent.)
+    fn on_search_request(&mut self, from: CellId, ts: Timestamp, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        let defer = self.attempt.as_ref().is_some_and(|a| a.ts < ts);
+        if defer {
+            ctx.count("deferred_search_reqs");
+            self.defer_q.push_back(Deferred::Search { from });
+        } else {
+            self.waiting += 1;
+            #[cfg(debug_assertions)]
+            self.dbg_owed.push(from);
+            self.send(
+                ctx,
+                from,
+                AdaptiveMsg::SearchUse {
+                    used: self.used.clone(),
+                },
+            );
+        }
+    }
+
+    /// Routes a `RESPONSE` to the in-flight attempt.
+    fn on_response(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // View updates happen regardless of attempt bookkeeping: both
+        // SearchUse and Status carry authoritative `Use_j` snapshots.
+        match &msg {
+            AdaptiveMsg::SearchUse { used } | AdaptiveMsg::Status { used } => {
+                self.view.replace(from, used);
+            }
+            _ => {}
+        }
+        enum Done {
+            Nothing,
+            Stale,
+            Update {
+                ch: Channel,
+                granted: Vec<CellId>,
+                rejected: bool,
+            },
+            Search,
+            StatusComplete,
+        }
+        let done = {
+            let Some(attempt) = self.attempt.as_mut() else {
+                // No attempt in flight: Status/SearchUse were pure view
+                // refreshes; a Grant/Reject here would be a protocol bug.
+                if matches!(msg, AdaptiveMsg::Grant { .. } | AdaptiveMsg::Reject { .. }) {
+                    ctx.count("stale_responses");
+                }
+                return;
+            };
+            match (&mut attempt.phase, &msg) {
+                (
+                    Phase::Update {
+                        ch,
+                        remaining,
+                        granted,
+                        rejected,
+                    },
+                    AdaptiveMsg::Grant { ch: rch },
+                ) if *ch == *rch => {
+                    if remaining.remove(&from) {
+                        granted.push(from);
+                    }
+                    if remaining.is_empty() {
+                        Done::Update {
+                            ch: *ch,
+                            granted: std::mem::take(granted),
+                            rejected: *rejected,
+                        }
+                    } else {
+                        Done::Nothing
+                    }
+                }
+                (
+                    Phase::Update {
+                        ch,
+                        remaining,
+                        granted,
+                        rejected,
+                    },
+                    AdaptiveMsg::Reject { ch: rch },
+                ) if *ch == *rch => {
+                    remaining.remove(&from);
+                    *rejected = true;
+                    if remaining.is_empty() {
+                        Done::Update {
+                            ch: *ch,
+                            granted: std::mem::take(granted),
+                            rejected: *rejected,
+                        }
+                    } else {
+                        Done::Nothing
+                    }
+                }
+                (Phase::Search { remaining }, AdaptiveMsg::SearchUse { .. }) => {
+                    remaining.remove(&from);
+                    if remaining.is_empty() {
+                        Done::Search
+                    } else {
+                        Done::Nothing
+                    }
+                }
+                (Phase::AwaitStatus { remaining }, AdaptiveMsg::Status { .. }) => {
+                    remaining.remove(&from);
+                    if remaining.is_empty() {
+                        Done::StatusComplete
+                    } else {
+                        Done::Nothing
+                    }
+                }
+                // Status/SearchUse outside their phases are pure view
+                // refreshes (replies to CHANGE_MODE from check_mode, or
+                // late but harmless snapshots).
+                (_, AdaptiveMsg::Status { .. }) | (_, AdaptiveMsg::SearchUse { .. }) => {
+                    Done::Nothing
+                }
+                _ => Done::Stale,
+            }
+        };
+        match done {
+            Done::Nothing => {}
+            Done::Stale => ctx.count("stale_responses"),
+            Done::Update {
+                ch,
+                granted,
+                rejected,
+            } => self.conclude_update(ch, granted, rejected, ctx),
+            Done::Search => self.conclude_search(ctx),
+            Done::StatusComplete => self.request_channel(ctx),
+        }
+    }
+}
+
+impl Protocol for AdaptiveNode {
+    type Msg = AdaptiveMsg;
+
+    fn msg_kind(msg: &AdaptiveMsg) -> &'static str {
+        match msg {
+            AdaptiveMsg::Request { .. } => "REQUEST",
+            AdaptiveMsg::Reject { .. }
+            | AdaptiveMsg::Grant { .. }
+            | AdaptiveMsg::SearchUse { .. }
+            | AdaptiveMsg::Status { .. } => "RESPONSE",
+            AdaptiveMsg::ChangeMode { .. } => "CHANGE_MODE",
+            AdaptiveMsg::Release { .. } => "RELEASE",
+            AdaptiveMsg::Acquisition { .. } => "ACQUISITION",
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Seed the NFC history with the initial free-primary count.
+        let s = self.pr.len() as u32;
+        self.nfc.record(ctx.now(), s);
+    }
+
+    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        self.call_q.push(req, kind);
+        self.try_start_next(ctx);
+    }
+
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Figure 9: Deallocate(r).
+        let was_used = self.used.remove(ch);
+        debug_assert!(was_used, "released channel {ch} not in Use_i");
+        if self.mode == Mode::Local {
+            let subs: Vec<CellId> = self.update_subs.iter().copied().collect();
+            for j in subs {
+                self.send(ctx, j, AdaptiveMsg::Release { ch });
+            }
+        } else {
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, AdaptiveMsg::Release { ch });
+            }
+        }
+        self.check_mode(ctx);
+    }
+
+    fn on_message(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        match msg {
+            AdaptiveMsg::Request { update, ts } => {
+                self.clock.observe(ts);
+                match update {
+                    Some(ch) => self.on_update_request(from, ch, ts, ctx),
+                    None => self.on_search_request(from, ts, ctx),
+                }
+            }
+            AdaptiveMsg::ChangeMode { borrowing } => {
+                // Figure 5.
+                if borrowing {
+                    self.update_subs.insert(from);
+                } else {
+                    self.update_subs.remove(&from);
+                }
+                self.send(
+                    ctx,
+                    from,
+                    AdaptiveMsg::Status {
+                        used: self.used.clone(),
+                    },
+                );
+            }
+            AdaptiveMsg::Release { ch } => {
+                // Figure 8.
+                self.view.clear_used(from, ch);
+                self.check_mode(ctx);
+            }
+            AdaptiveMsg::Acquisition { search, ch } => {
+                // Figure 7.
+                if let Some(ch) = ch {
+                    self.view.set_used(from, ch);
+                    self.check_mode(ctx);
+                }
+                if search {
+                    debug_assert!(self.waiting > 0, "ACQUISITION(1) without matching response");
+                    #[cfg(debug_assertions)]
+                    {
+                        let pos = self.dbg_owed.iter().position(|&j| j == from);
+                        assert!(
+                            pos.is_some(),
+                            "{} got ACQUISITION(1) from {from} but owes {:?}",
+                            self.me,
+                            self.dbg_owed
+                        );
+                        self.dbg_owed.swap_remove(pos.expect("checked"));
+                    }
+                    self.waiting = self.waiting.saturating_sub(1);
+                    if self.waiting == 0 && self.pending() {
+                        // The paper's local-mode `wait UNTIL waiting_i = 0`
+                        // resumes here.
+                        self.request_channel(ctx);
+                    }
+                }
+            }
+            msg @ (AdaptiveMsg::Reject { .. }
+            | AdaptiveMsg::Grant { .. }
+            | AdaptiveMsg::SearchUse { .. }
+            | AdaptiveMsg::Status { .. }) => {
+                self.on_response(from, msg, ctx);
+            }
+        }
+    }
+}

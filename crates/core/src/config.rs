@@ -1,0 +1,94 @@
+//! Tunables of the adaptive scheme.
+
+/// Parameters of the adaptive protocol (Section 3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// `θ_l`: predicted free-primary threshold below which a local-mode
+    /// cell switches to borrowing mode. Must be ≥ 1 so that a cell with
+    /// zero free primaries always switches (the algorithm's progress
+    /// argument relies on this).
+    pub theta_l: f64,
+    /// `θ_h`: predicted free-primary threshold at or above which a
+    /// borrowing-mode cell returns to local mode. Must exceed `θ_l`
+    /// (hysteresis preventing mode thrash, Section 3.5).
+    pub theta_h: f64,
+    /// `W`: prediction window in ticks.
+    pub window: u64,
+    /// `α`: maximum borrowing-update attempts before falling back to the
+    /// search round.
+    pub alpha: u32,
+    /// `T`: the assumed one-way message latency in ticks (used by the
+    /// predictor for the `2T` round-trip horizon). Should match the
+    /// simulator's latency model.
+    pub t_latency: u64,
+    /// Figure 4's `mode = 2` case rejects any update request younger than
+    /// the node's own pending request *regardless of channel*; the prose
+    /// only requires rejecting requests for the *same* channel. `true`
+    /// (default) follows the pseudocode; `false` follows the prose
+    /// (documented deviation #5, exercised by the ablation bench).
+    pub strict_mode2_reject: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            theta_l: 1.0,
+            theta_h: 3.0,
+            window: 800,
+            alpha: 3,
+            t_latency: 100,
+            strict_mode2_reject: true,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates the parameter constraints; panics with a diagnostic on
+    /// violation. Called by `AdaptiveNode::new`.
+    pub fn validate(&self) {
+        assert!(
+            self.theta_l >= 1.0,
+            "theta_l must be >= 1 (got {}): a cell out of primaries must switch to borrowing",
+            self.theta_l
+        );
+        assert!(
+            self.theta_l < self.theta_h,
+            "hysteresis requires theta_l < theta_h (got {} >= {})",
+            self.theta_l,
+            self.theta_h
+        );
+        assert!(self.window > 0, "window W must be positive");
+        assert!(self.t_latency > 0, "T must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        AdaptiveConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_l must be >= 1")]
+    fn zero_theta_l_rejected() {
+        AdaptiveConfig {
+            theta_l: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_thresholds_rejected() {
+        AdaptiveConfig {
+            theta_l: 3.0,
+            theta_h: 3.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,372 @@
+//! The interference view: per-neighbor used sets `U_j` and the derived
+//! interference set `I_i`.
+//!
+//! Two deviations from the paper's plain-set bookkeeping, both required
+//! for safety (see `DESIGN.md` §3):
+//!
+//! 1. **Reference counting.** The paper maintains `I_i` with
+//!    `I_i ∪ {r}` / `I_i − {r}` on ACQUISITION/RELEASE. Two neighbors
+//!    `j, k ∈ IN_i` that are *not* in each other's interference regions
+//!    may legitimately hold the same channel `r`; the first RELEASE would
+//!    strip `r` from `I_i` while `k` still uses it. [`NeighborView`]
+//!    reference-counts per channel instead.
+//!
+//! 2. **Pledges.** When node `i` *grants* an update request for `r` from
+//!    `j`, the paper records `U_j ∪= {r}` immediately — before `j` has
+//!    actually acquired `r`. If a full-snapshot response from `j`
+//!    (`RESPONSE(2/3)` carrying `Use_j`, which cannot contain `r` yet)
+//!    arrives while `j`'s round is still collecting grants, naively
+//!    replacing `U_j` erases the record and `i` may hand the same channel
+//!    to someone else (or take it itself) — a genuine interference bug
+//!    reachable in simulation. Granted-but-unconfirmed channels are
+//!    therefore tracked as *pledges*: they count toward `I_i`, survive
+//!    snapshot replacement, and are resolved by the requester's
+//!    ACQUISITION (upgrade to a real use) or RELEASE (cancelled round).
+
+use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum};
+
+/// Tracks `U_j` (uses + pledges) for every `j ∈ IN_i` and derives
+/// `I_i = ∪_j (U_j ∪ pledged_j)` with per-channel reference counts.
+#[derive(Debug, Clone)]
+pub struct NeighborView {
+    /// Region members, sorted by id (binary-searchable).
+    members: Vec<CellId>,
+    /// Confirmed `U_j` per member, parallel to `members`.
+    used: Vec<ChannelSet>,
+    /// Granted-but-unconfirmed channels per member.
+    pledged: Vec<ChannelSet>,
+    /// How many members currently use-or-hold each channel.
+    refcount: Vec<u16>,
+    /// Cached `I_i`: channels with `refcount > 0`.
+    interference: ChannelSet,
+}
+
+impl NeighborView {
+    /// Creates an empty view over a sorted region membership list.
+    pub fn new(spectrum: Spectrum, region: &[CellId]) -> Self {
+        debug_assert!(
+            region.windows(2).all(|w| w[0] < w[1]),
+            "region must be sorted"
+        );
+        NeighborView {
+            members: region.to_vec(),
+            used: vec![spectrum.empty_set(); region.len()],
+            pledged: vec![spectrum.empty_set(); region.len()],
+            refcount: vec![0; spectrum.len() as usize],
+            interference: spectrum.empty_set(),
+        }
+    }
+
+    fn slot(&self, j: CellId) -> usize {
+        self.members
+            .binary_search(&j)
+            .unwrap_or_else(|_| panic!("{j} is not in this interference region"))
+    }
+
+    #[inline]
+    fn holds(&self, s: usize, ch: Channel) -> bool {
+        self.used[s].contains(ch) || self.pledged[s].contains(ch)
+    }
+
+    #[inline]
+    fn incr(&mut self, ch: Channel) {
+        self.refcount[ch.index()] += 1;
+        self.interference.insert(ch);
+    }
+
+    #[inline]
+    fn decr(&mut self, ch: Channel) {
+        let rc = &mut self.refcount[ch.index()];
+        debug_assert!(*rc > 0);
+        *rc -= 1;
+        if *rc == 0 {
+            self.interference.remove(ch);
+        }
+    }
+
+    /// Marks channel `ch` as *confirmed used* by `j` (an ACQUISITION or a
+    /// grant in schemes without snapshot messages). Upgrades an existing
+    /// pledge in place. Idempotent.
+    pub fn set_used(&mut self, j: CellId, ch: Channel) -> bool {
+        let s = self.slot(j);
+        let held_before = self.holds(s, ch);
+        self.pledged[s].remove(ch);
+        let inserted = self.used[s].insert(ch);
+        if inserted && !held_before {
+            self.incr(ch);
+        }
+        inserted && !held_before
+    }
+
+    /// Records a *pledge*: `ch` granted to `j` but not yet confirmed.
+    ///
+    /// If a (possibly stale) confirmed use of `ch` by `j` is on record,
+    /// it is *demoted* to a pledge: the fresh grant proves `j` is
+    /// (re)acquiring right now, and the protection must be snapshot-proof
+    /// until the round resolves. (A stale used-entry — e.g. from a
+    /// local-mode release we were not subscribed to — would otherwise
+    /// mask the pledge and then be erased by `j`'s pre-acquisition
+    /// snapshot, un-protecting an in-flight grant; that exact interleaving
+    /// produced an audited interference violation in simulation.)
+    pub fn pledge(&mut self, j: CellId, ch: Channel) -> bool {
+        let s = self.slot(j);
+        if self.pledged[s].contains(ch) {
+            return false;
+        }
+        if self.used[s].remove(ch) {
+            // Demotion: union membership unchanged, no recount.
+            self.pledged[s].insert(ch);
+            return false;
+        }
+        self.pledged[s].insert(ch);
+        self.incr(ch);
+        true
+    }
+
+    /// Clears channel `ch` for `j` — whether a confirmed use or a pledge
+    /// (a RELEASE message covers both cases). Idempotent.
+    pub fn clear_used(&mut self, j: CellId, ch: Channel) -> bool {
+        let s = self.slot(j);
+        let held = self.used[s].remove(ch) | self.pledged[s].remove(ch);
+        if held {
+            self.decr(ch);
+        }
+        held
+    }
+
+    /// Replaces the *confirmed* `U_j` wholesale (a RESPONSE carrying the
+    /// full `Use_j`). Pledges survive unless the snapshot confirms them
+    /// (in which case they upgrade to uses).
+    pub fn replace(&mut self, j: CellId, new_set: &ChannelSet) {
+        let s = self.slot(j);
+        // Snapshot confirms pledges it contains.
+        let confirmed = self.pledged[s].intersection(new_set);
+        for ch in confirmed.iter() {
+            self.pledged[s].remove(ch);
+            // Union membership unchanged (pledged → used): no recount.
+        }
+        let old = std::mem::replace(&mut self.used[s], new_set.clone());
+        for ch in old.difference(new_set).iter() {
+            if !self.pledged[s].contains(ch) {
+                self.decr(ch);
+            }
+        }
+        for ch in new_set.difference(&old).iter() {
+            // Channels that were pledged were already counted.
+            if !confirmed.contains(ch) {
+                self.incr(ch);
+            }
+        }
+    }
+
+    /// The derived interference set `I_i` (uses ∪ pledges).
+    #[inline]
+    pub fn interference(&self) -> &ChannelSet {
+        &self.interference
+    }
+
+    /// The tracked confirmed `U_j` for member `j`.
+    pub fn used_by(&self, j: CellId) -> &ChannelSet {
+        &self.used[self.slot(j)]
+    }
+
+    /// The outstanding pledges to member `j`.
+    pub fn pledged_to(&self, j: CellId) -> &ChannelSet {
+        &self.pledged[self.slot(j)]
+    }
+
+    /// The region membership.
+    pub fn members(&self) -> &[CellId] {
+        &self.members
+    }
+
+    /// Whether `j` is a region member.
+    pub fn contains_member(&self, j: CellId) -> bool {
+        self.members.binary_search(&j).is_ok()
+    }
+
+    /// Internal consistency check (used by tests/proptests): refcounts
+    /// and the cached set match the per-member sets, and no channel is
+    /// both used and pledged for one member.
+    pub fn check_invariants(&self) -> bool {
+        let mut counts = vec![0u16; self.refcount.len()];
+        for (u, p) in self.used.iter().zip(&self.pledged) {
+            if !u.is_disjoint(p) {
+                return false;
+            }
+            for ch in u.union(p).iter() {
+                counts[ch.index()] += 1;
+            }
+        }
+        counts == self.refcount
+            && (0..self.refcount.len())
+                .all(|i| (self.refcount[i] > 0) == self.interference.contains(Channel(i as u16)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> NeighborView {
+        NeighborView::new(Spectrum::new(16), &[CellId(1), CellId(2), CellId(5)])
+    }
+
+    #[test]
+    fn set_and_clear_single_member() {
+        let mut v = view();
+        assert!(v.set_used(CellId(1), Channel(3)));
+        assert!(!v.set_used(CellId(1), Channel(3)), "idempotent");
+        assert!(v.interference().contains(Channel(3)));
+        assert!(v.used_by(CellId(1)).contains(Channel(3)));
+        assert!(v.clear_used(CellId(1), Channel(3)));
+        assert!(!v.clear_used(CellId(1), Channel(3)), "idempotent");
+        assert!(!v.interference().contains(Channel(3)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn refcounting_fixes_the_paper_release_bug() {
+        // Two distinct neighbors use the same channel; releasing one must
+        // keep the channel in I.
+        let mut v = view();
+        v.set_used(CellId(1), Channel(7));
+        v.set_used(CellId(5), Channel(7));
+        v.clear_used(CellId(1), Channel(7));
+        assert!(
+            v.interference().contains(Channel(7)),
+            "channel still used by cell5 must remain interfered"
+        );
+        v.clear_used(CellId(5), Channel(7));
+        assert!(!v.interference().contains(Channel(7)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn replace_diffs_correctly() {
+        let mut v = view();
+        v.set_used(CellId(2), Channel(1));
+        v.set_used(CellId(2), Channel(2));
+        v.set_used(CellId(5), Channel(2));
+        let new_set = ChannelSet::from_iter_sized(16, [Channel(2), Channel(9)]);
+        v.replace(CellId(2), &new_set);
+        assert!(!v.interference().contains(Channel(1)), "1 dropped");
+        assert!(v.interference().contains(Channel(2)), "2 kept (both)");
+        assert!(v.interference().contains(Channel(9)), "9 added");
+        assert_eq!(v.used_by(CellId(2)), &new_set);
+        assert!(v.check_invariants());
+        // Replacing with empty clears only cell2's contribution.
+        v.replace(CellId(2), &ChannelSet::new(16));
+        assert!(v.interference().contains(Channel(2)), "cell5 still uses 2");
+        assert!(!v.interference().contains(Channel(9)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn pledges_survive_snapshot_replacement() {
+        // THE bug this layer exists for: grant ch6 to cell2, then a
+        // pre-acquisition snapshot from cell2 arrives without ch6. The
+        // pledge must keep ch6 interfered.
+        let mut v = view();
+        assert!(v.pledge(CellId(2), Channel(6)));
+        assert!(v.interference().contains(Channel(6)));
+        v.replace(CellId(2), &ChannelSet::from_iter_sized(16, [Channel(1)]));
+        assert!(
+            v.interference().contains(Channel(6)),
+            "pledge erased by snapshot — the interference bug"
+        );
+        assert!(v.pledged_to(CellId(2)).contains(Channel(6)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_confirms_pledge() {
+        let mut v = view();
+        v.pledge(CellId(2), Channel(6));
+        v.replace(
+            CellId(2),
+            &ChannelSet::from_iter_sized(16, [Channel(6), Channel(7)]),
+        );
+        assert!(v.used_by(CellId(2)).contains(Channel(6)));
+        assert!(v.pledged_to(CellId(2)).is_empty());
+        assert!(v.interference().contains(Channel(6)));
+        assert!(v.check_invariants());
+        // A later snapshot without ch6 now clears it (it is a real use).
+        v.replace(CellId(2), &ChannelSet::new(16));
+        assert!(!v.interference().contains(Channel(6)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn acquisition_confirms_pledge() {
+        let mut v = view();
+        v.pledge(CellId(1), Channel(4));
+        v.set_used(CellId(1), Channel(4));
+        assert!(v.pledged_to(CellId(1)).is_empty());
+        assert!(v.used_by(CellId(1)).contains(Channel(4)));
+        assert!(v.interference().contains(Channel(4)));
+        assert!(v.check_invariants());
+        // Exactly one refcount: releasing once clears it.
+        v.clear_used(CellId(1), Channel(4));
+        assert!(!v.interference().contains(Channel(4)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn release_cancels_pledge() {
+        let mut v = view();
+        v.pledge(CellId(5), Channel(9));
+        assert!(v.clear_used(CellId(5), Channel(9)));
+        assert!(!v.interference().contains(Channel(9)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn pledge_demotes_existing_use() {
+        let mut v = view();
+        v.set_used(CellId(1), Channel(2));
+        assert!(!v.pledge(CellId(1), Channel(2)), "no refcount change");
+        assert!(v.pledged_to(CellId(1)).contains(Channel(2)), "demoted");
+        assert!(!v.used_by(CellId(1)).contains(Channel(2)));
+        assert!(v.interference().contains(Channel(2)));
+        assert!(v.check_invariants());
+        v.clear_used(CellId(1), Channel(2));
+        assert!(!v.interference().contains(Channel(2)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn masked_pledge_survives_stale_snapshot() {
+        // The regression behind the demotion rule: a stale used-entry,
+        // a fresh grant, then a pre-acquisition snapshot without the
+        // channel. The channel must stay interfered.
+        let mut v = view();
+        v.set_used(CellId(1), Channel(2)); // stale record
+        v.pledge(CellId(1), Channel(2)); // fresh grant
+        v.replace(CellId(1), &ChannelSet::new(16)); // pre-acq snapshot
+        assert!(
+            v.interference().contains(Channel(2)),
+            "in-flight grant unprotected after stale snapshot"
+        );
+        assert!(v.check_invariants());
+        // The round resolves (requester's release or later confirmation).
+        v.clear_used(CellId(1), Channel(2));
+        assert!(!v.interference().contains(Channel(2)));
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn membership() {
+        let v = view();
+        assert!(v.contains_member(CellId(2)));
+        assert!(!v.contains_member(CellId(3)));
+        assert_eq!(v.members(), &[CellId(1), CellId(2), CellId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this interference region")]
+    fn foreign_member_panics() {
+        let mut v = view();
+        v.set_used(CellId(9), Channel(0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Scenario description and scheme dispatch.
+
+use crate::summary::RunSummary;
+use adca_baselines::{
+    AdvancedSearchNode, AdvancedUpdateNode, BasicSearchNode, BasicUpdateConfig, BasicUpdateNode,
+    FixedNode,
+};
+use adca_core::{AdaptiveConfig, AdaptiveNode};
+use adca_hexgrid::Topology;
+use adca_simkit::engine::run_protocol;
+use adca_simkit::{Arrival, AuditMode, LatencyModel, SimConfig};
+use adca_traffic::WorkloadSpec;
+use std::rc::Rc;
+
+/// The six channel-allocation schemes under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Static reuse-pattern allocation.
+    Fixed,
+    /// Dong & Lai's basic search.
+    BasicSearch,
+    /// Dong & Lai's basic update.
+    BasicUpdate,
+    /// Dong & Lai's advanced update (primary-cells-only permission).
+    AdvancedUpdate,
+    /// Prakash et al.'s advanced search (allocated sets + transfer).
+    AdvancedSearch,
+    /// The paper's adaptive scheme.
+    Adaptive,
+}
+
+impl SchemeKind {
+    /// All schemes, in the paper's comparison order.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Fixed,
+        SchemeKind::BasicSearch,
+        SchemeKind::BasicUpdate,
+        SchemeKind::AdvancedUpdate,
+        SchemeKind::AdvancedSearch,
+        SchemeKind::Adaptive,
+    ];
+
+    /// The four schemes of the paper's Table 1–3 comparisons.
+    pub const TABLE_SCHEMES: [SchemeKind; 4] = [
+        SchemeKind::BasicSearch,
+        SchemeKind::BasicUpdate,
+        SchemeKind::AdvancedUpdate,
+        SchemeKind::Adaptive,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Fixed => "fixed",
+            SchemeKind::BasicSearch => "basic-search",
+            SchemeKind::BasicUpdate => "basic-update",
+            SchemeKind::AdvancedUpdate => "advanced-update",
+            SchemeKind::AdvancedSearch => "advanced-search",
+            SchemeKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// The paper's label for the scheme, as used in its tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            SchemeKind::Fixed => "Fixed (static)",
+            SchemeKind::BasicSearch => "Basic Search",
+            SchemeKind::BasicUpdate => "Basic Update",
+            SchemeKind::AdvancedUpdate => "Advanced Update",
+            SchemeKind::AdvancedSearch => "Advanced Search",
+            SchemeKind::Adaptive => "Adaptive (Proposed)",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchemeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SchemeKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown scheme `{s}`"))
+    }
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Grid rows.
+    pub rows: u32,
+    /// Grid columns.
+    pub cols: u32,
+    /// Spectrum size.
+    pub channels: u16,
+    /// The paper's `T` in simulator ticks (all latencies are reported in
+    /// units of it).
+    pub t_ticks: u64,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// Adaptive-scheme tunables.
+    pub adaptive: AdaptiveConfig,
+    /// Basic-update retry cap.
+    pub basic_update: BasicUpdateConfig,
+    /// Simulator seed (latency jitter).
+    pub sim_seed: u64,
+    /// Audit behavior.
+    pub audit: AuditMode,
+    /// Wrap the grid onto a torus (no boundary effects; requires
+    /// pattern-compatible dimensions, e.g. 14×14 for the 7-cell cluster).
+    pub wrap: bool,
+}
+
+impl Scenario {
+    /// The defaults of `DESIGN.md` §7: 12×12 grid, 70 channels, `T` = 100
+    /// ticks, θ = (1, 3), `W` = 8T, `α` = 3 — at uniform offered load
+    /// `rho` (Erlangs per primary channel) for `horizon` ticks.
+    pub fn uniform(rho: f64, horizon: u64) -> Self {
+        let t_ticks = 100;
+        Scenario {
+            rows: 12,
+            cols: 12,
+            channels: 70,
+            t_ticks,
+            workload: WorkloadSpec::uniform(rho, 10_000.0, horizon),
+            adaptive: AdaptiveConfig {
+                t_latency: t_ticks,
+                window: 8 * t_ticks,
+                ..Default::default()
+            },
+            basic_update: BasicUpdateConfig::default(),
+            sim_seed: 0xADCA,
+            audit: AuditMode::Panic,
+            wrap: false,
+        }
+    }
+
+    /// Overrides the workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the grid size.
+    pub fn with_grid(mut self, rows: u32, cols: u32) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Overrides the adaptive tunables.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Wraps the grid onto a torus (see [`adca_hexgrid::TopologyBuilder::wrap`]).
+    pub fn with_wrap(mut self) -> Self {
+        self.wrap = true;
+        self
+    }
+
+    /// Builds the topology for this scenario.
+    pub fn topology(&self) -> Rc<Topology> {
+        let mut builder = Topology::builder(self.rows, self.cols).channels(self.channels);
+        if self.wrap {
+            builder = builder.wrap();
+        }
+        Rc::new(builder.build())
+    }
+
+    /// Materializes the workload.
+    pub fn arrivals(&self, topo: &Topology) -> Vec<Arrival> {
+        self.workload.generate(topo)
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            latency: LatencyModel::Fixed(self.t_ticks),
+            seed: self.sim_seed,
+            audit: self.audit,
+            ..Default::default()
+        }
+    }
+
+    /// Runs one scheme over this scenario.
+    pub fn run(&self, kind: SchemeKind) -> RunSummary {
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        self.run_with(kind, topo, arrivals)
+    }
+
+    /// Runs one scheme over a pre-built topology and workload (lets
+    /// sweeps share the workload across schemes).
+    pub fn run_with(
+        &self,
+        kind: SchemeKind,
+        topo: Rc<Topology>,
+        arrivals: Vec<Arrival>,
+    ) -> RunSummary {
+        let cfg = self.sim_config();
+        let report = match kind {
+            SchemeKind::Fixed => run_protocol(topo, cfg, FixedNode::new, arrivals),
+            SchemeKind::BasicSearch => run_protocol(topo, cfg, BasicSearchNode::new, arrivals),
+            SchemeKind::BasicUpdate => {
+                let bu = self.basic_update.clone();
+                run_protocol(
+                    topo,
+                    cfg,
+                    move |c, t| BasicUpdateNode::new(c, t, bu.clone()),
+                    arrivals,
+                )
+            }
+            SchemeKind::AdvancedUpdate => {
+                run_protocol(topo, cfg, AdvancedUpdateNode::new, arrivals)
+            }
+            SchemeKind::AdvancedSearch => {
+                run_protocol(topo, cfg, AdvancedSearchNode::new, arrivals)
+            }
+            SchemeKind::Adaptive => {
+                let ac = self.adaptive.clone();
+                run_protocol(
+                    topo,
+                    cfg,
+                    move |c, t| AdaptiveNode::new(c, t, ac.clone()),
+                    arrivals,
+                )
+            }
+        };
+        RunSummary::new(kind, report, self.t_ticks)
+    }
+
+    /// Runs every scheme in `kinds` on the *same* workload.
+    pub fn run_all(&self, kinds: &[SchemeKind]) -> Vec<RunSummary> {
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        kinds
+            .iter()
+            .map(|&k| self.run_with(k, topo.clone(), arrivals.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_roundtrip() {
+        for k in SchemeKind::ALL {
+            assert_eq!(k.name().parse::<SchemeKind>().unwrap(), k);
+        }
+        assert!("bogus".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn all_schemes_run_clean_at_moderate_load() {
+        let sc = Scenario::uniform(0.5, 60_000).with_grid(6, 6);
+        for summary in sc.run_all(&SchemeKind::ALL) {
+            summary.report.assert_clean();
+            assert!(summary.report.offered_calls > 0);
+            assert!(summary.report.granted > 0);
+        }
+    }
+
+    #[test]
+    fn shared_workload_is_identical_across_schemes() {
+        let sc = Scenario::uniform(0.4, 40_000).with_grid(6, 6);
+        let summaries = sc.run_all(&[SchemeKind::Fixed, SchemeKind::Adaptive]);
+        assert_eq!(
+            summaries[0].report.offered_calls,
+            summaries[1].report.offered_calls
+        );
+    }
+
+    #[test]
+    fn fixed_drops_more_than_dynamic_at_high_load() {
+        let sc = Scenario::uniform(1.3, 80_000).with_grid(6, 6);
+        let summaries = sc.run_all(&[SchemeKind::Fixed, SchemeKind::BasicSearch]);
+        let fixed = &summaries[0];
+        let search = &summaries[1];
+        assert!(
+            fixed.drop_rate() > search.drop_rate(),
+            "fixed {:.3} must exceed search {:.3}",
+            fixed.drop_rate(),
+            search.drop_rate()
+        );
+    }
+}

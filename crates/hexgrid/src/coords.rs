@@ -1,0 +1,303 @@
+//! Hexagonal coordinate systems.
+//!
+//! Cells live on a hex lattice addressed with *axial* coordinates `(q, r)`
+//! (pointy-top orientation). The equivalent *cube* coordinates `(x, y, z)`
+//! with `x + y + z = 0` make the hex distance a simple max-norm. Both are
+//! exact integer systems; no floating point is involved anywhere in the
+//! geometry.
+
+/// Axial hex coordinate (pointy-top layout).
+///
+/// `q` grows to the east, `r` grows to the south-east. The six neighbors of
+/// a hex are given by [`Axial::DIRECTIONS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Axial {
+    /// Column-like axis.
+    pub q: i32,
+    /// Diagonal row axis.
+    pub r: i32,
+}
+
+/// Cube hex coordinate with the invariant `x + y + z = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    /// East axis.
+    pub x: i32,
+    /// North-west axis.
+    pub y: i32,
+    /// South-west axis.
+    pub z: i32,
+}
+
+impl Axial {
+    /// The six axial direction offsets, in counter-clockwise order starting
+    /// from east.
+    pub const DIRECTIONS: [Axial; 6] = [
+        Axial { q: 1, r: 0 },
+        Axial { q: 1, r: -1 },
+        Axial { q: 0, r: -1 },
+        Axial { q: -1, r: 0 },
+        Axial { q: -1, r: 1 },
+        Axial { q: 0, r: 1 },
+    ];
+
+    /// Creates an axial coordinate.
+    #[inline]
+    pub const fn new(q: i32, r: i32) -> Self {
+        Axial { q, r }
+    }
+
+    /// Converts to cube coordinates.
+    #[inline]
+    pub const fn to_cube(self) -> Cube {
+        Cube {
+            x: self.q,
+            z: self.r,
+            y: -self.q - self.r,
+        }
+    }
+
+    /// Component-wise sum.
+    #[inline]
+    pub const fn add(self, other: Axial) -> Axial {
+        Axial {
+            q: self.q + other.q,
+            r: self.r + other.r,
+        }
+    }
+
+    /// Component-wise difference.
+    #[inline]
+    pub const fn sub(self, other: Axial) -> Axial {
+        Axial {
+            q: self.q - other.q,
+            r: self.r - other.r,
+        }
+    }
+
+    /// Scales both components by `k`.
+    #[inline]
+    pub const fn scale(self, k: i32) -> Axial {
+        Axial {
+            q: self.q * k,
+            r: self.r * k,
+        }
+    }
+
+    /// Hex (grid) distance to `other`: the minimum number of single-hex
+    /// steps between the two cells.
+    #[inline]
+    pub fn distance(self, other: Axial) -> u32 {
+        self.sub(other).norm()
+    }
+
+    /// Hex norm: distance from the origin.
+    #[inline]
+    pub fn norm(self) -> u32 {
+        let c = self.to_cube();
+        (c.x.unsigned_abs() + c.y.unsigned_abs() + c.z.unsigned_abs()) / 2
+    }
+
+    /// The six adjacent coordinates.
+    #[inline]
+    pub fn neighbors(self) -> [Axial; 6] {
+        let mut out = [Axial::default(); 6];
+        for (slot, d) in out.iter_mut().zip(Self::DIRECTIONS) {
+            *slot = self.add(d);
+        }
+        out
+    }
+
+    /// Iterates over every coordinate within hex distance `radius` of
+    /// `self`, **including** `self`, in deterministic (row-major over `r`,
+    /// then `q`) order.
+    pub fn disk(self, radius: u32) -> impl Iterator<Item = Axial> {
+        let radius = radius as i32;
+        (-radius..=radius).flat_map(move |dr| {
+            let lo = (-radius).max(-dr - radius);
+            let hi = radius.min(-dr + radius);
+            (lo..=hi).map(move |dq| self.add(Axial::new(dq, dr)))
+        })
+    }
+
+    /// Iterates over the ring of coordinates at exactly hex distance
+    /// `radius` from `self`. For `radius == 0` this yields just `self`.
+    pub fn ring(self, radius: u32) -> Vec<Axial> {
+        if radius == 0 {
+            return vec![self];
+        }
+        let mut out = Vec::with_capacity(6 * radius as usize);
+        // Start at the cell `radius` steps in direction 4 (south-west) and
+        // walk each of the six sides.
+        let mut cur = self.add(Self::DIRECTIONS[4].scale(radius as i32));
+        for dir in Self::DIRECTIONS {
+            for _ in 0..radius {
+                out.push(cur);
+                cur = cur.add(dir);
+            }
+        }
+        out
+    }
+}
+
+impl Cube {
+    /// Creates a cube coordinate, checking the `x + y + z = 0` invariant in
+    /// debug builds.
+    #[inline]
+    pub fn new(x: i32, y: i32, z: i32) -> Self {
+        debug_assert_eq!(x + y + z, 0, "cube coordinate must satisfy x+y+z=0");
+        Cube { x, y, z }
+    }
+
+    /// Converts back to axial coordinates.
+    #[inline]
+    pub const fn to_axial(self) -> Axial {
+        Axial {
+            q: self.x,
+            r: self.z,
+        }
+    }
+
+    /// Hex distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Cube) -> u32 {
+        let dx = (self.x - other.x).unsigned_abs();
+        let dy = (self.y - other.y).unsigned_abs();
+        let dz = (self.z - other.z).unsigned_abs();
+        (dx + dy + dz) / 2
+    }
+}
+
+/// Converts odd-r offset coordinates `(col, row)` — the natural layout of a
+/// rectangular field of hexes where odd rows are shoved right by half a
+/// cell — to axial coordinates.
+#[inline]
+pub fn offset_to_axial(col: i32, row: i32) -> Axial {
+    Axial {
+        q: col - (row - (row & 1)) / 2,
+        r: row,
+    }
+}
+
+/// Inverse of [`offset_to_axial`].
+#[inline]
+pub fn axial_to_offset(ax: Axial) -> (i32, i32) {
+    let row = ax.r;
+    let col = ax.q + (row - (row & 1)) / 2;
+    (col, row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Axial::new(3, -2);
+        let b = Axial::new(-1, 4);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let a = Axial::new(5, 7);
+        for n in a.neighbors() {
+            assert_eq!(a.distance(n), 1);
+        }
+        // All six neighbors are distinct.
+        let mut ns: Vec<_> = a.neighbors().to_vec();
+        ns.sort();
+        ns.dedup();
+        assert_eq!(ns.len(), 6);
+    }
+
+    #[test]
+    fn cube_axial_roundtrip() {
+        for q in -5..=5 {
+            for r in -5..=5 {
+                let a = Axial::new(q, r);
+                assert_eq!(a.to_cube().to_axial(), a);
+                let c = a.to_cube();
+                assert_eq!(c.x + c.y + c.z, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn disk_counts_match_formula() {
+        // |disk(r)| = 1 + 3 r (r + 1)
+        for radius in 0..5u32 {
+            let count = Axial::new(0, 0).disk(radius).count() as u32;
+            assert_eq!(count, 1 + 3 * radius * (radius + 1));
+        }
+    }
+
+    #[test]
+    fn disk_contents_are_exactly_within_radius() {
+        let center = Axial::new(2, -1);
+        let disk: Vec<_> = center.disk(3).collect();
+        for c in &disk {
+            assert!(center.distance(*c) <= 3);
+        }
+        // And every cell within the radius is present.
+        for q in -10..10 {
+            for r in -10..10 {
+                let c = Axial::new(q, r);
+                if center.distance(c) <= 3 {
+                    assert!(disk.contains(&c), "{c:?} missing from disk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_counts_match_formula() {
+        for radius in 1..5u32 {
+            let ring = Axial::new(0, 0).ring(radius);
+            assert_eq!(ring.len() as u32, 6 * radius);
+            for c in &ring {
+                assert_eq!(c.norm(), radius);
+            }
+        }
+        assert_eq!(Axial::new(1, 1).ring(0), vec![Axial::new(1, 1)]);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        for col in -4..8 {
+            for row in -4..8 {
+                let ax = offset_to_axial(col, row);
+                assert_eq!(axial_to_offset(ax), (col, row));
+            }
+        }
+    }
+
+    #[test]
+    fn offset_rows_are_adjacent() {
+        // A hex and the one directly east of it are neighbors.
+        let a = offset_to_axial(3, 3);
+        let b = offset_to_axial(4, 3);
+        assert_eq!(a.distance(b), 1);
+        // A hex and the one below it are neighbors.
+        let c = offset_to_axial(3, 4);
+        assert_eq!(a.distance(c), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let pts = [
+            Axial::new(0, 0),
+            Axial::new(3, -1),
+            Axial::new(-2, 5),
+            Axial::new(7, 7),
+        ];
+        for a in pts {
+            for b in pts {
+                for c in pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Rectangular fields of hexagonal cells.
+//!
+//! A [`HexGrid`] is a `rows × cols` arrangement of hexes in odd-r offset
+//! layout (the classic "brick wall" of cells in Figure 1 of the paper).
+//! Cells are densely numbered `0..rows*cols` by [`CellId`]; interior cells
+//! have six neighbors, boundary cells fewer.
+
+use crate::coords::{offset_to_axial, Axial};
+
+/// Dense cell identifier within one [`HexGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// A rectangular field of hexagonal cells — bounded, or wrapped onto a
+/// torus (the geometry classic cellular simulations use to avoid
+/// boundary effects; with wrapping every cell is "interior" and has the
+/// full-size interference region).
+#[derive(Debug, Clone)]
+pub struct HexGrid {
+    rows: u32,
+    cols: u32,
+    wrap: bool,
+    /// Axial coordinate of each cell, indexed by `CellId`.
+    axial: Vec<Axial>,
+}
+
+impl HexGrid {
+    /// Creates a bounded `rows × cols` grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        Self::build(rows, cols, false)
+    }
+
+    /// Creates a `rows × cols` grid wrapped onto a torus.
+    ///
+    /// # Panics
+    /// Panics if a dimension is zero, or if `rows` is odd (odd-r offset
+    /// rows only tile the torus with an even row count — wrapping an odd
+    /// number of rows breaks hex adjacency across the seam).
+    pub fn new_wrapped(rows: u32, cols: u32) -> Self {
+        assert!(
+            rows % 2 == 0,
+            "wrapped grids need an even row count (odd-r offset parity)"
+        );
+        Self::build(rows, cols, true)
+    }
+
+    fn build(rows: u32, cols: u32, wrap: bool) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        let mut axial = Vec::with_capacity((rows * cols) as usize);
+        for row in 0..rows {
+            for col in 0..cols {
+                axial.push(offset_to_axial(col as i32, row as i32));
+            }
+        }
+        HexGrid {
+            rows,
+            cols,
+            wrap,
+            axial,
+        }
+    }
+
+    /// Whether this grid wraps onto a torus.
+    #[inline]
+    pub const fn is_wrapped(&self) -> bool {
+        self.wrap
+    }
+
+    /// The torus translation lattice: one grid period along columns and
+    /// rows, in axial coordinates.
+    fn periods(&self) -> (Axial, Axial) {
+        // Offset (cols, 0) → axial (cols, 0); offset (0, rows) with even
+        // rows → axial (−rows/2, rows).
+        (
+            Axial::new(self.cols as i32, 0),
+            Axial::new(-((self.rows / 2) as i32), self.rows as i32),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub const fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub const fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.axial.len()
+    }
+
+    /// Whether the grid has no cells (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.axial.is_empty()
+    }
+
+    /// Iterates over all cell ids in increasing order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> {
+        (0..self.len() as u32).map(CellId)
+    }
+
+    /// The axial coordinate of `cell`.
+    #[inline]
+    pub fn axial(&self, cell: CellId) -> Axial {
+        self.axial[cell.index()]
+    }
+
+    /// The `(col, row)` offset position of `cell`.
+    #[inline]
+    pub fn offset(&self, cell: CellId) -> (u32, u32) {
+        let i = cell.0;
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Looks up the cell at offset `(col, row)`, if it is inside the grid.
+    #[inline]
+    pub fn at_offset(&self, col: u32, row: u32) -> Option<CellId> {
+        if col < self.cols && row < self.rows {
+            Some(CellId(row * self.cols + col))
+        } else {
+            None
+        }
+    }
+
+    /// Looks up the cell with axial coordinate `ax`, if inside the grid.
+    pub fn at_axial(&self, ax: Axial) -> Option<CellId> {
+        let (col, row) = crate::coords::axial_to_offset(ax);
+        if col < 0 || row < 0 {
+            return None;
+        }
+        self.at_offset(col as u32, row as u32)
+    }
+
+    /// Hex distance between two cells (geodesic on the torus when
+    /// wrapped).
+    pub fn distance(&self, a: CellId, b: CellId) -> u32 {
+        let (pa, pb) = (self.axial(a), self.axial(b));
+        if !self.wrap {
+            return pa.distance(pb);
+        }
+        let (t1, t2) = self.periods();
+        let mut best = u32::MAX;
+        for i in -1i32..=1 {
+            for j in -1i32..=1 {
+                let image = pb.add(t1.scale(i)).add(t2.scale(j));
+                best = best.min(pa.distance(image));
+            }
+        }
+        best
+    }
+
+    /// The cells within hex distance `radius` of `cell`, **excluding**
+    /// `cell` itself, in increasing id order. For `radius = reuse distance`,
+    /// this is the paper's interference region `IN_i`. On a wrapped grid
+    /// every cell has the full-size region.
+    pub fn region(&self, cell: CellId, radius: u32) -> Vec<CellId> {
+        if self.wrap {
+            return self
+                .cells()
+                .filter(|&c| c != cell && self.distance(cell, c) <= radius)
+                .collect();
+        }
+        let center = self.axial(cell);
+        let mut out: Vec<CellId> = center
+            .disk(radius)
+            .filter(|&ax| ax != center)
+            .filter_map(|ax| self.at_axial(ax))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The (up to six) adjacent cells of `cell`, in increasing id order.
+    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        self.region(cell, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_offsets_roundtrip() {
+        let g = HexGrid::new(4, 6);
+        assert_eq!(g.len(), 24);
+        for cell in g.cells() {
+            let (col, row) = g.offset(cell);
+            assert_eq!(g.at_offset(col, row), Some(cell));
+            assert_eq!(g.at_axial(g.axial(cell)), Some(cell));
+        }
+        assert_eq!(g.at_offset(6, 0), None);
+        assert_eq!(g.at_offset(0, 4), None);
+    }
+
+    #[test]
+    fn interior_cells_have_six_neighbors() {
+        let g = HexGrid::new(5, 5);
+        let center = g.at_offset(2, 2).unwrap();
+        assert_eq!(g.neighbors(center).len(), 6);
+    }
+
+    #[test]
+    fn corner_cells_have_fewer_neighbors() {
+        let g = HexGrid::new(5, 5);
+        let corner = g.at_offset(0, 0).unwrap();
+        let n = g.neighbors(corner).len();
+        assert!(n >= 2 && n <= 3, "corner has {n} neighbors");
+    }
+
+    #[test]
+    fn region_radius_two_interior_is_18() {
+        let g = HexGrid::new(7, 7);
+        let center = g.at_offset(3, 3).unwrap();
+        assert_eq!(g.region(center, 2).len(), 18);
+    }
+
+    #[test]
+    fn region_excludes_self_and_respects_distance() {
+        let g = HexGrid::new(8, 8);
+        for cell in g.cells() {
+            for other in g.region(cell, 2) {
+                assert_ne!(other, cell);
+                let d = g.distance(cell, other);
+                assert!(d >= 1 && d <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn region_is_symmetric() {
+        let g = HexGrid::new(6, 6);
+        for a in g.cells() {
+            for b in g.region(a, 2) {
+                assert!(
+                    g.region(b, 2).contains(&a),
+                    "{a} in IN_{b} but not vice versa"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_adjacent_in_offset_layout() {
+        // Row neighbors are adjacent.
+        let g = HexGrid::new(3, 4);
+        let a = g.at_offset(1, 1).unwrap();
+        let b = g.at_offset(2, 1).unwrap();
+        assert!(g.neighbors(a).contains(&b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_panics() {
+        let _ = HexGrid::new(0, 3);
+    }
+}

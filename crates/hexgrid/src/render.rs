@@ -1,0 +1,125 @@
+//! ASCII rendering of hex grids — used to regenerate the paper's Figure 1
+//! (the cellular communication architecture) as a sanity artifact.
+
+use crate::grid::CellId;
+use crate::topology::Topology;
+
+/// Renders the grid with each cell labeled by its reuse color, odd rows
+/// indented to suggest the hex packing.
+///
+/// ```text
+///  0  3  6  2
+///   5  1  4  0
+///  3  6  2  5
+/// ```
+pub fn render_colors(topo: &Topology) -> String {
+    let grid = topo.grid();
+    let mut out = String::new();
+    for row in 0..grid.rows() {
+        if row % 2 == 1 {
+            out.push_str("  ");
+        }
+        for col in 0..grid.cols() {
+            let cell = grid.at_offset(col, row).expect("in range");
+            out.push_str(&format!("{:>3} ", topo.color(cell)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the grid highlighting one cell (`*`) and its interference
+/// region (`#`), everything else as `.`.
+pub fn render_region(topo: &Topology, center: CellId) -> String {
+    let grid = topo.grid();
+    let region = topo.region(center);
+    let mut out = String::new();
+    for row in 0..grid.rows() {
+        if row % 2 == 1 {
+            out.push_str("  ");
+        }
+        for col in 0..grid.cols() {
+            let cell = grid.at_offset(col, row).expect("in range");
+            let glyph = if cell == center {
+                '*'
+            } else if region.contains(&cell) {
+                '#'
+            } else {
+                '.'
+            };
+            out.push_str(&format!("{glyph:>3} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders per-cell numeric values (e.g. load, drops) as a heat-ish map
+/// with single-character buckets `.:-=+*#%@` scaled to the max value.
+pub fn render_heat(topo: &Topology, values: &[f64]) -> String {
+    const RAMP: &[u8] = b".:-=+*#%@";
+    assert_eq!(values.len(), topo.num_cells());
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    let grid = topo.grid();
+    let mut out = String::new();
+    for row in 0..grid.rows() {
+        if row % 2 == 1 {
+            out.push(' ');
+        }
+        for col in 0..grid.cols() {
+            let cell = grid.at_offset(col, row).expect("in range");
+            let v = values[cell.index()];
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+            };
+            out.push(RAMP[idx] as char);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_render_has_all_rows() {
+        let t = Topology::default_paper(5, 7);
+        let s = render_colors(&t);
+        assert_eq!(s.lines().count(), 5);
+        // Every line shows 7 cells.
+        for line in s.lines() {
+            assert_eq!(line.split_whitespace().count(), 7);
+        }
+    }
+
+    #[test]
+    fn region_render_marks_center_and_neighbors() {
+        let t = Topology::default_paper(7, 7);
+        let center = t.grid().at_offset(3, 3).unwrap();
+        let s = render_region(&t, center);
+        assert_eq!(s.matches('*').count(), 1);
+        assert_eq!(s.matches('#').count(), 18);
+    }
+
+    #[test]
+    fn heat_render_scales() {
+        let t = Topology::default_paper(3, 3);
+        let mut vals = vec![0.0; 9];
+        vals[4] = 10.0;
+        let s = render_heat(&t, &vals);
+        assert!(s.contains('@'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn heat_render_wrong_len_panics() {
+        let t = Topology::default_paper(3, 3);
+        let _ = render_heat(&t, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixed-width bucket histograms.
+
+/// A histogram with `nbuckets` equal-width buckets over `[lo, hi)` plus
+/// underflow/overflow buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `nbuckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `nbuckets == 0`.
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(lo < hi, "histogram bounds must be ordered");
+        assert!(nbuckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; nbuckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(bucket_lo, bucket_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            let b_lo = self.lo + width * i as f64;
+            (b_lo, b_lo + width, c)
+        })
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` assuming uniform density within a
+    /// bucket. Under/overflow samples clamp to the bounds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if target <= seen {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if target <= seen + c {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return Some(self.lo + width * (i as f64 + into));
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
+
+    /// Merges compatible histograms (same bounds and bucket count).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo);
+        assert_eq!(self.hi, other.hi);
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_right_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(-1.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn quantiles_roughly_correct() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 2.0, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() <= 2.0, "p99 = {p99}");
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[0], 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn iter_covers_range() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        let spans: Vec<_> = h.iter().collect();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].0, 0.0);
+        assert_eq!(spans[3].1, 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_bounds_panic() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,26 @@
+//! Measurement infrastructure for channel-allocation experiments.
+//!
+//! Every table and figure reproduced from the paper is computed from the
+//! primitives in this crate:
+//!
+//! * [`StreamingStats`] — constant-space count/mean/variance/min/max,
+//! * [`SampleSeries`] — exact quantiles over retained samples,
+//! * [`Histogram`] — fixed-width bucket counts,
+//! * [`CounterMap`] — named event counters (message taxonomy, mode
+//!   transitions, acquisition outcomes),
+//! * [`fairness`] — Jain's fairness index over per-cell outcomes,
+//! * [`TimeSeries`] — `(t, value)` sequences with window reductions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod fairness;
+pub mod histogram;
+pub mod series;
+pub mod stats;
+
+pub use counters::CounterMap;
+pub use histogram::Histogram;
+pub use series::{SampleSeries, TimeSeries};
+pub use stats::StreamingStats;

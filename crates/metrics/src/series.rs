@@ -1,0 +1,245 @@
+//! Retained-sample series and time series.
+
+use crate::stats::StreamingStats;
+
+/// A series that retains every sample, providing exact order statistics.
+///
+/// Simulation runs produce at most a few million samples per metric, so
+/// exact retention is affordable and avoids quantile-sketch error in the
+/// reproduced tables.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSeries {
+    samples: Vec<f64>,
+    stats: StreamingStats,
+    sorted: bool,
+}
+
+impl SampleSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        SampleSeries {
+            samples: Vec::new(),
+            stats: StreamingStats::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.stats.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Streaming statistics over the samples.
+    pub fn stats(&self) -> &StreamingStats {
+        &self.stats
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Exact quantile by nearest-rank (`q ∈ [0, 1]`), `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.stats.max()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.stats.min()
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed after
+    /// quantile calls).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another series into this one.
+    pub fn merge(&mut self, other: &SampleSeries) {
+        self.samples.extend_from_slice(&other.samples);
+        self.stats.merge(&other.stats);
+        self.sorted = false;
+    }
+}
+
+/// A `(t, value)` time series with simple window reductions, used for
+/// load/drop-rate traces over a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty time series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point; `t` must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics (debug) if `t` moves backwards.
+    pub fn push(&mut self, t: f64, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| lt <= t),
+            "time series must be appended in time order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of values with `t ∈ [t0, t1)`.
+    pub fn window_mean(&self, t0: f64, t1: f64) -> Option<f64> {
+        let mut stats = StreamingStats::new();
+        for &(t, v) in &self.points {
+            if t >= t0 && t < t1 {
+                stats.push(v);
+            }
+        }
+        (stats.count() > 0).then(|| stats.mean())
+    }
+
+    /// Buckets the series into `nbuckets` equal windows over its span and
+    /// returns `(window_center, mean)` per non-empty window.
+    pub fn bucketed_means(&self, nbuckets: usize) -> Vec<(f64, f64)> {
+        if self.points.is_empty() || nbuckets == 0 {
+            return Vec::new();
+        }
+        let t0 = self.points.first().expect("non-empty").0;
+        let t1 = self.points.last().expect("non-empty").0;
+        if t1 <= t0 {
+            return vec![(t0, self.window_mean(t0, t0 + 1.0).unwrap_or(0.0))];
+        }
+        let width = (t1 - t0) / nbuckets as f64;
+        (0..nbuckets)
+            .filter_map(|i| {
+                let lo = t0 + width * i as f64;
+                // Make the last bucket inclusive of t1.
+                let hi = if i + 1 == nbuckets {
+                    t1 + width * 1e-9 + f64::EPSILON
+                } else {
+                    lo + width
+                };
+                self.window_mean(lo, hi).map(|m| (lo + width / 2.0, m))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_quantiles_exact() {
+        let mut s = SampleSeries::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.2), Some(1.0));
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let mut s = SampleSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn series_merge() {
+        let mut a = SampleSeries::new();
+        a.push(1.0);
+        let mut b = SampleSeries::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_after_quantile_stays_consistent() {
+        let mut s = SampleSeries::new();
+        s.push(10.0);
+        s.push(1.0);
+        assert_eq!(s.median(), Some(1.0));
+        s.push(20.0);
+        assert_eq!(s.quantile(1.0), Some(20.0));
+        assert_eq!(s.median(), Some(10.0));
+    }
+
+    #[test]
+    fn timeseries_window_means() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(i as f64, (i * i) as f64);
+        }
+        assert_eq!(ts.window_mean(0.0, 3.0), Some((0.0 + 1.0 + 4.0) / 3.0));
+        assert_eq!(ts.window_mean(100.0, 200.0), None);
+        let buckets = ts.bucketed_means(3);
+        assert_eq!(buckets.len(), 3);
+    }
+
+    #[test]
+    fn timeseries_single_point_bucket() {
+        let mut ts = TimeSeries::new();
+        ts.push(5.0, 7.0);
+        let b = ts.bucketed_means(4);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].1, 7.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The context backend abstraction.
+//!
+//! Protocol state machines act on the world exclusively through
+//! [`crate::Ctx`], which delegates to a [`CtxBackend`]. Two backends
+//! exist in the workspace:
+//!
+//! * the deterministic discrete-event engine in this crate
+//!   ([`crate::engine::Engine`]), and
+//! * the OS-thread + crossbeam driver in `adca-threadnet`, which runs the
+//!   *same unmodified* protocol code under real nondeterministic
+//!   interleavings.
+
+use crate::protocol::RequestId;
+use crate::time::SimTime;
+use adca_hexgrid::{CellId, Channel, Topology};
+
+/// The operations a protocol node may perform on its environment.
+pub trait CtxBackend<M> {
+    /// The cell this node manages.
+    fn me(&self) -> CellId;
+    /// Current (virtual or scaled-real) time.
+    fn now(&self) -> SimTime;
+    /// The system topology.
+    fn topo(&self) -> &Topology;
+    /// Send `msg` (labeled `kind` for accounting) to `to`.
+    fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M);
+    /// Grant channel `ch` to request `req` (audited).
+    fn grant(&mut self, req: RequestId, ch: Channel);
+    /// Reject request `req` (the call is denied service).
+    fn reject(&mut self, req: RequestId);
+    /// Schedule `on_timer(tag)` after `delay` ticks.
+    fn set_timer(&mut self, delay: u64, tag: u64);
+    /// Increment a named metric counter.
+    fn count(&mut self, name: &'static str);
+    /// Add to a named metric counter.
+    fn add(&mut self, name: &'static str, n: u64);
+    /// Record a named metric sample.
+    fn sample(&mut self, name: &'static str, value: f64);
+    /// Ground-truth check for tests: is `ch` truly unused in this cell's
+    /// interference region right now?
+    fn truly_free_here(&self, ch: Channel) -> bool;
+}
+
+/// The handle protocol nodes use to act on the world. A thin, inlined
+/// façade over a [`CtxBackend`].
+pub struct Ctx<'a, M> {
+    inner: &'a mut dyn CtxBackend<M>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Wraps a backend.
+    pub fn new(inner: &'a mut dyn CtxBackend<M>) -> Self {
+        Ctx { inner }
+    }
+
+    /// The cell this node manages.
+    #[inline]
+    pub fn me(&self) -> CellId {
+        self.inner.me()
+    }
+
+    /// Current time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// The system topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        self.inner.topo()
+    }
+
+    /// Sends `msg` to `to`; delivered after the backend's latency.
+    /// `kind` must equal `Protocol::msg_kind(&msg)` (protocols use their
+    /// own `send` wrappers to guarantee this).
+    #[inline]
+    pub fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
+        debug_assert_ne!(to, self.me(), "nodes must not message themselves");
+        self.inner.send_kind(to, kind, msg);
+    }
+
+    /// Grants channel `ch` to request `req`. The backend audits the
+    /// co-channel interference invariant against ground truth.
+    #[inline]
+    pub fn grant(&mut self, req: RequestId, ch: Channel) {
+        self.inner.grant(req, ch);
+    }
+
+    /// Rejects request `req`: the call is dropped / the handoff fails.
+    #[inline]
+    pub fn reject(&mut self, req: RequestId) {
+        self.inner.reject(req);
+    }
+
+    /// Schedules `on_timer(tag)` on this node after `delay` ticks.
+    #[inline]
+    pub fn set_timer(&mut self, delay: u64, tag: u64) {
+        self.inner.set_timer(delay, tag);
+    }
+
+    /// Increments a protocol-specific counter in the report.
+    #[inline]
+    pub fn count(&mut self, name: &'static str) {
+        self.inner.count(name);
+    }
+
+    /// Adds `n` to a protocol-specific counter in the report.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.inner.add(name, n);
+    }
+
+    /// Records a protocol-specific sample in the report.
+    #[inline]
+    pub fn sample(&mut self, name: &'static str, value: f64) {
+        self.inner.sample(name, value);
+    }
+
+    /// Ground-truth check (test helper, not for protocol logic).
+    #[inline]
+    pub fn truly_free_here(&self, ch: Channel) -> bool {
+        self.inner.truly_free_here(ch)
+    }
+}

@@ -1,0 +1,865 @@
+//! The deterministic discrete-event engine.
+
+use crate::backend::{Ctx, CtxBackend};
+use crate::latency::{LatencyModel, MsgMeta};
+use crate::protocol::{Protocol, RequestId, RequestKind};
+use crate::report::{AuditMode, MsgTrace, SimReport, Violation};
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+use crate::workload::Arrival;
+use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
+use adca_metrics::SampleSeries;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Message latency model. The paper's `T` corresponds to
+    /// `LatencyModel::Fixed(t_ticks)`.
+    pub latency: LatencyModel,
+    /// Seed for latency jitter (and nothing else; workloads carry their
+    /// own randomness).
+    pub seed: u64,
+    /// What to do on invariant violations.
+    pub audit: AuditMode,
+    /// Maximum tolerated acquisition latency in ticks (liveness
+    /// watchdog); `None` disables the check.
+    pub watchdog_ticks: Option<u64>,
+    /// Record a full message trace in the report.
+    pub trace: bool,
+    /// Abort the run after this many processed events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::Fixed(100),
+            seed: 0xADCA_1998,
+            audit: AuditMode::Panic,
+            watchdog_ticks: Some(1_000_000),
+            trace: false,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+/// Heap entry: events ordered by `(time, seq)` — earliest first, FIFO
+/// among simultaneous events.
+struct QEntry<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<M>,
+}
+
+impl<M> PartialEq for QEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QEntry<M> {}
+impl<M> PartialOrd for QEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Ev<M> {
+    Deliver {
+        from: CellId,
+        to: CellId,
+        msg: M,
+    },
+    Arrive {
+        call: u32,
+    },
+    End {
+        call: u32,
+    },
+    Hop {
+        call: u32,
+        idx: u32,
+    },
+    Timer {
+        node: CellId,
+        tag: u64,
+    },
+    /// A grant arrived for a request whose call is gone; tell the node to
+    /// free the channel again.
+    AutoRelease {
+        node: CellId,
+        ch: Channel,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallState {
+    /// Waiting on an acquisition request.
+    Waiting(RequestId),
+    /// Holding a channel.
+    Active(Channel),
+    /// Finished (completed, dropped, or abandoned).
+    Done,
+}
+
+struct CallRecord {
+    cell: CellId,
+    duration: u64,
+    state: CallState,
+    /// Absolute end time, fixed at first grant.
+    end_at: Option<SimTime>,
+    /// Absolute hop times and targets.
+    hops: Vec<(SimTime, CellId)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Pending,
+    Done,
+}
+
+struct ReqRecord {
+    call: u32,
+    cell: CellId,
+    issued: SimTime,
+    kind: RequestKind,
+    state: ReqState,
+}
+
+/// Engine state shared with protocol nodes through [`Ctx`].
+pub struct Shared<M> {
+    topo: Rc<Topology>,
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    msg_seq: u64,
+    queue: BinaryHeap<Reverse<QEntry<M>>>,
+    rng: SplitMix64,
+    /// Ground-truth channel usage per cell (for the Theorem-1 audit).
+    usage: Vec<ChannelSet>,
+    /// Per-link FIFO clamp: the latest delivery time scheduled on each
+    /// (from, to) link. Distributed channel-allocation protocols of this
+    /// family assume FIFO channels (a RELEASE must not overtake the GRANT
+    /// that preceded it); under jittered latency the clamp enforces it.
+    link_horizon: HashMap<(CellId, CellId), SimTime>,
+    calls: Vec<CallRecord>,
+    reqs: Vec<ReqRecord>,
+    pending_reqs: u64,
+    report: SimReport,
+}
+
+impl<M> Shared<M> {
+    fn push(&mut self, at: SimTime, ev: Ev<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { at, seq, ev }));
+    }
+
+    fn violation(&mut self, v: Violation) {
+        if self.cfg.audit == AuditMode::Panic {
+            panic!("simulation invariant violated: {v}");
+        }
+        self.report.violations.push(v);
+    }
+
+    fn finish_request(&mut self, req: RequestId) -> Option<(u32, CellId, RequestKind, u64)> {
+        let rec = &mut self.reqs[req.0 as usize];
+        if rec.state == ReqState::Done {
+            return None;
+        }
+        rec.state = ReqState::Done;
+        self.pending_reqs -= 1;
+        let latency = self.now - rec.issued;
+        Some((rec.call, rec.cell, rec.kind, latency))
+    }
+
+    fn issue_request(&mut self, call: u32, cell: CellId, kind: RequestKind) -> RequestId {
+        let id = RequestId(self.reqs.len() as u64);
+        self.reqs.push(ReqRecord {
+            call,
+            cell,
+            issued: self.now,
+            kind,
+            state: ReqState::Pending,
+        });
+        self.pending_reqs += 1;
+        self.calls[call as usize].state = CallState::Waiting(id);
+        self.calls[call as usize].cell = cell;
+        if kind == RequestKind::Handoff {
+            self.report.custom.incr("handoff_attempts");
+        }
+        id
+    }
+}
+
+/// The deterministic-engine backend behind [`Ctx`].
+struct DesCtx<'a, M> {
+    sh: &'a mut Shared<M>,
+    me: CellId,
+}
+
+impl<M> CtxBackend<M> for DesCtx<'_, M> {
+    #[inline]
+    fn me(&self) -> CellId {
+        self.me
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.sh.now
+    }
+
+    #[inline]
+    fn topo(&self) -> &Topology {
+        &self.sh.topo
+    }
+
+    fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
+        let meta = MsgMeta {
+            from: self.me,
+            to,
+            kind,
+            sent_at: self.sh.now,
+            seq: self.sh.msg_seq,
+        };
+        self.sh.msg_seq += 1;
+        let lat = self.sh.cfg.latency.latency(&meta, &mut self.sh.rng);
+        let mut at = self.sh.now + lat;
+        let horizon = self
+            .sh
+            .link_horizon
+            .entry((self.me, to))
+            .or_insert(SimTime::ZERO);
+        at = at.max(*horizon);
+        *horizon = at;
+        self.sh.report.messages_total += 1;
+        self.sh.report.msg_kinds.incr(kind);
+        self.sh.report.per_cell_msgs[self.me.index()] += 1;
+        if self.sh.cfg.trace {
+            self.sh.report.trace.push(MsgTrace {
+                sent_at: self.sh.now,
+                recv_at: at,
+                from: self.me,
+                to,
+                kind,
+            });
+        }
+        let from = self.me;
+        self.sh.push(at, Ev::Deliver { from, to, msg });
+    }
+
+    fn grant(&mut self, req: RequestId, ch: Channel) {
+        let Some((call, cell, kind, latency)) = self.sh.finish_request(req) else {
+            // Double resolution is a protocol bug.
+            panic!("request {req:?} resolved twice");
+        };
+        debug_assert_eq!(cell, self.me, "grant from the wrong node");
+        if let Some(bound) = self.sh.cfg.watchdog_ticks {
+            if latency > bound {
+                self.sh.violation(Violation::Watchdog {
+                    cell,
+                    latency,
+                    bound,
+                });
+            }
+        }
+        let call_rec = &self.sh.calls[call as usize];
+        let stale = call_rec.state != CallState::Waiting(req);
+        if stale {
+            // The call ended or moved while we were acquiring; release the
+            // channel right away (as a fresh event so the node's current
+            // handler finishes first).
+            self.sh.report.custom.incr("stale_grants");
+            let now = self.sh.now;
+            self.sh.push(now, Ev::AutoRelease { node: cell, ch });
+            return;
+        }
+        // Theorem 1 audit: the channel must be unused in the whole
+        // interference region, and in this cell.
+        if self.sh.usage[cell.index()].contains(ch) {
+            let at = self.sh.now;
+            self.sh.violation(Violation::DoubleAssign {
+                at,
+                cell,
+                channel: ch,
+            });
+        }
+        for idx in 0..self.sh.topo.region(cell).len() {
+            let j = self.sh.topo.region(cell)[idx];
+            if self.sh.usage[j.index()].contains(ch) {
+                let at = self.sh.now;
+                self.sh.violation(Violation::Interference {
+                    at,
+                    cell,
+                    conflicting: j,
+                    channel: ch,
+                });
+            }
+        }
+        self.sh.usage[cell.index()].insert(ch);
+        let now = self.sh.now;
+        let call_rec = &mut self.sh.calls[call as usize];
+        call_rec.state = CallState::Active(ch);
+        if call_rec.end_at.is_none() {
+            let end = now + call_rec.duration;
+            call_rec.end_at = Some(end);
+            self.sh.push(end, Ev::End { call });
+        }
+        self.sh.report.granted += 1;
+        self.sh.report.per_cell_grants[cell.index()] += 1;
+        self.sh.report.acq_latency.push(latency as f64);
+        match kind {
+            RequestKind::NewCall => self.sh.report.custom.incr("grant_new"),
+            RequestKind::Handoff => self.sh.report.custom.incr("grant_handoff"),
+        }
+    }
+
+    fn reject(&mut self, req: RequestId) {
+        let Some((call, cell, kind, _latency)) = self.sh.finish_request(req) else {
+            panic!("request {req:?} resolved twice");
+        };
+        debug_assert_eq!(cell, self.me, "reject from the wrong node");
+        let call_rec = &mut self.sh.calls[call as usize];
+        if call_rec.state == CallState::Waiting(req) {
+            call_rec.state = CallState::Done;
+            self.sh.report.per_cell_drops[cell.index()] += 1;
+            match kind {
+                RequestKind::NewCall => self.sh.report.dropped_new += 1,
+                RequestKind::Handoff => self.sh.report.dropped_handoff += 1,
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64, tag: u64) {
+        let at = self.sh.now + delay;
+        let me = self.me;
+        self.sh.push(at, Ev::Timer { node: me, tag });
+    }
+
+    #[inline]
+    fn count(&mut self, name: &'static str) {
+        self.sh.report.custom.incr(name);
+    }
+
+    #[inline]
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.sh.report.custom.add(name, n);
+    }
+
+    fn sample(&mut self, name: &'static str, value: f64) {
+        self.sh
+            .report
+            .custom_samples
+            .entry(name)
+            .or_insert_with(SampleSeries::new)
+            .push(value);
+    }
+
+    fn truly_free_here(&self, ch: Channel) -> bool {
+        !self.sh.usage[self.me.index()].contains(ch)
+            && self
+                .sh
+                .topo
+                .region(self.me)
+                .iter()
+                .all(|j| !self.sh.usage[j.index()].contains(ch))
+    }
+}
+
+/// The deterministic discrete-event simulation engine, generic over the
+/// protocol under test.
+pub struct Engine<P: Protocol> {
+    nodes: Vec<P>,
+    sh: Shared<P::Msg>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Builds an engine over `topo` running one `P` per cell (constructed
+    /// by `factory`) against the given workload.
+    pub fn new<F>(topo: Rc<Topology>, cfg: SimConfig, factory: F, arrivals: Vec<Arrival>) -> Self
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        let mut factory = factory;
+        let nodes: Vec<P> = topo.cells().map(|c| factory(c, &topo)).collect();
+        let n = topo.num_cells();
+        let report = SimReport {
+            per_cell_msgs: vec![0; n],
+            per_cell_arrivals: vec![0; n],
+            per_cell_drops: vec![0; n],
+            per_cell_grants: vec![0; n],
+            ..Default::default()
+        };
+        let mut sh = Shared {
+            rng: SplitMix64::new(cfg.seed),
+            topo: topo.clone(),
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            msg_seq: 0,
+            queue: BinaryHeap::new(),
+            usage: vec![topo.spectrum().empty_set(); n],
+            link_horizon: HashMap::new(),
+            calls: Vec::with_capacity(arrivals.len()),
+            reqs: Vec::new(),
+            pending_reqs: 0,
+            report,
+        };
+        for arr in arrivals {
+            let call = sh.calls.len() as u32;
+            let at = SimTime(arr.at);
+            let hops: Vec<(SimTime, CellId)> = arr
+                .hops
+                .iter()
+                .map(|&(off, tgt)| (SimTime(arr.at + off), tgt))
+                .collect();
+            for (idx, &(hop_at, _)) in hops.iter().enumerate() {
+                sh.push(hop_at, Ev::Hop {
+                    call,
+                    idx: idx as u32,
+                });
+            }
+            sh.calls.push(CallRecord {
+                cell: arr.cell,
+                duration: arr.duration,
+                state: CallState::Done, // becomes Waiting at arrival
+                end_at: None,
+                hops,
+            });
+            sh.push(at, Ev::Arrive { call });
+        }
+        Engine { nodes, sh }
+    }
+
+    /// Immutable access to a node's protocol state (for tests).
+    pub fn node(&self, cell: CellId) -> &P {
+        &self.nodes[cell.index()]
+    }
+
+    /// The current report (final after [`Engine::run`] returns).
+    pub fn report(&self) -> &SimReport {
+        &self.sh.report
+    }
+
+    /// Runs to quiescence and returns the report.
+    pub fn run(&mut self) -> SimReport {
+        // Start hooks.
+        for i in 0..self.nodes.len() {
+            let me = CellId(i as u32);
+            let mut backend = DesCtx {
+                sh: &mut self.sh,
+                me,
+            };
+            let mut ctx = Ctx::new(&mut backend);
+            self.nodes[i].on_start(&mut ctx);
+        }
+        let mut processed: u64 = 0;
+        while let Some(Reverse(entry)) = self.sh.queue.pop() {
+            processed += 1;
+            if processed > self.sh.cfg.max_events {
+                self.sh.violation(Violation::EventBudget { processed });
+                break;
+            }
+            debug_assert!(entry.at >= self.sh.now, "event queue went backwards");
+            self.sh.now = entry.at;
+            match entry.ev {
+                Ev::Deliver { from, to, msg, .. } => {
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: to,
+                    };
+                    let mut ctx = Ctx::new(&mut backend);
+                    self.nodes[to.index()].on_message(from, msg, &mut ctx);
+                }
+                Ev::Arrive { call } => {
+                    let cell = self.sh.calls[call as usize].cell;
+                    self.sh.report.offered_calls += 1;
+                    self.sh.report.per_cell_arrivals[cell.index()] += 1;
+                    let req = self.sh.issue_request(call, cell, RequestKind::NewCall);
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: cell,
+                    };
+                    let mut ctx = Ctx::new(&mut backend);
+                    self.nodes[cell.index()].on_acquire(req, RequestKind::NewCall, &mut ctx);
+                }
+                Ev::End { call } => {
+                    let rec = &mut self.sh.calls[call as usize];
+                    match rec.state {
+                        CallState::Active(ch) => {
+                            let cell = rec.cell;
+                            rec.state = CallState::Done;
+                            self.sh.usage[cell.index()].remove(ch);
+                            self.sh.report.completed_calls += 1;
+                            let mut backend = DesCtx {
+                                sh: &mut self.sh,
+                                me: cell,
+                            };
+                            let mut ctx = Ctx::new(&mut backend);
+                            self.nodes[cell.index()].on_release(ch, &mut ctx);
+                        }
+                        CallState::Waiting(_) => {
+                            // Ended while a (handoff) acquisition was in
+                            // flight; the eventual grant auto-releases.
+                            rec.state = CallState::Done;
+                            self.sh.report.custom.incr("ended_while_waiting");
+                        }
+                        CallState::Done => {}
+                    }
+                }
+                Ev::Hop { call, idx } => {
+                    let rec = &self.sh.calls[call as usize];
+                    let (_, target) = rec.hops[idx as usize];
+                    match rec.state {
+                        CallState::Active(ch) => {
+                            let old = rec.cell;
+                            if target == old {
+                                continue;
+                            }
+                            // Free the old channel first (the paper's
+                            // handoff: relinquish in the old cell, acquire
+                            // in the new one).
+                            self.sh.usage[old.index()].remove(ch);
+                            let mut backend = DesCtx {
+                                sh: &mut self.sh,
+                                me: old,
+                            };
+                            let mut ctx = Ctx::new(&mut backend);
+                            self.nodes[old.index()].on_release(ch, &mut ctx);
+                            let req = self.sh.issue_request(call, target, RequestKind::Handoff);
+                            let mut backend = DesCtx {
+                                sh: &mut self.sh,
+                                me: target,
+                            };
+                            let mut ctx = Ctx::new(&mut backend);
+                            self.nodes[target.index()].on_acquire(
+                                req,
+                                RequestKind::Handoff,
+                                &mut ctx,
+                            );
+                        }
+                        _ => {
+                            self.sh.report.custom.incr("hop_skipped");
+                        }
+                    }
+                }
+                Ev::Timer { node, tag } => {
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: node,
+                    };
+                    let mut ctx = Ctx::new(&mut backend);
+                    self.nodes[node.index()].on_timer(tag, &mut ctx);
+                }
+                Ev::AutoRelease { node, ch } => {
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: node,
+                    };
+                    let mut ctx = Ctx::new(&mut backend);
+                    self.nodes[node.index()].on_release(ch, &mut ctx);
+                }
+            }
+        }
+        if self.sh.pending_reqs > 0 {
+            let pending = self.sh.pending_reqs;
+            self.sh.violation(Violation::Liveness { pending });
+        }
+        self.sh.report.end_time = self.sh.now;
+        self.sh.report.clone()
+    }
+}
+
+/// Convenience wrapper: build, run, and return the report in one call.
+pub fn run_protocol<P: Protocol, F>(
+    topo: Rc<Topology>,
+    cfg: SimConfig,
+    factory: F,
+    arrivals: Vec<Arrival>,
+) -> SimReport
+where
+    F: FnMut(CellId, &Topology) -> P,
+{
+    Engine::new(topo, cfg, factory, arrivals).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adca_hexgrid::Topology;
+
+    /// A trivial protocol: grant the lowest primary channel free in this
+    /// cell (per ground-truth-free local bookkeeping), no messages.
+    struct LocalOnly {
+        used: ChannelSet,
+        primary: ChannelSet,
+    }
+
+    impl LocalOnly {
+        fn new(cell: CellId, topo: &Topology) -> Self {
+            LocalOnly {
+                used: topo.spectrum().empty_set(),
+                primary: topo.primary(cell).clone(),
+            }
+        }
+    }
+
+    impl Protocol for LocalOnly {
+        type Msg = ();
+
+        fn msg_kind(_: &()) -> &'static str {
+            "UNUSED"
+        }
+
+        fn on_acquire(&mut self, req: RequestId, _kind: RequestKind, ctx: &mut Ctx<'_, ()>) {
+            let free = self.primary.difference(&self.used);
+            match free.first() {
+                Some(ch) => {
+                    self.used.insert(ch);
+                    ctx.grant(req, ch);
+                }
+                None => ctx.reject(req),
+            }
+        }
+
+        fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, ()>) {
+            assert!(self.used.remove(ch), "released unknown channel");
+        }
+
+        fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {
+            unreachable!("LocalOnly never sends");
+        }
+    }
+
+    fn topo() -> Rc<Topology> {
+        Rc::new(Topology::default_paper(6, 6))
+    }
+
+    #[test]
+    fn single_call_completes() {
+        let t = topo();
+        let arr = vec![Arrival::new(0, CellId(0), 1000)];
+        let report = run_protocol(t.clone(), SimConfig::default(), LocalOnly::new, arr);
+        assert_eq!(report.offered_calls, 1);
+        assert_eq!(report.granted, 1);
+        assert_eq!(report.completed_calls, 1);
+        assert_eq!(report.dropped_new, 0);
+        assert_eq!(report.end_time, SimTime(1000));
+        assert_eq!(report.acq_latency.stats().max(), Some(0.0));
+        report.assert_clean();
+    }
+
+    #[test]
+    fn cell_overload_drops() {
+        let t = topo();
+        // 11 simultaneous calls in one cell with |PR| = 10.
+        let arrivals: Vec<Arrival> = (0..11).map(|i| Arrival::new(i, CellId(7), 10_000)).collect();
+        let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
+        assert_eq!(report.granted, 10);
+        assert_eq!(report.dropped_new, 1);
+        assert!((report.drop_rate() - 1.0 / 11.0).abs() < 1e-12);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn channel_reuse_after_completion() {
+        let t = topo();
+        // Sequential calls reuse the same channel.
+        let arrivals = vec![
+            Arrival::new(0, CellId(0), 100),
+            Arrival::new(200, CellId(0), 100),
+        ];
+        let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
+        assert_eq!(report.completed_calls, 2);
+        assert_eq!(report.dropped_new, 0);
+    }
+
+    #[test]
+    fn handoff_moves_call() {
+        let t = topo();
+        let target = CellId(1);
+        let arrivals = vec![Arrival::new(0, CellId(0), 1000).with_hop(500, target)];
+        let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
+        assert_eq!(report.granted, 2); // initial + handoff
+        assert_eq!(report.completed_calls, 1);
+        assert_eq!(report.custom.get("handoff_attempts"), 1);
+        assert_eq!(report.custom.get("grant_handoff"), 1);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn handoff_failure_counts() {
+        let t = topo();
+        let target = CellId(1);
+        // Fill the target cell completely, then hand a call into it.
+        let mut arrivals: Vec<Arrival> =
+            (0..10).map(|i| Arrival::new(i, target, 100_000)).collect();
+        arrivals.push(Arrival::new(20, CellId(0), 100_000).with_hop(500, target));
+        let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
+        assert_eq!(report.dropped_handoff, 1);
+        assert_eq!(report.handoff_failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn hop_after_end_is_skipped() {
+        let t = topo();
+        let arrivals = vec![Arrival::new(0, CellId(0), 100).with_hop(500, CellId(1))];
+        let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
+        assert_eq!(report.custom.get("hop_skipped"), 1);
+        assert_eq!(report.completed_calls, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let t = topo();
+        let arrivals: Vec<Arrival> = (0..50)
+            .map(|i| Arrival::new(i * 13 % 997, CellId((i % 36) as u32), 500 + i * 7))
+            .collect();
+        let cfg = SimConfig {
+            latency: LatencyModel::Jitter { min: 50, max: 150 },
+            ..Default::default()
+        };
+        let r1 = run_protocol(t.clone(), cfg.clone(), LocalOnly::new, arrivals.clone());
+        let r2 = run_protocol(t, cfg, LocalOnly::new, arrivals);
+        assert_eq!(r1.granted, r2.granted);
+        assert_eq!(r1.dropped_new, r2.dropped_new);
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.messages_total, r2.messages_total);
+    }
+
+    /// A deliberately broken protocol that ignores interference: grants
+    /// channel 0 to everyone. The audit must catch it.
+    struct Broken;
+
+    impl Protocol for Broken {
+        type Msg = ();
+        fn msg_kind(_: &()) -> &'static str {
+            "UNUSED"
+        }
+        fn on_acquire(&mut self, req: RequestId, _kind: RequestKind, ctx: &mut Ctx<'_, ()>) {
+            ctx.grant(req, Channel(0));
+        }
+        fn on_release(&mut self, _ch: Channel, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+    }
+
+    #[test]
+    fn audit_catches_interference() {
+        let t = topo();
+        // Two adjacent cells both get channel 0.
+        let arrivals = vec![
+            Arrival::new(0, CellId(0), 1000),
+            Arrival::new(1, CellId(1), 1000),
+        ];
+        let cfg = SimConfig {
+            audit: AuditMode::Record,
+            ..Default::default()
+        };
+        let report = run_protocol(t, cfg, |_, _| Broken, arrivals);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Interference { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "interference")]
+    fn audit_panics_by_default() {
+        let t = topo();
+        let arrivals = vec![
+            Arrival::new(0, CellId(0), 1000),
+            Arrival::new(1, CellId(1), 1000),
+        ];
+        let _ = run_protocol(t, SimConfig::default(), |_, _| Broken, arrivals);
+    }
+
+    #[test]
+    fn audit_catches_double_assign() {
+        let t = topo();
+        // Two calls in the SAME cell both get channel 0.
+        let arrivals = vec![
+            Arrival::new(0, CellId(20), 1000),
+            Arrival::new(1, CellId(20), 1000),
+        ];
+        let cfg = SimConfig {
+            audit: AuditMode::Record,
+            ..Default::default()
+        };
+        let report = run_protocol(t, cfg, |_, _| Broken, arrivals);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleAssign { .. })));
+    }
+
+    /// A protocol that never resolves requests: the liveness audit fires.
+    struct Sitter;
+
+    impl Protocol for Sitter {
+        type Msg = ();
+        fn msg_kind(_: &()) -> &'static str {
+            "UNUSED"
+        }
+        fn on_acquire(&mut self, _req: RequestId, _kind: RequestKind, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_release(&mut self, _ch: Channel, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+    }
+
+    #[test]
+    fn liveness_violation_detected() {
+        let t = topo();
+        let cfg = SimConfig {
+            audit: AuditMode::Record,
+            ..Default::default()
+        };
+        let report = run_protocol(t, cfg, |_, _| Sitter, vec![Arrival::new(0, CellId(0), 100)]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::Liveness { pending: 1 }]
+        ));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerProto {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            type Msg = ();
+            fn msg_kind(_: &()) -> &'static str {
+                "UNUSED"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == CellId(0) {
+                    ctx.set_timer(30, 3);
+                    ctx.set_timer(10, 1);
+                    ctx.set_timer(20, 2);
+                }
+            }
+            fn on_acquire(&mut self, req: RequestId, _k: RequestKind, ctx: &mut Ctx<'_, ()>) {
+                ctx.reject(req);
+            }
+            fn on_release(&mut self, _ch: Channel, _ctx: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, ()>) {
+                self.fired.push(tag);
+            }
+        }
+        let t = topo();
+        let mut engine = Engine::new(
+            t,
+            SimConfig::default(),
+            |_, _| TimerProto { fired: vec![] },
+            vec![],
+        );
+        engine.run().assert_clean();
+        assert_eq!(engine.node(CellId(0)).fired, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,64 @@
+//! The protocol interface implemented by every allocation scheme.
+
+pub use crate::backend::Ctx;
+use adca_hexgrid::{CellId, Channel};
+
+/// Identifier of one channel-acquisition request issued by the engine to
+/// a protocol node (one per new call and one per handoff attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Why the engine is asking for a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A newly arriving call.
+    NewCall,
+    /// A call handed off from a neighboring cell.
+    Handoff,
+}
+
+/// A distributed channel-allocation protocol, written as a per-node state
+/// machine.
+///
+/// One value of the implementing type exists per cell; the engine (or the
+/// threaded driver in `adca-threadnet`) delivers events to it and the node
+/// reacts through the [`Ctx`] handle: sending messages to cells in its
+/// interference region, granting or rejecting acquisition requests, and
+/// recording protocol-specific metrics.
+///
+/// # Contract
+///
+/// * Every [`on_acquire`](Protocol::on_acquire) must *eventually* be
+///   answered with exactly one `ctx.grant(req, ch)` or `ctx.reject(req)`;
+///   the engine's liveness audit fails the run otherwise.
+/// * A node may only grant a channel it believes free in its cell; the
+///   engine audits ground truth (Theorem 1) on every grant.
+/// * On [`on_release`](Protocol::on_release) the node must stop regarding
+///   `ch` as used by itself (and tell whoever needs to know).
+/// * State machines must be deterministic: all nondeterminism comes from
+///   the engine (event order, latency jitter).
+pub trait Protocol {
+    /// The wire message type exchanged between nodes of this protocol.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// A static label for a message, used for message-complexity
+    /// accounting (`"REQUEST"`, `"RESPONSE"`, `"RELEASE"`, …).
+    fn msg_kind(msg: &Self::Msg) -> &'static str;
+
+    /// Called once before any event is delivered.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// The engine needs a channel for a call in this cell. Must resolve
+    /// eventually via `ctx.grant` or `ctx.reject`.
+    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The call using `ch` in this cell ended (or moved away); free it.
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A message from `from` (guaranteed to be in this cell's
+    /// interference region for all schemes in this workspace).
+    fn on_message(&mut self, from: CellId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A timer set through `ctx.set_timer` fired.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}

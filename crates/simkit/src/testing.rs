@@ -1,0 +1,182 @@
+//! Test harness for driving a single protocol node without an engine.
+//!
+//! [`MockNet`] implements [`CtxBackend`] by recording everything the node
+//! does — messages sent, grants, rejects, timers, counters — so unit
+//! tests can feed a state machine one event at a time and assert on each
+//! reaction. Used heavily by `adca-core`'s state-machine tests.
+
+use crate::backend::CtxBackend;
+use crate::protocol::RequestId;
+use crate::time::SimTime;
+use adca_hexgrid::{CellId, Channel, Topology};
+
+/// Everything a node did while handling one or more events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M> {
+    /// `send_kind(to, kind, msg)`.
+    Send {
+        /// Destination cell.
+        to: CellId,
+        /// Message label.
+        kind: &'static str,
+        /// The message.
+        msg: M,
+    },
+    /// `grant(req, ch)`.
+    Grant {
+        /// The request resolved.
+        req: RequestId,
+        /// The granted channel.
+        ch: Channel,
+    },
+    /// `reject(req)`.
+    Reject {
+        /// The request resolved.
+        req: RequestId,
+    },
+    /// `set_timer(delay, tag)`.
+    Timer {
+        /// Delay in ticks.
+        delay: u64,
+        /// Caller tag.
+        tag: u64,
+    },
+}
+
+/// A recording backend for one node.
+pub struct MockNet<M> {
+    me: CellId,
+    topo: Topology,
+    now: SimTime,
+    /// Everything the node did, in order.
+    pub actions: Vec<Action<M>>,
+    /// Counters the node bumped.
+    pub counters: adca_metrics::CounterMap,
+}
+
+impl<M> MockNet<M> {
+    /// A mock for `me` over `topo`, starting at time 0.
+    pub fn new(me: CellId, topo: Topology) -> Self {
+        MockNet {
+            me,
+            topo,
+            now: SimTime::ZERO,
+            actions: Vec::new(),
+            counters: adca_metrics::CounterMap::new(),
+        }
+    }
+
+    /// Advances the mock clock.
+    pub fn advance(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+
+    /// Drains and returns the recorded actions.
+    pub fn take_actions(&mut self) -> Vec<Action<M>> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// The messages sent (kind, to) in order, ignoring other actions.
+    pub fn sends(&self) -> Vec<(&'static str, CellId)> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, kind, .. } => Some((*kind, *to)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The single grant recorded, if any.
+    pub fn granted(&self) -> Option<(RequestId, Channel)> {
+        self.actions.iter().find_map(|a| match a {
+            Action::Grant { req, ch } => Some((*req, *ch)),
+            _ => None,
+        })
+    }
+
+    /// Whether a reject was recorded.
+    pub fn rejected(&self) -> bool {
+        self.actions.iter().any(|a| matches!(a, Action::Reject { .. }))
+    }
+}
+
+impl<M> CtxBackend<M> for MockNet<M> {
+    fn me(&self) -> CellId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
+        self.actions.push(Action::Send { to, kind, msg });
+    }
+
+    fn grant(&mut self, req: RequestId, ch: Channel) {
+        self.actions.push(Action::Grant { req, ch });
+    }
+
+    fn reject(&mut self, req: RequestId) {
+        self.actions.push(Action::Reject { req });
+    }
+
+    fn set_timer(&mut self, delay: u64, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    fn count(&mut self, name: &'static str) {
+        self.counters.incr(name);
+    }
+
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.add(name, n);
+    }
+
+    fn sample(&mut self, _name: &'static str, _value: f64) {}
+
+    fn truly_free_here(&self, _ch: Channel) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Ctx;
+
+    #[test]
+    fn mock_records_actions_in_order() {
+        let topo = Topology::default_paper(3, 3);
+        let mut mock: MockNet<u32> = MockNet::new(CellId(4), topo);
+        {
+            let mut ctx = Ctx::new(&mut mock);
+            ctx.send_kind(CellId(1), "PING", 7);
+            ctx.grant(RequestId(0), Channel(3));
+            ctx.count("things");
+        }
+        assert_eq!(mock.sends(), vec![("PING", CellId(1))]);
+        assert_eq!(mock.granted(), Some((RequestId(0), Channel(3))));
+        assert!(!mock.rejected());
+        assert_eq!(mock.counters.get("things"), 1);
+        assert_eq!(mock.take_actions().len(), 2, "send + grant");
+        assert!(mock.actions.is_empty());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let topo = Topology::default_paper(3, 3);
+        let mut mock: MockNet<u32> = MockNet::new(CellId(0), topo);
+        assert_eq!(
+            CtxBackend::<u32>::now(&mock),
+            SimTime::ZERO
+        );
+        mock.advance(250);
+        assert_eq!(CtxBackend::<u32>::now(&mock), SimTime(250));
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload description consumed by the engine.
+//!
+//! Workloads are materialized up front (by `adca-traffic` or by hand in
+//! tests) as a list of [`Arrival`]s. Materialization keeps the engine free
+//! of probability distributions and makes every experiment trivially
+//! replayable.
+
+use adca_hexgrid::CellId;
+
+/// One call offered to the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival tick.
+    pub at: u64,
+    /// Cell where the call originates.
+    pub cell: CellId,
+    /// Holding time in ticks (from successful acquisition to hang-up).
+    pub duration: u64,
+    /// Mobility plan: `(offset, target)` pairs meaning "at `at + offset`
+    /// ticks the mobile has moved to cell `target`". Offsets must be
+    /// strictly increasing. Empty for stationary calls.
+    pub hops: Vec<(u64, CellId)>,
+}
+
+impl Arrival {
+    /// A stationary call.
+    pub fn new(at: u64, cell: CellId, duration: u64) -> Self {
+        Arrival {
+            at,
+            cell,
+            duration,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Adds a handoff at `offset` ticks after arrival.
+    pub fn with_hop(mut self, offset: u64, target: CellId) -> Self {
+        debug_assert!(
+            self.hops.last().is_none_or(|&(o, _)| o < offset),
+            "hop offsets must be strictly increasing"
+        );
+        self.hops.push((offset, target));
+        self
+    }
+}
+
+/// Sorts arrivals by time (stable), as the engine requires.
+pub fn sort_arrivals(arrivals: &mut [Arrival]) {
+    arrivals.sort_by_key(|a| a.at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder() {
+        let a = Arrival::new(10, CellId(3), 500)
+            .with_hop(100, CellId(4))
+            .with_hop(200, CellId(5));
+        assert_eq!(a.hops.len(), 2);
+        assert_eq!(a.hops[1], (200, CellId(5)));
+    }
+
+    #[test]
+    fn sorting() {
+        let mut v = vec![
+            Arrival::new(30, CellId(0), 1),
+            Arrival::new(10, CellId(1), 1),
+            Arrival::new(20, CellId(2), 1),
+        ];
+        sort_arrivals(&mut v);
+        let times: Vec<u64> = v.iter().map(|a| a.at).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+}

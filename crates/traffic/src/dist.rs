@@ -1,0 +1,100 @@
+//! Minimal distribution sampling on top of `rand`.
+//!
+//! Only what the workload generator needs: exponential inter-arrival and
+//! holding times. (The `rand_distr` crate is deliberately avoided to keep
+//! the dependency set to the pre-approved list.)
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given `mean` via inverse
+/// transform. Returns 0 for `mean <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen::<f64>();
+    // 1 - u ∈ (0, 1]: ln is finite.
+    -(1.0 - u).ln() * mean
+}
+
+/// Samples an exponential variate and rounds it to ticks, clamped to at
+/// least 1 tick (a zero-length call or dwell is meaningless).
+pub fn exponential_ticks<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    exponential(rng, mean).round().max(1.0) as u64
+}
+
+/// Generates Poisson-process event times with constant `rate` (events per
+/// tick) over `[start, end)`, appending to `out`.
+pub fn poisson_times<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate: f64,
+    start: u64,
+    end: u64,
+    out: &mut Vec<u64>,
+) {
+    if rate <= 0.0 || end <= start {
+        return;
+    }
+    let mean_gap = 1.0 / rate;
+    let mut t = start as f64 + exponential(rng, mean_gap);
+    while t < end as f64 {
+        out.push(t.floor() as u64);
+        t += exponential(rng, mean_gap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_approx() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 10.0) >= 0.0);
+        }
+        assert_eq!(exponential(&mut rng, 0.0), 0.0);
+        assert_eq!(exponential(&mut rng, -3.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_ticks_at_least_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(exponential_ticks(&mut rng, 0.01) >= 1);
+        }
+    }
+
+    #[test]
+    fn poisson_count_approx() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        // rate 0.01/tick over 1e6 ticks → ~10_000 events.
+        poisson_times(&mut rng, 0.01, 0, 1_000_000, &mut out);
+        let n = out.len() as f64;
+        assert!((n - 10_000.0).abs() < 400.0, "count = {n}");
+        // Sorted and in range.
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.iter().all(|&t| t < 1_000_000));
+    }
+
+    #[test]
+    fn poisson_zero_rate_or_empty_window() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        poisson_times(&mut rng, 0.0, 0, 1000, &mut out);
+        poisson_times(&mut rng, 1.0, 500, 500, &mut out);
+        assert!(out.is_empty());
+    }
+}

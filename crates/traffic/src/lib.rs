@@ -1,0 +1,22 @@
+//! Workload generation for cellular channel-allocation experiments.
+//!
+//! Produces the [`adca_simkit::Arrival`] lists consumed by the simulator:
+//!
+//! * Poisson call arrivals with exponential holding times, scaled in
+//!   Erlangs against each cell's primary-set capacity ([`spec`]),
+//! * temporary *hot spots* — the scenario motivating the paper's adaptive
+//!   scheme: a few cells briefly loaded far beyond their static
+//!   allotment while their neighborhood stays light,
+//! * random-walk mobility generating handoffs ([`mobility`]),
+//! * deterministic generation from a seed, plus text trace record/replay
+//!   so any workload can be archived and re-run ([`trace`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod mobility;
+pub mod spec;
+pub mod trace;
+
+pub use spec::{BaseLoad, Hotspot, Mobility, WorkloadSpec};

@@ -1,0 +1,89 @@
+//! Random-walk mobility: handoff plans for moving calls.
+
+use crate::dist::exponential_ticks;
+use adca_hexgrid::{CellId, Topology};
+use rand::Rng;
+
+/// Generates a random-walk hop plan for a call of `duration` ticks
+/// starting in `start`: after each exponential dwell (mean `dwell_mean`)
+/// the mobile moves to a uniformly random *adjacent* cell. Hops at or
+/// beyond the call duration are not generated.
+pub fn random_walk_hops<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &Topology,
+    start: CellId,
+    duration: u64,
+    dwell_mean: f64,
+) -> Vec<(u64, CellId)> {
+    let mut hops = Vec::new();
+    let mut cell = start;
+    let mut t = exponential_ticks(rng, dwell_mean);
+    while t < duration {
+        let neighbors = topo.grid().neighbors(cell);
+        if neighbors.is_empty() {
+            break;
+        }
+        let target = neighbors[rng.gen_range(0..neighbors.len())];
+        hops.push((t, target));
+        cell = target;
+        t += exponential_ticks(rng, dwell_mean);
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hops_are_adjacent_walk() {
+        let topo = Topology::default_paper(8, 8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let start = CellId(20);
+        let hops = random_walk_hops(&mut rng, &topo, start, 10_000, 300.0);
+        assert!(!hops.is_empty());
+        let mut cur = start;
+        for &(_, next) in &hops {
+            assert_eq!(topo.distance(cur, next), 1, "non-adjacent hop");
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn hops_within_duration_and_increasing() {
+        let topo = Topology::default_paper(8, 8);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..50 {
+            let hops = random_walk_hops(&mut rng, &topo, CellId(0), 5_000, 800.0);
+            for w in hops.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            assert!(hops.iter().all(|&(t, _)| t < 5_000));
+        }
+    }
+
+    #[test]
+    fn long_dwell_means_no_hops() {
+        let topo = Topology::default_paper(4, 4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut any = false;
+        for _ in 0..20 {
+            any |= !random_walk_hops(&mut rng, &topo, CellId(0), 10, 1_000_000.0).is_empty();
+        }
+        assert!(!any, "dwell far beyond duration must not generate hops");
+    }
+
+    #[test]
+    fn expected_hop_count_scales_with_dwell() {
+        let topo = Topology::default_paper(8, 8);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let total: usize = (0..200)
+            .map(|_| random_walk_hops(&mut rng, &topo, CellId(30), 10_000, 1_000.0).len())
+            .sum();
+        let mean = total as f64 / 200.0;
+        // Expect ≈ duration/dwell = 10 hops per call.
+        assert!((mean - 10.0).abs() < 2.0, "mean hops = {mean}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text workload trace record & replay.
+//!
+//! Format: one call per line,
+//! `at cell duration [hop_offset:hop_cell ...]`, `#` comments and blank
+//! lines ignored. Human-diffable and stable, so experiment workloads can
+//! be archived alongside results.
+
+use adca_hexgrid::CellId;
+use adca_simkit::Arrival;
+use std::fmt::Write as _;
+
+/// Serializes arrivals to the trace text format.
+pub fn to_text(arrivals: &[Arrival]) -> String {
+    let mut out = String::with_capacity(arrivals.len() * 24);
+    out.push_str("# adca workload trace v1: at cell duration [off:cell ...]\n");
+    for a in arrivals {
+        write!(out, "{} {} {}", a.at, a.cell.0, a.duration).expect("string write");
+        for (off, cell) in &a.hops {
+            write!(out, " {off}:{}", cell.0).expect("string write");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the trace text format back into arrivals.
+pub fn from_text(text: &str) -> Result<Vec<Arrival>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+        let at: u64 = fields
+            .next()
+            .ok_or_else(|| err("missing arrival time".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad arrival time: {e}")))?;
+        let cell: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing cell".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad cell: {e}")))?;
+        let duration: u64 = fields
+            .next()
+            .ok_or_else(|| err("missing duration".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad duration: {e}")))?;
+        let mut hops = Vec::new();
+        for hop in fields {
+            let (off, target) = hop
+                .split_once(':')
+                .ok_or_else(|| err(format!("bad hop `{hop}` (want off:cell)")))?;
+            let off: u64 = off.parse().map_err(|e| err(format!("bad hop offset: {e}")))?;
+            let target: u32 = target.parse().map_err(|e| err(format!("bad hop cell: {e}")))?;
+            hops.push((off, CellId(target)));
+        }
+        out.push(Arrival {
+            at,
+            cell: CellId(cell),
+            duration,
+            hops,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let arrivals = vec![
+            Arrival::new(0, CellId(3), 100),
+            Arrival::new(5, CellId(7), 250)
+                .with_hop(50, CellId(8))
+                .with_hop(120, CellId(9)),
+        ];
+        let text = to_text(&arrivals);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, arrivals);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n10 2 300\n  # indented comment\n20 3 400 7:4\n";
+        let parsed = from_text(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].hops, vec![(7, CellId(4))]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("10 2 300\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_text("10 2 300 nope\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(from_text("# nothing\n").unwrap(), vec![]);
+        assert_eq!(from_text("").unwrap(), vec![]);
+    }
+}

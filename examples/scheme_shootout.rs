@@ -1,0 +1,55 @@
+//! All six schemes, one workload, side by side — drop rate, message
+//! complexity, acquisition latency, fairness, and the adaptive scheme's
+//! mode mix.
+//!
+//! ```text
+//! cargo run --release --example scheme_shootout [rho]
+//! ```
+
+use adca_repro::prelude::*;
+
+fn main() {
+    let rho: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.9);
+    let scenario = Scenario::uniform(rho, 150_000);
+    println!("== all schemes at rho = {rho} Erlangs/primary-channel ==\n");
+    println!(
+        "{:<18} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "scheme", "drop%", "msgs/acq", "meanT", "p99T", "maxT", "fair"
+    );
+    for kind in SchemeKind::ALL {
+        let mut s = scenario.run(kind);
+        s.report.assert_clean();
+        let p99 = s.acq_quantile_t(0.99);
+        println!(
+            "{:<18} {:>6.2}% {:>9.2} {:>9.2} {:>9.1} {:>9.1} {:>8}",
+            kind.name(),
+            s.drop_rate() * 100.0,
+            s.msgs_per_acq(),
+            s.mean_acq_t(),
+            p99,
+            s.max_acq_t(),
+            s.service_fairness()
+                .map(|f| format!("{f:.3}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let s = scenario.run(SchemeKind::Adaptive);
+    println!(
+        "\nadaptive mode mix: ξ1 = {:.3}, ξ2 = {:.3}, ξ3 = {:.3}{}",
+        s.xi1(),
+        s.xi2(),
+        s.xi3(),
+        s.mean_update_attempts()
+            .map(|m| format!(", mean update attempts m = {m:.2}"))
+            .unwrap_or_default()
+    );
+    println!(
+        "mode transitions: {} to borrowing, {} back to local",
+        s.report.custom.get("mode_to_borrowing"),
+        s.report.custom.get("mode_to_local")
+    );
+}

@@ -1,0 +1,47 @@
+//! Workload record & replay: generate a traffic trace, archive it as
+//! text, reload it, and show the replay reproduces the original run
+//! bit-for-bit (the determinism every table in EXPERIMENTS.md relies on).
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use adca_repro::prelude::*;
+use adca_traffic::trace;
+
+fn main() {
+    let scenario = Scenario::uniform(0.8, 80_000).with_grid(8, 8);
+    let topo = scenario.topology();
+    let arrivals = scenario.arrivals(&topo);
+
+    // Archive.
+    let text = trace::to_text(&arrivals);
+    let path = std::env::temp_dir().join("adca_workload.trace");
+    std::fs::write(&path, &text).expect("write trace");
+    println!(
+        "recorded {} calls -> {} ({} bytes)",
+        arrivals.len(),
+        path.display(),
+        text.len()
+    );
+
+    // Reload and verify the round trip.
+    let reloaded = trace::from_text(&std::fs::read_to_string(&path).expect("read trace"))
+        .expect("parse trace");
+    assert_eq!(reloaded, arrivals, "trace round-trip must be lossless");
+
+    // Replay: identical results.
+    let original = scenario.run_with(SchemeKind::Adaptive, topo.clone(), arrivals);
+    let replayed = scenario.run_with(SchemeKind::Adaptive, topo, reloaded);
+    assert_eq!(original.report.granted, replayed.report.granted);
+    assert_eq!(original.report.dropped_new, replayed.report.dropped_new);
+    assert_eq!(original.report.messages_total, replayed.report.messages_total);
+    assert_eq!(original.report.end_time, replayed.report.end_time);
+    println!(
+        "replay identical: granted {}, dropped {}, messages {}, end {}",
+        replayed.report.granted,
+        replayed.report.dropped_new,
+        replayed.report.messages_total,
+        replayed.report.end_time
+    );
+}

@@ -1,0 +1,271 @@
+//! `adca` — command-line experiment runner.
+//!
+//! ```text
+//! adca run [--scheme adaptive] [--rho 0.9] [--grid 12x12] [--horizon 120000]
+//!          [--wrap] [--seed N] [--alpha N] [--theta L,H] [--all]
+//! adca sweep [--schemes a,b,c] [--loads 0.3,0.6,0.9] ...
+//! adca topo [--grid 12x12] [--wrap]
+//! ```
+//!
+//! Hand-rolled argument parsing (no CLI dependency by design — the
+//! workspace sticks to the approved crate set).
+
+use adca_repro::hexgrid::render;
+use adca_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit(None);
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => usage_and_exit(Some(&e)),
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "topo" => cmd_topo(&opts),
+        "-h" | "--help" | "help" => usage_and_exit(None),
+        other => usage_and_exit(Some(&format!("unknown command `{other}`"))),
+    }
+}
+
+fn usage_and_exit(err: Option<&str>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!(
+        "adca — run the channel-allocation schemes of Kahol et al. (ICPP'98)\n\
+         \n\
+         USAGE:\n\
+         \u{20}   adca run   [options]    run one scheme (or --all) and print a summary\n\
+         \u{20}   adca sweep [options]    sweep offered loads across schemes\n\
+         \u{20}   adca topo  [options]    print the topology (colors + one region)\n\
+         \n\
+         OPTIONS:\n\
+         \u{20}   --scheme <name>      fixed | basic-search | basic-update |\n\
+         \u{20}                        advanced-update | advanced-search | adaptive\n\
+         \u{20}   --all                run every scheme on the same workload\n\
+         \u{20}   --rho <f>            offered load, Erlangs per primary channel (default 0.9)\n\
+         \u{20}   --loads <f,f,..>     loads for `sweep` (default 0.3,0.6,0.9,1.2)\n\
+         \u{20}   --grid <RxC>         grid size (default 12x12)\n\
+         \u{20}   --horizon <ticks>    workload horizon (default 120000)\n\
+         \u{20}   --seed <n>           workload seed (default 7)\n\
+         \u{20}   --wrap               toroidal grid (needs e.g. 14x14)\n\
+         \u{20}   --alpha <n>          adaptive update-attempt bound (default 3)\n\
+         \u{20}   --theta <l,h>        adaptive thresholds (default 1,3)\n\
+         \u{20}   --mobility <dwell>   enable random-walk mobility\n"
+    );
+    std::process::exit(if err.is_some() { 2 } else { 0 });
+}
+
+struct Opts {
+    scheme: SchemeKind,
+    all: bool,
+    rho: f64,
+    loads: Vec<f64>,
+    rows: u32,
+    cols: u32,
+    horizon: u64,
+    seed: u64,
+    wrap: bool,
+    alpha: u32,
+    theta: (f64, f64),
+    mobility: Option<f64>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts {
+            scheme: SchemeKind::Adaptive,
+            all: false,
+            rho: 0.9,
+            loads: vec![0.3, 0.6, 0.9, 1.2],
+            rows: 12,
+            cols: 12,
+            horizon: 120_000,
+            seed: 7,
+            wrap: false,
+            alpha: 3,
+            theta: (1.0, 3.0),
+            mobility: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scheme" => o.scheme = value("--scheme")?.parse()?,
+                "--all" => o.all = true,
+                "--rho" => {
+                    o.rho = value("--rho")?
+                        .parse()
+                        .map_err(|e| format!("bad --rho: {e}"))?
+                }
+                "--loads" => {
+                    o.loads = value("--loads")?
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("bad load: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "--grid" => {
+                    let v = value("--grid")?;
+                    let (r, c) = v
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("bad --grid `{v}` (want RxC)"))?;
+                    o.rows = r.parse().map_err(|e| format!("bad rows: {e}"))?;
+                    o.cols = c.parse().map_err(|e| format!("bad cols: {e}"))?;
+                }
+                "--horizon" => {
+                    o.horizon = value("--horizon")?
+                        .parse()
+                        .map_err(|e| format!("bad --horizon: {e}"))?
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--wrap" => o.wrap = true,
+                "--alpha" => {
+                    o.alpha = value("--alpha")?
+                        .parse()
+                        .map_err(|e| format!("bad --alpha: {e}"))?
+                }
+                "--theta" => {
+                    let v = value("--theta")?;
+                    let (l, h) = v
+                        .split_once(',')
+                        .ok_or_else(|| format!("bad --theta `{v}` (want L,H)"))?;
+                    o.theta = (
+                        l.parse().map_err(|e| format!("bad theta_l: {e}"))?,
+                        h.parse().map_err(|e| format!("bad theta_h: {e}"))?,
+                    );
+                }
+                "--mobility" => {
+                    o.mobility = Some(
+                        value("--mobility")?
+                            .parse()
+                            .map_err(|e| format!("bad --mobility: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn scenario(&self, rho: f64) -> Scenario {
+        let mut workload = WorkloadSpec::uniform(rho, 10_000.0, self.horizon).with_seed(self.seed);
+        if let Some(dwell) = self.mobility {
+            workload = workload.with_mobility(dwell);
+        }
+        let mut sc = Scenario::uniform(rho, self.horizon)
+            .with_grid(self.rows, self.cols)
+            .with_workload(workload)
+            .with_adaptive(AdaptiveConfig {
+                alpha: self.alpha,
+                theta_l: self.theta.0,
+                theta_h: self.theta.1,
+                ..Default::default()
+            });
+        if self.wrap {
+            sc = sc.with_wrap();
+        }
+        sc
+    }
+}
+
+fn print_summary(s: &RunSummary, verbose: bool) {
+    println!("{}", s.row());
+    if verbose {
+        let r = &s.report;
+        println!(
+            "    offered {}  granted {}  completed {}  handoff_fail {}",
+            r.offered_calls, r.granted, r.completed_calls, r.dropped_handoff
+        );
+        println!(
+            "    xi1/xi2/xi3 {:.3}/{:.3}/{:.3}{}",
+            s.xi1(),
+            s.xi2(),
+            s.xi3(),
+            s.mean_update_attempts()
+                .map(|m| format!("  m {m:.2}"))
+                .unwrap_or_default()
+        );
+        if r.messages_total > 0 {
+            let kinds: Vec<String> = r
+                .msg_kinds
+                .iter()
+                .map(|(k, v)| format!("{k} {v}"))
+                .collect();
+            println!("    messages: {}", kinds.join(", "));
+        }
+    }
+}
+
+fn cmd_run(o: &Opts) {
+    let sc = o.scenario(o.rho);
+    if o.all {
+        for s in sc.run_all(&SchemeKind::ALL) {
+            s.report.assert_clean();
+            print_summary(&s, false);
+        }
+    } else {
+        let s = sc.run(o.scheme);
+        s.report.assert_clean();
+        print_summary(&s, true);
+    }
+}
+
+fn cmd_sweep(o: &Opts) {
+    println!(
+        "{:>6} {:<18} {:>7} {:>9} {:>8} {:>8}",
+        "rho", "scheme", "drop%", "msgs/acq", "meanT", "maxT"
+    );
+    for &rho in &o.loads {
+        let sc = o.scenario(rho);
+        let kinds: Vec<SchemeKind> = if o.all {
+            SchemeKind::ALL.to_vec()
+        } else {
+            vec![o.scheme]
+        };
+        for s in sc.run_all(&kinds) {
+            s.report.assert_clean();
+            println!(
+                "{rho:>6} {:<18} {:>6.2}% {:>9.2} {:>8.2} {:>8.1}",
+                s.scheme.name(),
+                s.drop_rate() * 100.0,
+                s.msgs_per_acq(),
+                s.mean_acq_t(),
+                s.max_acq_t()
+            );
+        }
+    }
+}
+
+fn cmd_topo(o: &Opts) {
+    let sc = o.scenario(o.rho);
+    let topo = sc.topology();
+    println!(
+        "{} cells ({}x{}{}), {} channels, cluster {}, N = {}",
+        topo.num_cells(),
+        o.rows,
+        o.cols,
+        if o.wrap { ", torus" } else { "" },
+        topo.spectrum().len(),
+        topo.pattern().cluster_size(),
+        topo.max_region_size()
+    );
+    println!("{}", render::render_colors(&topo));
+    let center = topo
+        .grid()
+        .at_offset(o.cols / 2, o.rows / 2)
+        .expect("center in grid");
+    println!("interference region of {center}:");
+    println!("{}", render::render_region(&topo, center));
+}
