@@ -96,9 +96,7 @@ impl SchemeModel {
             SchemeModel::BasicSearch => p.n_search + 1.0,
             SchemeModel::BasicUpdate => 2.0 * p.m,
             SchemeModel::AdvancedUpdate => (1.0 - p.xi1) * 2.0 * p.m,
-            SchemeModel::Adaptive => {
-                2.0 * p.m * p.xi2 + (2.0 * p.alpha + p.n_search + 1.0) * p.xi3
-            }
+            SchemeModel::Adaptive => 2.0 * p.m * p.xi2 + (2.0 * p.alpha + p.n_search + 1.0) * p.xi3,
         }
     }
 
@@ -210,8 +208,14 @@ mod tests {
 
     #[test]
     fn table2_other_rows() {
-        assert_eq!(SchemeModel::BasicSearch.low_load(18.0, 3.0, 3.0), (36.0, 2.0));
-        assert_eq!(SchemeModel::BasicUpdate.low_load(18.0, 3.0, 3.0), (72.0, 2.0));
+        assert_eq!(
+            SchemeModel::BasicSearch.low_load(18.0, 3.0, 3.0),
+            (36.0, 2.0)
+        );
+        assert_eq!(
+            SchemeModel::BasicUpdate.low_load(18.0, 3.0, 3.0),
+            (72.0, 2.0)
+        );
         assert_eq!(
             SchemeModel::AdvancedUpdate.low_load(18.0, 3.0, 3.0),
             (36.0, 0.0)

@@ -385,7 +385,12 @@ impl AdvancedSearchNode {
     }
 
     /// Resolve the head request and answer everyone we deferred.
-    fn finish(&mut self, ch: Option<Channel>, req: RequestId, ctx: &mut Ctx<'_, AdvancedSearchMsg>) {
+    fn finish(
+        &mut self,
+        ch: Option<Channel>,
+        req: RequestId,
+        ctx: &mut Ctx<'_, AdvancedSearchMsg>,
+    ) {
         if let Some(search) = self.search.take() {
             ctx.sample(
                 "attempt_ticks",
@@ -506,10 +511,10 @@ mod tests {
     use super::*;
     use adca_simkit::engine::run_protocol;
     use adca_simkit::{Arrival, LatencyModel, SimConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     fn cfg() -> SimConfig {
@@ -522,7 +527,9 @@ mod tests {
     #[test]
     fn allocated_set_serves_silently() {
         let t = topo();
-        let arrivals: Vec<Arrival> = (0..10).map(|i| Arrival::new(i, CellId(14), 1_000)).collect();
+        let arrivals: Vec<Arrival> = (0..10)
+            .map(|i| Arrival::new(i, CellId(14), 1_000))
+            .collect();
         let r = run_protocol(t, cfg(), AdvancedSearchNode::new, arrivals);
         r.assert_clean();
         assert_eq!(r.granted, 10);
@@ -551,8 +558,7 @@ mod tests {
         // burst its calls are again served silently from the bigger set.
         let t = topo();
         let center = t.grid().at_offset(3, 3).unwrap();
-        let mut arrivals: Vec<Arrival> =
-            (0..15).map(|i| Arrival::new(i, center, 5_000)).collect();
+        let mut arrivals: Vec<Arrival> = (0..15).map(|i| Arrival::new(i, center, 5_000)).collect();
         // Well after the burst ended: 12 more calls.
         for i in 0..12 {
             arrivals.push(Arrival::new(100_000 + i, center, 5_000));
@@ -564,14 +570,14 @@ mod tests {
         // hoarded allocation: no new searches in that window would show
         // as extra transfer/claim acquisitions beyond the first burst's.
         let expansions = r.custom.get("acq_transfer") + r.custom.get("acq_claim");
-        assert!(expansions >= 2 && expansions <= 5, "expansions = {expansions}");
+        assert!((2..=5).contains(&expansions), "expansions = {expansions}");
     }
 
     #[test]
     fn transfer_refused_when_owner_started_using() {
         // Saturate a small grid so some transfers race owners' own calls;
         // KEEPs must be handled (retry or drop) without deadlock.
-        let t = Rc::new(Topology::default_paper(5, 5));
+        let t = Arc::new(Topology::default_paper(5, 5));
         let mut arrivals = Vec::new();
         for c in 0..25u32 {
             for i in 0..11 {

@@ -405,10 +405,10 @@ mod tests {
     use super::*;
     use adca_simkit::engine::run_protocol;
     use adca_simkit::{Arrival, LatencyModel, SimConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     fn cfg() -> SimConfig {
@@ -450,7 +450,7 @@ mod tests {
 
     #[test]
     fn borrowing_still_safe_under_contention() {
-        let t = Rc::new(Topology::default_paper(5, 5));
+        let t = Arc::new(Topology::default_paper(5, 5));
         let mut arrivals = Vec::new();
         for c in 0..25u32 {
             for i in 0..12 {

@@ -175,10 +175,7 @@ impl Protocol for BasicSearchNode {
         match msg {
             BasicSearchMsg::Request { ts } => {
                 self.clock.observe(ts);
-                let defer = self
-                    .search
-                    .as_ref()
-                    .is_some_and(|s| s.ts < ts);
+                let defer = self.search.as_ref().is_some_and(|s| s.ts < ts);
                 if defer {
                     ctx.count("deferred_search_reqs");
                     self.deferred.push_back(from);
@@ -215,10 +212,10 @@ mod tests {
     use super::*;
     use adca_simkit::engine::run_protocol;
     use adca_simkit::{Arrival, LatencyModel, SimConfig, SimTime};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     fn cfg() -> SimConfig {
@@ -265,7 +262,7 @@ mod tests {
         // Saturate a small grid: every cell requests simultaneously.
         // Timestamp deferral must sequence them; the engine audits safety
         // and liveness.
-        let t = Rc::new(Topology::default_paper(5, 5));
+        let t = Arc::new(Topology::default_paper(5, 5));
         let mut arrivals = Vec::new();
         for c in 0..25u32 {
             for i in 0..4 {
@@ -275,7 +272,10 @@ mod tests {
         let r = run_protocol(t, cfg(), BasicSearchNode::new, arrivals);
         r.assert_clean();
         assert_eq!(r.granted, 100, "4 calls × 25 cells all fit");
-        assert!(r.custom.get("deferred_search_reqs") > 0, "contention must defer");
+        assert!(
+            r.custom.get("deferred_search_reqs") > 0,
+            "contention must defer"
+        );
     }
 
     #[test]

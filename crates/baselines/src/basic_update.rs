@@ -267,10 +267,7 @@ impl Protocol for BasicUpdateNode {
                 }
                 // Conflict with our own pending attempt for the same
                 // channel: the younger timestamp loses.
-                let conflict = self
-                    .attempt
-                    .as_ref()
-                    .is_some_and(|a| a.ch == ch);
+                let conflict = self.attempt.as_ref().is_some_and(|a| a.ch == ch);
                 if conflict {
                     let my_ts = self.attempt.as_ref().expect("checked").ts;
                     if my_ts < ts {
@@ -337,10 +334,10 @@ mod tests {
     use super::*;
     use adca_simkit::engine::run_protocol;
     use adca_simkit::{Arrival, LatencyModel, SimConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     fn cfg() -> SimConfig {
@@ -393,8 +390,7 @@ mod tests {
         r.assert_clean();
         assert_eq!(r.granted, 2);
         assert!(
-            r.custom.get("update_rounds_failed") >= 1
-                || r.custom.get("update_self_aborts") >= 1,
+            r.custom.get("update_rounds_failed") >= 1 || r.custom.get("update_self_aborts") >= 1,
             "the race must cost at least one retry"
         );
         // The retry costs extra round trips for the loser.
@@ -403,7 +399,7 @@ mod tests {
 
     #[test]
     fn saturated_region_is_safe_and_live() {
-        let t = Rc::new(Topology::default_paper(5, 5));
+        let t = Arc::new(Topology::default_paper(5, 5));
         let mut arrivals = Vec::new();
         for c in 0..25u32 {
             for i in 0..5 {

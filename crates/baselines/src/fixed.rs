@@ -71,16 +71,18 @@ mod tests {
     use super::*;
     use adca_simkit::engine::run_protocol;
     use adca_simkit::{Arrival, SimConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     #[test]
     fn serves_up_to_primary_capacity() {
         let t = topo();
-        let arrivals: Vec<Arrival> = (0..10).map(|i| Arrival::new(i, CellId(14), 10_000)).collect();
+        let arrivals: Vec<Arrival> = (0..10)
+            .map(|i| Arrival::new(i, CellId(14), 10_000))
+            .collect();
         let r = run_protocol(t, SimConfig::default(), FixedNode::new, arrivals);
         r.assert_clean();
         assert_eq!(r.granted, 10);
@@ -94,7 +96,9 @@ mod tests {
         // The motivating failure: 15 calls in one cell, neighbors idle,
         // fixed still drops 5.
         let t = topo();
-        let arrivals: Vec<Arrival> = (0..15).map(|i| Arrival::new(i, CellId(14), 10_000)).collect();
+        let arrivals: Vec<Arrival> = (0..15)
+            .map(|i| Arrival::new(i, CellId(14), 10_000))
+            .collect();
         let r = run_protocol(t, SimConfig::default(), FixedNode::new, arrivals);
         r.assert_clean();
         assert_eq!(r.granted, 10);

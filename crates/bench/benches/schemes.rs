@@ -15,11 +15,7 @@ fn scheme_throughput(c: &mut Criterion) {
     for kind in SchemeKind::ALL {
         group.bench_function(kind.name(), |bench| {
             bench.iter(|| {
-                let s = sc.run_with(
-                    black_box(kind),
-                    topo.clone(),
-                    arrivals.clone(),
-                );
+                let s = sc.run_with(black_box(kind), topo.clone(), arrivals.clone());
                 s.report.assert_clean();
                 black_box(s.report.granted)
             })
@@ -37,7 +33,9 @@ fn hotspot_burst(c: &mut Criterion) {
         until: 30_000,
         multiplier: 8.0,
     });
-    let sc = Scenario::uniform(0.3, 40_000).with_grid(6, 6).with_workload(wl);
+    let sc = Scenario::uniform(0.3, 40_000)
+        .with_grid(6, 6)
+        .with_workload(wl);
     let topo = sc.topology();
     let arrivals = sc.arrivals(&topo);
     let mut group = c.benchmark_group("hotspot");

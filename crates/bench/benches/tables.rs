@@ -8,7 +8,7 @@ use adca_hexgrid::Topology;
 use adca_simkit::engine::run_protocol;
 use adca_simkit::{Arrival, SimConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn table_sweeps(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
@@ -43,19 +43,31 @@ fn table_sweeps(c: &mut Criterion) {
 fn fig11_scenario(c: &mut Criterion) {
     // The saturation + contention scenario of the fig11 binary, as a
     // bench (adaptive protocol under a fully saturated neighborhood).
-    let topo = Rc::new(Topology::default_paper(8, 8));
+    let topo = Arc::new(Topology::default_paper(8, 8));
     let p = topo.grid().at_offset(4, 4).expect("interior");
     let mut arrivals = Vec::new();
     for cell in topo.cells() {
         if topo.distance(cell, p) <= 3 {
-            let count = if topo.color(cell) == topo.color(p) { 9 } else { 10 };
+            let count = if topo.color(cell) == topo.color(p) {
+                9
+            } else {
+                10
+            };
             for k in 0..count {
                 arrivals.push(Arrival::new(k, cell, 60_000));
             }
         }
     }
-    arrivals.push(Arrival::new(5_000, topo.grid().at_offset(3, 4).expect("in"), 20_000));
-    arrivals.push(Arrival::new(5_100, topo.grid().at_offset(5, 4).expect("in"), 20_000));
+    arrivals.push(Arrival::new(
+        5_000,
+        topo.grid().at_offset(3, 4).expect("in"),
+        20_000,
+    ));
+    arrivals.push(Arrival::new(
+        5_100,
+        topo.grid().at_offset(5, 4).expect("in"),
+        20_000,
+    ));
     let mut group = c.benchmark_group("fig11");
     group.sample_size(20);
     group.bench_function("saturated_contention", |bench| {

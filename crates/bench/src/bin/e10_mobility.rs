@@ -4,8 +4,8 @@
 //! than blocking a fresh call). We compare handoff failure rates and the
 //! handoff's acquisition cost across schemes and dwell times.
 
-use adca_bench::{banner, f2, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 use adca_traffic::WorkloadSpec;
 
 fn main() {
@@ -22,15 +22,23 @@ fn main() {
         ("newcall_drop%", 14),
         ("msgs/acq", 9),
     ]);
-    for &dwell in &[2_000.0_f64, 5_000.0, 12_000.0] {
-        let wl = WorkloadSpec::uniform(0.8, 10_000.0, 120_000).with_mobility(dwell);
-        let sc = Scenario::uniform(0.8, 120_000).with_workload(wl);
-        for s in sc.run_all(&[
-            SchemeKind::Fixed,
-            SchemeKind::Adaptive,
-            SchemeKind::BasicSearch,
-            SchemeKind::AdvancedSearch,
-        ]) {
+    let dwells = [2_000.0_f64, 5_000.0, 12_000.0];
+    let kinds = [
+        SchemeKind::Fixed,
+        SchemeKind::Adaptive,
+        SchemeKind::BasicSearch,
+        SchemeKind::AdvancedSearch,
+    ];
+    let scenarios: Vec<Scenario> = dwells
+        .iter()
+        .map(|&dwell| {
+            let wl = WorkloadSpec::uniform(0.8, 10_000.0, 120_000).with_mobility(dwell);
+            Scenario::uniform(0.8, 120_000).with_workload(wl)
+        })
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &kinds);
+    for (&dwell, row) in dwells.iter().zip(&grid) {
+        for s in row {
             s.report.assert_clean();
             table.row(&[
                 format!("{dwell}"),
@@ -48,4 +56,8 @@ fn main() {
          borrowing schemes keep forced terminations well under the fixed\n\
          scheme's, at their usual message cost."
     );
+    perf_footer(dwells.iter().zip(&grid).flat_map(|(&dwell, row)| {
+        row.iter()
+            .map(move |s| (format!("dwell={dwell}/{}", s.scheme), s))
+    }));
 }

@@ -4,8 +4,8 @@
 //! full `N = 18` region, so measured per-acquisition message counts hit
 //! the interior-cell formulas of Tables 1–2 exactly.
 
-use adca_bench::{banner, f2, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -13,7 +13,22 @@ fn main() {
         "boundary-effect ablation (extension; the originals' wrap-around geometry)",
         "bounded vs toroidal 14x14 at low and moderate load",
     );
-    for &rho in &[0.12, 0.9] {
+    let rhos = [0.12, 0.9];
+    let wraps = [false, true];
+    let mut combos = Vec::new();
+    let mut scenarios = Vec::new();
+    for &rho in &rhos {
+        for &wrap in &wraps {
+            let mut sc = Scenario::uniform(rho, 120_000).with_grid(14, 14);
+            if wrap {
+                sc = sc.with_wrap();
+            }
+            combos.push((rho, wrap));
+            scenarios.push(sc);
+        }
+    }
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::TABLE_SCHEMES);
+    for (ri, &rho) in rhos.iter().enumerate() {
         println!("--- rho = {rho} ---\n");
         let table = TextTable::new(&[
             ("geometry", 9),
@@ -22,12 +37,8 @@ fn main() {
             ("msgs/acq", 9),
             ("acq_T", 7),
         ]);
-        for wrap in [false, true] {
-            let mut sc = Scenario::uniform(rho, 120_000).with_grid(14, 14);
-            if wrap {
-                sc = sc.with_wrap();
-            }
-            for s in sc.run_all(&SchemeKind::TABLE_SCHEMES) {
+        for (wi, &wrap) in wraps.iter().enumerate() {
+            for s in &grid[ri * wraps.len() + wi] {
                 s.report.assert_clean();
                 table.row(&[
                     if wrap { "torus" } else { "bounded" }.to_string(),
@@ -47,4 +58,9 @@ fn main() {
          ~15% lower — the entire table1/table2 deviation is boundary\n\
          geometry, not protocol behavior."
     );
+    perf_footer(combos.iter().zip(&grid).flat_map(|(&(rho, wrap), row)| {
+        let geom = if wrap { "torus" } else { "bounded" };
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{geom}/{}", s.scheme), s))
+    }));
 }

@@ -4,8 +4,8 @@
 //! the adaptive scheme matches the dynamic schemes' drop rate.
 
 use adca_analysis::erlang_b;
-use adca_bench::{banner, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -19,10 +19,14 @@ fn main() {
         cols.push((k.name(), 16));
     }
     let table = TextTable::new(&cols);
-    for &rho in &loads {
-        let sc = Scenario::uniform(rho, 120_000);
+    let scenarios: Vec<Scenario> = loads
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 120_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::ALL);
+    for (&rho, row) in loads.iter().zip(&grid) {
         let mut cells = vec![format!("{rho}"), pct(erlang_b(10, rho * 10.0))];
-        for s in sc.run_all(&SchemeKind::ALL) {
+        for s in row {
             s.report.assert_clean();
             cells.push(pct(s.drop_rate()));
         }
@@ -34,4 +38,8 @@ fn main() {
          the search schemes' drop rate while paying far fewer messages at low\n\
          load (see e3)."
     );
+    perf_footer(loads.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

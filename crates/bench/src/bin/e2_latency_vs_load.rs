@@ -4,8 +4,8 @@
 //! contention, and never exhibits the update schemes' unbounded retry
 //! tail.
 
-use adca_bench::{banner, f2, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -24,9 +24,14 @@ fn main() {
         ("attempt_mean_T", 15),
         ("attempt_max_T", 14),
     ]);
-    for &rho in &loads {
-        let sc = Scenario::uniform(rho, 120_000);
-        for mut s in sc.run_all(&SchemeKind::ALL) {
+    let scenarios: Vec<Scenario> = loads
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 120_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::ALL);
+    for (&rho, row) in loads.iter().zip(&grid) {
+        for s in row {
+            let mut s = s.clone();
             s.report.assert_clean();
             let (a_mean, a_max) = s
                 .report
@@ -47,10 +52,22 @@ fn main() {
                 f2(s.mean_acq_t()),
                 f2(p99),
                 f2(s.max_acq_t()),
-                if a_mean.is_nan() { "-".into() } else { f2(a_mean) },
-                if a_max.is_nan() { "-".into() } else { f2(a_max) },
+                if a_mean.is_nan() {
+                    "-".into()
+                } else {
+                    f2(a_mean)
+                },
+                if a_max.is_nan() {
+                    "-".into()
+                } else {
+                    f2(a_max)
+                },
             ]);
         }
         println!();
     }
+    perf_footer(loads.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

@@ -4,8 +4,8 @@
 //! scheme is silent; as load grows its cost approaches the search
 //! scheme's, by design.
 
-use adca_bench::{banner, f2, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -20,11 +20,14 @@ fn main() {
     }
     cols.push(("xi1/xi2/xi3", 18));
     let table = TextTable::new(&cols);
-    for &rho in &loads {
-        let sc = Scenario::uniform(rho, 120_000);
-        let summaries = sc.run_all(&SchemeKind::ALL);
+    let scenarios: Vec<Scenario> = loads
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 120_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::ALL);
+    for (&rho, summaries) in loads.iter().zip(&grid) {
         let mut cells = vec![format!("{rho}")];
-        for s in &summaries {
+        for s in summaries {
             s.report.assert_clean();
             cells.push(f2(s.msgs_per_acq()));
         }
@@ -41,9 +44,13 @@ fn main() {
         table.row(&cells);
     }
     println!();
-    // Message taxonomy for the adaptive scheme at one moderate load.
-    let sc = Scenario::uniform(0.9, 120_000);
-    let s = sc.run(SchemeKind::Adaptive);
+    // Message taxonomy for the adaptive scheme at one moderate load —
+    // the rho = 0.9 run from the sweep (bit-identical to a standalone
+    // run of the same scenario).
+    let s = &grid[loads.iter().position(|&r| r == 0.9).expect("0.9 swept")][SchemeKind::ALL
+        .iter()
+        .position(|&k| k == SchemeKind::Adaptive)
+        .expect("adaptive swept")];
     println!("adaptive message taxonomy at rho = 0.9:");
     for (kind, count) in s.report.msg_kinds.iter() {
         println!(
@@ -51,4 +58,8 @@ fn main() {
             count as f64 / s.report.granted as f64
         );
     }
+    perf_footer(loads.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

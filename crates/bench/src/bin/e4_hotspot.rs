@@ -5,8 +5,8 @@
 //! compare drops inside the hot spot, the price in messages, and the
 //! behavior across hot-spot intensities.
 
-use adca_bench::{banner, f2, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 use adca_hexgrid::CellId;
 use adca_traffic::{Hotspot, WorkloadSpec};
 
@@ -33,23 +33,34 @@ fn main() {
         ("msgs/acq", 9),
         ("acq_T", 7),
     ]);
-    for &mult in &[4.0, 8.0, 12.0] {
-        let workload = WorkloadSpec::uniform(0.25, 10_000.0, horizon).with_hotspot(Hotspot {
-            cells: hot.clone(),
-            from: 80_000,
-            until: 160_000,
-            multiplier: mult,
-        });
-        let sc = base.clone().with_workload(workload);
-        for s in sc.run_all(&[
-            SchemeKind::Fixed,
-            SchemeKind::Adaptive,
-            SchemeKind::BasicUpdate,
-            SchemeKind::BasicSearch,
-            SchemeKind::AdvancedSearch,
-        ]) {
+    let mults = [4.0, 8.0, 12.0];
+    let kinds = [
+        SchemeKind::Fixed,
+        SchemeKind::Adaptive,
+        SchemeKind::BasicUpdate,
+        SchemeKind::BasicSearch,
+        SchemeKind::AdvancedSearch,
+    ];
+    let scenarios: Vec<Scenario> = mults
+        .iter()
+        .map(|&mult| {
+            let workload = WorkloadSpec::uniform(0.25, 10_000.0, horizon).with_hotspot(Hotspot {
+                cells: hot.clone(),
+                from: 80_000,
+                until: 160_000,
+                multiplier: mult,
+            });
+            base.clone().with_workload(workload)
+        })
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &kinds);
+    for (&mult, row) in mults.iter().zip(&grid) {
+        for s in row {
             s.report.assert_clean();
-            let hot_arr: u64 = hot.iter().map(|c| s.report.per_cell_arrivals[c.index()]).sum();
+            let hot_arr: u64 = hot
+                .iter()
+                .map(|c| s.report.per_cell_arrivals[c.index()])
+                .sum();
             let hot_drop: u64 = hot.iter().map(|c| s.report.per_cell_drops[c.index()]).sum();
             table.row(&[
                 format!("{mult}x"),
@@ -68,4 +79,8 @@ fn main() {
          neighborhood channels — the adaptive scheme at a fraction of the\n\
          always-on schemes' message cost (its cold cells stay silent)."
     );
+    perf_footer(mults.iter().zip(&grid).flat_map(|(&mult, row)| {
+        row.iter()
+            .map(move |s| (format!("{mult}x/{}", s.scheme), s))
+    }));
 }

@@ -4,9 +4,9 @@
 //! The paper's design argument for `θ_l < θ_h` becomes measurable as the
 //! CHANGE_MODE volume.
 
-use adca_bench::{banner, f2, pct, TextTable};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
 use adca_core::AdaptiveConfig;
-use adca_harness::{Scenario, SchemeKind};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -30,13 +30,18 @@ fn main() {
         ("mode_switches", 14),
         ("CHANGE_MODE", 12),
     ]);
-    for &(tl, th) in &combos {
-        let sc = Scenario::uniform(0.8, 120_000).with_adaptive(AdaptiveConfig {
-            theta_l: tl,
-            theta_h: th,
-            ..Default::default()
-        });
-        let s = sc.run(SchemeKind::Adaptive);
+    let scenarios: Vec<Scenario> = combos
+        .iter()
+        .map(|&(tl, th)| {
+            Scenario::uniform(0.8, 120_000).with_adaptive(AdaptiveConfig {
+                theta_l: tl,
+                theta_h: th,
+                ..Default::default()
+            })
+        })
+        .collect();
+    let runs = SweepRunner::new().run_sweep(&scenarios, SchemeKind::Adaptive);
+    for (&(tl, th), s) in combos.iter().zip(&runs) {
         s.report.assert_clean();
         let switches =
             s.report.custom.get("mode_to_borrowing") + s.report.custom.get("mode_to_local");
@@ -55,5 +60,11 @@ fn main() {
          CHANGE_MODE traffic without improving drops — the thrash §3.5's\n\
          hysteresis exists to prevent. Raising theta_l trades messages for\n\
          earlier borrowing readiness."
+    );
+    perf_footer(
+        combos
+            .iter()
+            .zip(&runs)
+            .map(|(&(tl, th), s)| (format!("theta=({tl},{th})/{}", s.scheme), s)),
     );
 }

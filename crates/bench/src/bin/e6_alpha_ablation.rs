@@ -3,9 +3,9 @@
 //! search. `α = 0` degenerates to pure search; large `α` approaches pure
 //! update behavior with its retry storms under contention.
 
-use adca_bench::{banner, f2, opt2, pct, TextTable};
+use adca_bench::{banner, f2, opt2, pct, perf_footer, TextTable};
 use adca_core::AdaptiveConfig;
-use adca_harness::{Scenario, SchemeKind};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -23,12 +23,18 @@ fn main() {
         ("m", 6),
         ("failed_rounds", 14),
     ]);
-    for alpha in [0u32, 1, 2, 3, 5, 8] {
-        let sc = Scenario::uniform(1.3, 120_000).with_adaptive(AdaptiveConfig {
-            alpha,
-            ..Default::default()
-        });
-        let s = sc.run(SchemeKind::Adaptive);
+    let alphas = [0u32, 1, 2, 3, 5, 8];
+    let scenarios: Vec<Scenario> = alphas
+        .iter()
+        .map(|&alpha| {
+            Scenario::uniform(1.3, 120_000).with_adaptive(AdaptiveConfig {
+                alpha,
+                ..Default::default()
+            })
+        })
+        .collect();
+    let runs = SweepRunner::new().run_sweep(&scenarios, SchemeKind::Adaptive);
+    for (&alpha, s) in alphas.iter().zip(&runs) {
         s.report.assert_clean();
         table.row(&[
             format!("{alpha}"),
@@ -46,5 +52,11 @@ fn main() {
          (xi2 = 0); growing alpha shifts borrows to cheap update rounds until\n\
          contention makes extra attempts pure waste (failed rounds grow while\n\
          drops stay flat) — the bounded-retry design point of §5."
+    );
+    perf_footer(
+        alphas
+            .iter()
+            .zip(&runs)
+            .map(|(&alpha, s)| (format!("alpha={alpha}/{}", s.scheme), s)),
     );
 }

@@ -3,9 +3,9 @@
 //! over the last `W` ticks. Short windows react fast but jitter; long
 //! windows smooth but switch modes late under bursts.
 
-use adca_bench::{banner, f2, pct, TextTable};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
 use adca_core::AdaptiveConfig;
-use adca_harness::{Scenario, SchemeKind};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 use adca_hexgrid::CellId;
 use adca_traffic::{Hotspot, WorkloadSpec};
 
@@ -36,15 +36,20 @@ fn main() {
         ("acq_T", 7),
         ("mode_switches", 14),
     ]);
-    for w in [100u64, 200, 400, 800, 1_600, 3_200, 12_800] {
-        let sc = base
-            .clone()
-            .with_workload(workload.clone())
-            .with_adaptive(AdaptiveConfig {
-                window: w,
-                ..Default::default()
-            });
-        let s = sc.run(SchemeKind::Adaptive);
+    let windows = [100u64, 200, 400, 800, 1_600, 3_200, 12_800];
+    let scenarios: Vec<Scenario> = windows
+        .iter()
+        .map(|&w| {
+            base.clone()
+                .with_workload(workload.clone())
+                .with_adaptive(AdaptiveConfig {
+                    window: w,
+                    ..Default::default()
+                })
+        })
+        .collect();
+    let runs = SweepRunner::new().run_sweep(&scenarios, SchemeKind::Adaptive);
+    for (&w, s) in windows.iter().zip(&runs) {
         s.report.assert_clean();
         let switches =
             s.report.custom.get("mode_to_borrowing") + s.report.custom.get("mode_to_local");
@@ -62,5 +67,11 @@ fn main() {
          churn); very long windows dilute the burst's slope so cells switch\n\
          on level rather than trend. The paper's W ≈ several round trips sits\n\
          in the flat middle."
+    );
+    perf_footer(
+        windows
+            .iter()
+            .zip(&runs)
+            .map(|(&w, s)| (format!("W={w}/{}", s.scheme), s)),
     );
 }

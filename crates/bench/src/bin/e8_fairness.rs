@@ -4,8 +4,8 @@
 //! worst-served cell — the starvation the bounded search fallback is
 //! designed to prevent.
 
-use adca_bench::{banner, f2, opt2, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, opt2, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -13,9 +13,14 @@ fn main() {
         "§5/§6's fairness claims",
         "uniformly high load: Jain index of per-cell service, worst-served cell",
     );
-    for rho in [1.2, 1.8] {
+    let rhos = [1.2, 1.8];
+    let scenarios: Vec<Scenario> = rhos
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 150_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::ALL);
+    for (&rho, row) in rhos.iter().zip(&grid) {
         println!("--- rho = {rho} ---\n");
-        let sc = Scenario::uniform(rho, 150_000);
         let table = TextTable::new(&[
             ("scheme", 18),
             ("drop%", 7),
@@ -23,7 +28,7 @@ fn main() {
             ("drop_jain", 10),
             ("worst_cell_svc", 15),
         ]);
-        for s in sc.run_all(&SchemeKind::ALL) {
+        for s in row {
             s.report.assert_clean();
             let worst = s
                 .report
@@ -50,4 +55,8 @@ fn main() {
          update scheme risks (visible in its lower drop_jain: drops pile on\n\
          unlucky cells)."
     );
+    perf_footer(rhos.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

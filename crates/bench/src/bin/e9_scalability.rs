@@ -3,8 +3,8 @@
 //! per-cell message rate and acquisition latency must stay flat as the
 //! system grows at constant per-cell load.
 
-use adca_bench::{banner, f2, pct, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -21,9 +21,13 @@ fn main() {
         ("msgs/cell/kT", 13),
         ("acq_T", 7),
     ]);
-    for (rows, cols) in [(6u32, 6u32), (9, 9), (12, 12), (16, 16), (20, 20), (24, 24)] {
-        let sc = Scenario::uniform(0.9, 100_000).with_grid(rows, cols);
-        let s = sc.run(SchemeKind::Adaptive);
+    let grids = [(6u32, 6u32), (9, 9), (12, 12), (16, 16), (20, 20), (24, 24)];
+    let scenarios: Vec<Scenario> = grids
+        .iter()
+        .map(|&(rows, cols)| Scenario::uniform(0.9, 100_000).with_grid(rows, cols))
+        .collect();
+    let runs = SweepRunner::new().run_sweep(&scenarios, SchemeKind::Adaptive);
+    for (&(rows, cols), s) in grids.iter().zip(&runs) {
         s.report.assert_clean();
         let cells = (rows * cols) as f64;
         let per_cell_rate =
@@ -42,5 +46,11 @@ fn main() {
         "\nshape: per-acquisition and per-cell message costs converge to a\n\
          constant as boundary effects shrink; nothing grows with system size\n\
          — no global state, no global arbiter."
+    );
+    perf_footer(
+        grids
+            .iter()
+            .zip(&runs)
+            .map(|(&(rows, cols), s)| (format!("{rows}x{cols}/{}", s.scheme), s)),
     );
 }

@@ -20,7 +20,10 @@ fn main() {
         topo.interference_radius(),
         topo.max_region_size()
     );
-    println!("reuse colors (primary set per color, {} channels each):", 70 / 7);
+    println!(
+        "reuse colors (primary set per color, {} channels each):",
+        70 / 7
+    );
     println!("{}", render::render_colors(&topo));
     let center = topo.grid().at_offset(5, 5).expect("interior cell");
     println!("interference region of {center} (* = cell, # = IN):");

@@ -20,13 +20,14 @@
 use adca_baselines::AdvancedUpdateNode;
 use adca_bench::banner;
 use adca_core::{AdaptiveConfig, AdaptiveNode};
+use adca_harness::run_jobs;
 use adca_hexgrid::{CellId, Topology};
 use adca_simkit::engine::run_protocol;
 use adca_simkit::{Arrival, LatencyModel, SimConfig, SimReport};
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct Setup {
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     c1: CellId,
     c2: CellId,
     arrivals: Vec<Arrival>,
@@ -34,7 +35,7 @@ struct Setup {
 }
 
 fn setup() -> Setup {
-    let topo = Rc::new(Topology::default_paper(12, 12));
+    let topo = Arc::new(Topology::default_paper(12, 12));
     let p = topo.grid().at_offset(5, 5).expect("interior");
     let c1 = topo.grid().at_offset(4, 5).expect("interior");
     let c2 = topo.grid().at_offset(6, 5).expect("interior");
@@ -46,12 +47,13 @@ fn setup() -> Setup {
     // cells, 9 for cells of the owner color — leaving exactly one channel
     // (the highest primary of that color) free across the whole patch.
     let mut arrivals = Vec::new();
-    let patch: Vec<CellId> = topo
-        .cells()
-        .filter(|&c| topo.distance(c, p) <= 3)
-        .collect();
+    let patch: Vec<CellId> = topo.cells().filter(|&c| topo.distance(c, p) <= 3).collect();
     for &cell in &patch {
-        let count = if topo.color(cell) == owner_color { 9 } else { 10 };
+        let count = if topo.color(cell) == owner_color {
+            9
+        } else {
+            10
+        };
         for k in 0..count {
             arrivals.push(Arrival::new(k, cell, 400_000));
         }
@@ -64,7 +66,7 @@ fn setup() -> Setup {
     // Scripted latency: REQUESTs from c1 crawl (300 ticks), everything
     // else takes the nominal T = 100 — c2's messages overtake c1's.
     let slow = c1;
-    let latency = LatencyModel::Custom(Rc::new(move |meta: &adca_simkit::latency::MsgMeta| {
+    let latency = LatencyModel::Custom(Arc::new(move |meta: &adca_simkit::latency::MsgMeta| {
         if meta.from == slow && meta.kind == "REQUEST" {
             300
         } else {
@@ -109,21 +111,33 @@ fn main() {
         latency: s.latency.clone(),
         ..Default::default()
     };
-    let adv = run_protocol(
-        s.topo.clone(),
-        cfg.clone(),
-        AdvancedUpdateNode::new,
-        s.arrivals.clone(),
-    );
+    // Both runs are independent — farm them out to the sweep worker pool
+    // and print the verdicts in the fixed order afterwards.
+    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = vec![
+        {
+            let topo = s.topo.clone();
+            let cfg = cfg.clone();
+            let arrivals = s.arrivals.clone();
+            Box::new(move || run_protocol(topo, cfg, AdvancedUpdateNode::new, arrivals))
+        },
+        {
+            let topo = s.topo.clone();
+            let arrivals = s.arrivals.clone();
+            let ac = AdaptiveConfig::default();
+            Box::new(move || {
+                run_protocol(
+                    topo,
+                    cfg,
+                    move |c, t| AdaptiveNode::new(c, t, ac.clone()),
+                    arrivals,
+                )
+            })
+        },
+    ];
+    let mut reports = run_jobs(jobs).into_iter();
+    let adv = reports.next().expect("advanced-update report");
+    let ada = reports.next().expect("adaptive report");
     let (adv_c1_denied, adv_c2_denied) = verdict("advanced-update", &adv, s.c1, s.c2);
-
-    let ac = AdaptiveConfig::default();
-    let ada = run_protocol(
-        s.topo.clone(),
-        cfg,
-        move |c, t| AdaptiveNode::new(c, t, ac.clone()),
-        s.arrivals,
-    );
     let (ada_c1_denied, ada_c2_denied) = verdict("adaptive", &ada, s.c1, s.c2);
 
     println!();

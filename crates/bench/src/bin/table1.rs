@@ -10,8 +10,8 @@
 //! costs what, and how the costs scale.
 
 use adca_analysis::SchemeModel;
-use adca_bench::{banner, f2, measured_inputs, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, measured_inputs, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -20,14 +20,18 @@ fn main() {
         "measured msgs/acquisition + acquisition time (units of T) vs the paper's formulas,\n\
          with the formula inputs (xi1..3, m, N_borrow, N_search) measured from the adaptive run",
     );
-    for rho in [0.5, 0.9] {
+    let rhos = [0.5, 0.9];
+    let scenarios: Vec<Scenario> = rhos
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 150_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &SchemeKind::TABLE_SCHEMES);
+    for (&rho, (sc, summaries)) in rhos.iter().zip(scenarios.iter().zip(&grid)) {
         println!("--- offered load rho = {rho} Erlangs/primary channel ---\n");
-        let sc = Scenario::uniform(rho, 150_000);
         let topo = sc.topology();
         let n = topo.max_region_size() as f64;
         let alpha = sc.adaptive.alpha as f64;
-        let summaries = sc.run_all(&SchemeKind::TABLE_SCHEMES);
-        for s in &summaries {
+        for s in summaries {
             s.report.assert_clean();
         }
         let adaptive = summaries
@@ -56,7 +60,7 @@ fn main() {
             ("time_T(model)", 14),
             ("time_T(meas)", 13),
         ]);
-        for s in &summaries {
+        for s in summaries {
             let model = match s.scheme {
                 SchemeKind::BasicSearch => SchemeModel::BasicSearch,
                 SchemeKind::BasicUpdate => SchemeModel::BasicUpdate,
@@ -96,4 +100,8 @@ fn main() {
          differently; the adaptive measured time is the protocol latency\n\
          (attempt start -> grant), matching the formulas' scope."
     );
+    perf_footer(rhos.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

@@ -5,8 +5,8 @@
 //! update 4N / 2T, advanced update 2N / 0, adaptive **0 / 0**.
 
 use adca_analysis::SchemeModel;
-use adca_bench::{banner, f2, TextTable};
-use adca_harness::{Scenario, SchemeKind};
+use adca_bench::{banner, f2, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
 
 fn main() {
     banner(
@@ -18,7 +18,9 @@ fn main() {
     let topo = sc.topology();
     let n = topo.max_region_size() as f64;
     let alpha = sc.adaptive.alpha as f64;
-    let summaries = sc.run_all(&SchemeKind::TABLE_SCHEMES);
+    let summaries = SweepRunner::new()
+        .run_matrix(std::slice::from_ref(&sc), &SchemeKind::TABLE_SCHEMES)
+        .remove(0);
     let table = TextTable::new(&[
         ("scheme", 18),
         ("msgs(paper)", 12),
@@ -57,5 +59,10 @@ fn main() {
         "note: boundary cells have regions smaller than N = {n}, so measured\n\
          per-acquisition counts for the search/update schemes sit slightly\n\
          below the interior-cell formulas."
+    );
+    perf_footer(
+        summaries
+            .iter()
+            .map(|s| (format!("rho=0.12/{}", s.scheme), s)),
     );
 }

@@ -9,13 +9,14 @@
 //! excluding MSS queueing).
 
 use adca_analysis::SchemeModel;
-use adca_bench::{banner, f2, opt2, TextTable};
-use adca_harness::{RunSummary, Scenario, SchemeKind};
+use adca_bench::{banner, f2, opt2, perf_footer, TextTable};
+use adca_harness::{RunSummary, Scenario, SchemeKind, SweepRunner};
 use adca_metrics::StreamingStats;
 
 struct Extremes {
     msgs: StreamingStats,
     time_t: StreamingStats,
+    time_min_t: StreamingStats,
     max_attempts: f64,
     gaveups: u64,
 }
@@ -27,6 +28,18 @@ fn attempt_max_t(s: &RunSummary) -> f64 {
         .and_then(|x| x.stats().max())
         .map(|m| m / s.t_ticks as f64)
         .unwrap_or_else(|| s.max_acq_t())
+}
+
+/// Cheapest successful acquisition in the run, protocol scope. This is
+/// the statistic the zeroed-`Default` bug corrupted: a `min` initialized
+/// to 0.0 instead of `+∞` can never report the true (non-zero) floor.
+fn attempt_min_t(s: &RunSummary) -> f64 {
+    s.report
+        .custom_samples
+        .get("attempt_ticks")
+        .and_then(|x| x.stats().min())
+        .map(|m| m / s.t_ticks as f64)
+        .unwrap_or_else(|| s.min_acq_t())
 }
 
 fn main() {
@@ -43,19 +56,26 @@ fn main() {
         .map(|_| Extremes {
             msgs: StreamingStats::new(),
             time_t: StreamingStats::new(),
+            time_min_t: StreamingStats::new(),
             max_attempts: 0.0,
             gaveups: 0,
         })
         .collect();
-    for &rho in &loads {
-        let sc = Scenario::uniform(rho, 100_000);
-        for (i, s) in sc.run_all(&schemes).into_iter().enumerate() {
+    let scenarios: Vec<Scenario> = loads
+        .iter()
+        .map(|&rho| Scenario::uniform(rho, 100_000))
+        .collect();
+    let grid = SweepRunner::new().run_matrix(&scenarios, &schemes);
+    for row in &grid {
+        for (i, s) in row.iter().enumerate() {
             s.report.assert_clean();
             per_scheme[i].msgs.push(s.msgs_per_acq());
-            per_scheme[i].time_t.push(attempt_max_t(&s));
+            per_scheme[i].time_t.push(attempt_max_t(s));
+            per_scheme[i].time_min_t.push(attempt_min_t(s));
             if let Some(samples) = s.report.custom_samples.get("update_attempts") {
-                per_scheme[i].max_attempts =
-                    per_scheme[i].max_attempts.max(samples.stats().max().unwrap_or(0.0));
+                per_scheme[i].max_attempts = per_scheme[i]
+                    .max_attempts
+                    .max(samples.stats().max().unwrap_or(0.0));
             }
             per_scheme[i].gaveups += s.report.custom.get("update_gaveup");
         }
@@ -69,6 +89,8 @@ fn main() {
         ("msg_min(meas)", 14),
         ("msg_max(paper)", 15),
         ("msg_max(meas)", 14),
+        ("T_min(paper)", 13),
+        ("T_min(meas)", 12),
         ("T_max(paper)", 13),
         ("T_max(meas)", 12),
     ]);
@@ -89,6 +111,8 @@ fn main() {
             opt2(e.msgs.min()),
             inf(b.msg_max),
             opt2(e.msgs.max()),
+            f2(b.time_min),
+            opt2(e.time_min_t.min()),
             inf(b.time_max),
             opt2(e.time_t.max()),
         ]);
@@ -106,7 +130,9 @@ fn main() {
         "update-scheme unboundedness: max update attempts observed for one\n\
          acquisition: basic {:.0} (give-ups across sweep: {}), advanced {:.0} \
          (give-ups: {})",
-        per_scheme[1].max_attempts, per_scheme[1].gaveups, per_scheme[2].max_attempts,
+        per_scheme[1].max_attempts,
+        per_scheme[1].gaveups,
+        per_scheme[2].max_attempts,
         per_scheme[2].gaveups
     );
     println!(
@@ -116,4 +142,14 @@ fn main() {
         per_scheme[0].msgs.max().unwrap_or(0.0),
         2.0 * n
     );
+    println!(
+        "basic-search T_min(meas) {:.2} matches the paper's 2T floor — every search\n\
+         acquisition pays one request/reply round; a reported 0 here would mean the\n\
+         min statistic is broken.",
+        per_scheme[0].time_min_t.min().unwrap_or(0.0)
+    );
+    perf_footer(loads.iter().zip(&grid).flat_map(|(&rho, row)| {
+        row.iter()
+            .map(move |s| (format!("rho={rho}/{}", s.scheme), s))
+    }));
 }

@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use adca_harness::RunSummary;
+use adca_harness::{sweep, RunSummary};
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, paper_artifact: &str, what: &str) {
@@ -72,6 +72,35 @@ pub fn summary_cells(s: &RunSummary) -> Vec<String> {
         f2(s.mean_acq_t()),
         f2(s.max_acq_t()),
     ]
+}
+
+/// Prints the standard sweep timing footer: the worker-pool size, one
+/// wall-clock/throughput line per run, and the aggregate.
+pub fn perf_footer<'a, I>(runs: I)
+where
+    I: IntoIterator<Item = (String, &'a RunSummary)>,
+{
+    println!();
+    println!(
+        "timing ({} sweep worker(s); set {} to override):",
+        sweep::worker_count(),
+        sweep::THREADS_ENV,
+    );
+    let mut total_events = 0u64;
+    let mut total_wall = 0.0f64;
+    let mut n = 0usize;
+    for (label, s) in runs {
+        println!(
+            "  {label:<28} wall={:>7.3}s  events={:>10}  events/s={:>12.0}",
+            s.wall.as_secs_f64(),
+            s.report.events_processed,
+            s.events_per_sec(),
+        );
+        total_events += s.report.events_processed;
+        total_wall += s.wall.as_secs_f64();
+        n += 1;
+    }
+    println!("  total: {n} run(s), {total_events} events, {total_wall:.3}s summed run wall-clock");
 }
 
 /// The measured Section 5 model inputs extracted from an adaptive run.

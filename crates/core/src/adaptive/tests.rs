@@ -3,10 +3,10 @@
 use super::*;
 use adca_simkit::engine::run_protocol;
 use adca_simkit::{Arrival, Engine, LatencyModel, SimConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn topo() -> Rc<Topology> {
-    Rc::new(Topology::default_paper(8, 8))
+fn topo() -> Arc<Topology> {
+    Arc::new(Topology::default_paper(8, 8))
 }
 
 fn factory(cfg: AdaptiveConfig) -> impl FnMut(CellId, &Topology) -> AdaptiveNode {
@@ -91,7 +91,11 @@ fn node_returns_to_local_mode_when_load_subsides() {
     let report = engine.run();
     report.assert_clean();
     assert_eq!(report.dropped_new, 0);
-    assert_eq!(engine.node(hot).mode(), Mode::Local, "must fall back to local");
+    assert_eq!(
+        engine.node(hot).mode(),
+        Mode::Local,
+        "must fall back to local"
+    );
     assert!(report.custom.get("mode_to_borrowing") >= 1);
     assert!(report.custom.get("mode_to_local") >= 1);
     // Everyone's UpdateS must be empty again.
@@ -128,7 +132,7 @@ fn whole_region_saturation_forces_searches() {
     // update rounds start colliding and some acquisitions must fall back
     // to search. This exercises deferral, waiting counters, and the
     // sequenced search path.
-    let t = Rc::new(Topology::default_paper(5, 5));
+    let t = Arc::new(Topology::default_paper(5, 5));
     let mut arrivals = Vec::new();
     for c in 0..25u32 {
         for i in 0..12 {
@@ -159,7 +163,12 @@ fn determinism_under_jitter() {
         seed: 99,
         ..Default::default()
     };
-    let r1 = run_protocol(t.clone(), cfg.clone(), factory(default_cfg()), arrivals.clone());
+    let r1 = run_protocol(
+        t.clone(),
+        cfg.clone(),
+        factory(default_cfg()),
+        arrivals.clone(),
+    );
     let r2 = run_protocol(t, cfg, factory(default_cfg()), arrivals);
     assert_eq!(r1.messages_total, r2.messages_total);
     assert_eq!(r1.granted, r2.granted);
@@ -172,9 +181,9 @@ fn handoffs_work_under_adaptive() {
     let t = topo();
     let a = center(&t);
     let b = t.grid().at_offset(5, 4).expect("inside grid");
-    let arrivals = vec![
-        Arrival::new(0, a, 50_000).with_hop(10_000, b).with_hop(20_000, a),
-    ];
+    let arrivals = vec![Arrival::new(0, a, 50_000)
+        .with_hop(10_000, b)
+        .with_hop(20_000, a)];
     let report = run_protocol(t, sim_cfg(), factory(default_cfg()), arrivals);
     report.assert_clean();
     assert_eq!(report.granted, 3);
@@ -227,7 +236,7 @@ fn burst_performance_is_bounded() {
     // worst case N_search = N = 18 concurrent searchers, that is 25·T =
     // 2500 ticks; queueing behind earlier calls at the same MSS is not
     // part of the protocol metric, so test with one call per cell.
-    let t = Rc::new(Topology::default_paper(5, 5));
+    let t = Arc::new(Topology::default_paper(5, 5));
     let mut arrivals = Vec::new();
     for c in 0..25u32 {
         for i in 0..11 {

@@ -107,10 +107,7 @@ fn local_acquisition_announces_to_borrowing_subscribers() {
     t.mock.take_actions();
     // A local acquisition now announces to the subscriber (Figure 3).
     t.acquire();
-    assert!(t
-        .mock
-        .sends()
-        .contains(&("ACQUISITION", neighbor)));
+    assert!(t.mock.sends().contains(&("ACQUISITION", neighbor)));
 }
 
 #[test]
@@ -158,7 +155,11 @@ fn await_status_path_when_snapshots_eat_primaries() {
             used: topo.primary(me).clone(),
         },
     );
-    assert_eq!(t.node.mode(), Mode::Local, "snapshots do not run check_mode");
+    assert_eq!(
+        t.node.mode(),
+        Mode::Local,
+        "snapshots do not run check_mode"
+    );
     t.mock.take_actions();
     let req = t.acquire();
     // Now the local branch misses, switches mode, announces, and waits
@@ -172,14 +173,27 @@ fn await_status_path_when_snapshots_eat_primaries() {
     let sends = t.mock.take_actions();
     let change_modes = sends
         .iter()
-        .filter(|a| matches!(a, Action::Send { kind: "CHANGE_MODE", .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    kind: "CHANGE_MODE",
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(change_modes, 8);
     // Fresh statuses show the claim was stale: the node re-runs the
     // request and serves it (its primaries are free after all).
     let empty = topo.spectrum().empty_set();
     for &j in topo.region(me) {
-        t.deliver(j, AdaptiveMsg::Status { used: empty.clone() });
+        t.deliver(
+            j,
+            AdaptiveMsg::Status {
+                used: empty.clone(),
+            },
+        );
     }
     let (greq, _) = t.mock.granted().expect("served after status refresh");
     assert_eq!(greq, req);
@@ -201,7 +215,9 @@ fn to_update_round(t: &mut Tester) -> Channel {
     for a in &actions {
         if let Action::Send {
             kind: "REQUEST",
-            msg: AdaptiveMsg::Request { update: Some(ch), .. },
+            msg: AdaptiveMsg::Request {
+                update: Some(ch), ..
+            },
             ..
         } = a
         {
@@ -272,7 +288,15 @@ fn one_reject_releases_granters_and_retries() {
     // And the retry went out (a fresh REQUEST round for another channel).
     let new_requests = actions
         .iter()
-        .filter(|a| matches!(a, Action::Send { kind: "REQUEST", .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    kind: "REQUEST",
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(new_requests, 8, "retry round");
 }
@@ -282,7 +306,11 @@ fn alpha_zero_goes_straight_to_search() {
     let mut t = Tester::with_alpha(0);
     t.fill_primaries();
     t.acquire();
-    assert_eq!(t.node.mode(), Mode::BorrowSearch, "no update attempts allowed");
+    assert_eq!(
+        t.node.mode(),
+        Mode::BorrowSearch,
+        "no update attempts allowed"
+    );
     let search_reqs = t
         .mock
         .take_actions()
@@ -325,7 +353,10 @@ fn failed_search_drops_and_broadcasts_minus_one() {
                 a,
                 Action::Send {
                     kind: "ACQUISITION",
-                    msg: AdaptiveMsg::Acquisition { search: true, ch: None },
+                    msg: AdaptiveMsg::Acquisition {
+                        search: true,
+                        ch: None
+                    },
                     ..
                 }
             )
@@ -341,7 +372,10 @@ fn grants_own_free_primary_to_borrower_and_avoids_it() {
     let (topo, me) = world();
     let my_lowest = topo.primary(me).first().expect("primaries");
     let borrower = CellId(0);
-    let ts = Timestamp { counter: 5, node: 0 };
+    let ts = Timestamp {
+        counter: 5,
+        node: 0,
+    };
     t.deliver(
         borrower,
         AdaptiveMsg::Request {
@@ -377,7 +411,10 @@ fn rejects_update_request_for_channel_in_use() {
         CellId(0),
         AdaptiveMsg::Request {
             update: Some(ch),
-            ts: Timestamp { counter: 1, node: 0 },
+            ts: Timestamp {
+                counter: 1,
+                node: 0,
+            },
         },
     );
     assert!(matches!(
@@ -398,7 +435,10 @@ fn search_response_sets_waiting_and_blocks_local_grant() {
         searcher,
         AdaptiveMsg::Request {
             update: None,
-            ts: Timestamp { counter: 1, node: 0 },
+            ts: Timestamp {
+                counter: 1,
+                node: 0,
+            },
         },
     );
     assert_eq!(t.node.waiting(), 1);
@@ -437,7 +477,10 @@ fn younger_search_is_deferred_while_pending() {
         older_searcher,
         AdaptiveMsg::Request {
             update: None,
-            ts: Timestamp { counter: 1, node: 0 },
+            ts: Timestamp {
+                counter: 1,
+                node: 0,
+            },
         },
     );
     t.acquire(); // pending, ts > the observed counter 1
@@ -460,7 +503,10 @@ fn younger_search_is_deferred_while_pending() {
         CellId(2),
         AdaptiveMsg::Request {
             update: None,
-            ts: Timestamp { counter: 0, node: 2 },
+            ts: Timestamp {
+                counter: 0,
+                node: 2,
+            },
         },
     );
     assert_eq!(t.mock.sends(), vec![("RESPONSE", CellId(2))]);
@@ -477,7 +523,10 @@ fn release_message_frees_view_entry() {
         borrower,
         AdaptiveMsg::Request {
             update: Some(my_lowest),
-            ts: Timestamp { counter: 1, node: 0 },
+            ts: Timestamp {
+                counter: 1,
+                node: 0,
+            },
         },
     );
     t.deliver(borrower, AdaptiveMsg::Release { ch: my_lowest });

@@ -13,6 +13,8 @@
 
 pub mod scenario;
 pub mod summary;
+pub mod sweep;
 
 pub use scenario::{Scenario, SchemeKind};
 pub use summary::RunSummary;
+pub use sweep::{run_jobs, run_jobs_on, Replicated, SweepRunner, THREADS_ENV};

@@ -10,7 +10,7 @@ use adca_hexgrid::Topology;
 use adca_simkit::engine::run_protocol;
 use adca_simkit::{Arrival, AuditMode, LatencyModel, SimConfig};
 use adca_traffic::WorkloadSpec;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The six channel-allocation schemes under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,13 +166,23 @@ impl Scenario {
         self
     }
 
+    /// Re-seeds both randomness sources (workload generation and latency
+    /// jitter) so replicated sweeps get independent, reproducible runs.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.workload = self.workload.with_seed(seed);
+        // Decorrelate the two streams while keeping them a pure function
+        // of `seed`.
+        self.sim_seed = seed ^ 0xADCA_1998;
+        self
+    }
+
     /// Builds the topology for this scenario.
-    pub fn topology(&self) -> Rc<Topology> {
+    pub fn topology(&self) -> Arc<Topology> {
         let mut builder = Topology::builder(self.rows, self.cols).channels(self.channels);
         if self.wrap {
             builder = builder.wrap();
         }
-        Rc::new(builder.build())
+        Arc::new(builder.build())
     }
 
     /// Materializes the workload.
@@ -201,10 +211,11 @@ impl Scenario {
     pub fn run_with(
         &self,
         kind: SchemeKind,
-        topo: Rc<Topology>,
+        topo: Arc<Topology>,
         arrivals: Vec<Arrival>,
     ) -> RunSummary {
         let cfg = self.sim_config();
+        let started = std::time::Instant::now();
         let report = match kind {
             SchemeKind::Fixed => run_protocol(topo, cfg, FixedNode::new, arrivals),
             SchemeKind::BasicSearch => run_protocol(topo, cfg, BasicSearchNode::new, arrivals),
@@ -233,7 +244,7 @@ impl Scenario {
                 )
             }
         };
-        RunSummary::new(kind, report, self.t_ticks)
+        RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed())
     }
 
     /// Runs every scheme in `kinds` on the *same* workload.

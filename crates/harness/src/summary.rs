@@ -3,6 +3,7 @@
 use crate::scenario::SchemeKind;
 use adca_metrics::fairness;
 use adca_simkit::SimReport;
+use std::time::Duration;
 
 /// One scheme's results over one scenario, with the paper's metrics
 /// derived.
@@ -14,6 +15,10 @@ pub struct RunSummary {
     pub report: SimReport,
     /// Ticks per paper time unit `T`.
     pub t_ticks: u64,
+    /// Wall-clock time the run took. Not part of the simulation outcome:
+    /// two reproductions of the same run differ here while their
+    /// `report`s stay bit-identical.
+    pub wall: Duration,
 }
 
 impl RunSummary {
@@ -23,7 +28,36 @@ impl RunSummary {
             scheme,
             report,
             t_ticks,
+            wall: Duration::ZERO,
         }
+    }
+
+    /// Attaches the measured wall-clock time.
+    pub fn with_wall(mut self, wall: Duration) -> Self {
+        self.wall = wall;
+        self
+    }
+
+    /// Engine throughput in events per wall-clock second (0 when no wall
+    /// time was recorded).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.report.events_processed as f64 / secs
+        }
+    }
+
+    /// One formatted timing line: wall-clock and engine throughput.
+    pub fn perf_row(&self) -> String {
+        format!(
+            "{:<18} wall={:>8.3}s  events={:>10}  events/s={:>12.0}",
+            self.scheme.name(),
+            self.wall.as_secs_f64(),
+            self.report.events_processed,
+            self.events_per_sec(),
+        )
     }
 
     /// New-call drop (blocking) rate.
@@ -40,6 +74,13 @@ impl RunSummary {
     /// Mean channel acquisition time in units of `T`.
     pub fn mean_acq_t(&self) -> f64 {
         self.report.acq_latency.mean() / self.t_ticks as f64
+    }
+
+    /// Minimum observed acquisition time in units of `T`. Relies on the
+    /// stats carrying real `+∞`/`-∞` identity elements: a zeroed
+    /// `min` (the old derived `Default`) silently reported 0 here.
+    pub fn min_acq_t(&self) -> f64 {
+        self.report.acq_latency.stats().min().unwrap_or(0.0) / self.t_ticks as f64
     }
 
     /// Maximum observed acquisition time in units of `T`.

@@ -129,8 +129,14 @@ fn torus_geometry_is_safe_and_boundary_free() {
     }
     // At very low load, basic search on the torus costs EXACTLY 2N per
     // acquisition — no boundary discount.
-    let sc = Scenario::uniform(0.05, 60_000).with_grid(14, 14).with_wrap();
+    let sc = Scenario::uniform(0.05, 60_000)
+        .with_grid(14, 14)
+        .with_wrap();
     let s = sc.run(SchemeKind::BasicSearch);
     s.report.assert_clean();
-    assert!((s.msgs_per_acq() - 36.0).abs() < 1e-9, "got {}", s.msgs_per_acq());
+    assert!(
+        (s.msgs_per_acq() - 36.0).abs() < 1e-9,
+        "got {}",
+        s.msgs_per_acq()
+    );
 }

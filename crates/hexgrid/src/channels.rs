@@ -116,7 +116,11 @@ impl ChannelSet {
     /// Inserts a channel. Returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, ch: Channel) -> bool {
-        debug_assert!(ch.0 < self.nbits, "channel {ch} out of range {}", self.nbits);
+        debug_assert!(
+            ch.0 < self.nbits,
+            "channel {ch} out of range {}",
+            self.nbits
+        );
         let (w, b) = (ch.index() / WORD_BITS, ch.index() % WORD_BITS);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;
@@ -231,7 +235,10 @@ impl ChannelSet {
     #[inline]
     pub fn is_subset(&self, other: &ChannelSet) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The lowest-numbered channel in the set, if any. Protocols use this

@@ -55,7 +55,7 @@ impl HexGrid {
     /// number of rows breaks hex adjacency across the seam).
     pub fn new_wrapped(rows: u32, cols: u32) -> Self {
         assert!(
-            rows % 2 == 0,
+            rows.is_multiple_of(2),
             "wrapped grids need an even row count (odd-r offset parity)"
         );
         Self::build(rows, cols, true)
@@ -229,7 +229,7 @@ mod tests {
         let g = HexGrid::new(5, 5);
         let corner = g.at_offset(0, 0).unwrap();
         let n = g.neighbors(corner).len();
-        assert!(n >= 2 && n <= 3, "corner has {n} neighbors");
+        assert!((2..=3).contains(&n), "corner has {n} neighbors");
     }
 
     #[test]
@@ -246,7 +246,7 @@ mod tests {
             for other in g.region(cell, 2) {
                 assert_ne!(other, cell);
                 let d = g.distance(cell, other);
-                assert!(d >= 1 && d <= 2);
+                assert!((1..=2).contains(&d));
             }
         }
     }

@@ -208,7 +208,10 @@ impl TopologyBuilder {
                 in_region[i][j.index()] = true;
             }
         }
-        let colors: Vec<u32> = grid.cells().map(|c| self.pattern.color(grid.axial(c))).collect();
+        let colors: Vec<u32> = grid
+            .cells()
+            .map(|c| self.pattern.color(grid.axial(c)))
+            .collect();
         if self.wrap {
             // The planar coloring is only torus-safe when the grid
             // periods are lattice-compatible; verify exhaustively.

@@ -7,11 +7,21 @@ use crate::stats::StreamingStats;
 /// Simulation runs produce at most a few million samples per metric, so
 /// exact retention is affordable and avoids quantile-sketch error in the
 /// reproduced tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleSeries {
     samples: Vec<f64>,
     stats: StreamingStats,
     sorted: bool,
+}
+
+/// Must agree with [`SampleSeries::new`]: deriving `Default` would embed
+/// a zeroed [`StreamingStats`] (min = max = 0.0 instead of the ±∞
+/// identity elements) and start with `sorted: false`, corrupting the
+/// min/max of every series created via `..Default::default()`.
+impl Default for SampleSeries {
+    fn default() -> Self {
+        SampleSeries::new()
+    }
 }
 
 impl SampleSeries {
@@ -198,6 +208,18 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.median(), None);
         assert_eq!(s.max(), None);
+    }
+
+    /// Regression: a derived `Default` embedded zeroed streaming stats,
+    /// so `stats().min()` on a default-constructed series reported 0.0
+    /// no matter what was pushed.
+    #[test]
+    fn default_is_identical_to_new() {
+        assert_eq!(SampleSeries::default(), SampleSeries::new());
+        let mut s = SampleSeries::default();
+        s.push(4.25);
+        assert_eq!(s.min(), Some(4.25), "min must be the pushed sample, not 0");
+        assert_eq!(s.stats().min(), Some(4.25));
     }
 
     #[test]

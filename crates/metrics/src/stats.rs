@@ -2,13 +2,23 @@
 
 /// Count / mean / variance / min / max over a stream of `f64` samples,
 /// using Welford's numerically stable online update.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Must agree with [`StreamingStats::new`]: a derived `Default` would
+/// zero `min`/`max` instead of using the ±∞ identity elements, so any
+/// accumulator built via `..Default::default()` would clamp every
+/// reported minimum to ≤ 0 and every maximum to ≥ 0.
+impl Default for StreamingStats {
+    fn default() -> Self {
+        StreamingStats::new()
+    }
 }
 
 impl StreamingStats {
@@ -169,6 +179,25 @@ mod tests {
         let mut e = StreamingStats::new();
         e.merge(&a);
         assert_eq!(e, a);
+    }
+
+    /// Regression: `default()` once came from `#[derive(Default)]`, which
+    /// zeroed `min`/`max`; every min over positive samples then reported
+    /// 0.0 (and every max over negative samples reported 0.0).
+    #[test]
+    fn default_is_identical_to_new() {
+        assert_eq!(StreamingStats::default(), StreamingStats::new());
+        let mut s = StreamingStats::default();
+        s.push(7.5);
+        assert_eq!(s.min(), Some(7.5), "min must be the pushed sample, not 0");
+        assert_eq!(s.max(), Some(7.5));
+        let mut neg = StreamingStats::default();
+        neg.push(-3.0);
+        assert_eq!(
+            neg.max(),
+            Some(-3.0),
+            "max must be the pushed sample, not 0"
+        );
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property tests for parallel statistics merging: however a sample
+//! stream is split into per-seed chunks, merging the chunk accumulators
+//! must reproduce the sequential accumulation over the whole stream.
+//! This is what lets replicated sweeps pool per-run statistics.
+
+use adca_metrics::{SampleSeries, StreamingStats};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Splits `xs` at the sorted, deduplicated cut points (clamped to len).
+fn chunks<'a>(xs: &'a [f64], cuts: &[usize]) -> Vec<&'a [f64]> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c.min(xs.len())).collect();
+    bounds.push(0);
+    bounds.push(xs.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds.windows(2).map(|w| &xs[w[0]..w[1]]).collect()
+}
+
+proptest! {
+    /// Merging per-chunk accumulators in order == pushing every sample
+    /// sequentially, for count, mean, variance, min, max, and the CI.
+    #[test]
+    fn merged_chunks_match_sequential(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        cuts in proptest::collection::vec(0usize..200, 0..6),
+    ) {
+        let mut whole = StreamingStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+
+        let mut merged = StreamingStats::new();
+        for chunk in chunks(&xs, &cuts) {
+            let mut part = StreamingStats::new();
+            chunk.iter().for_each(|&x| part.push(x));
+            merged.merge(&part);
+        }
+
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!(close(merged.mean(), whole.mean()),
+            "mean {} vs {}", merged.mean(), whole.mean());
+        prop_assert!(close(merged.variance(), whole.variance()),
+            "variance {} vs {}", merged.variance(), whole.variance());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!(close(merged.ci95_half_width(), whole.ci95_half_width()),
+            "ci {} vs {}", merged.ci95_half_width(), whole.ci95_half_width());
+    }
+
+    /// Merge must be insensitive to chunk order (replicas complete in
+    /// nondeterministic order under the parallel runner).
+    #[test]
+    fn merge_is_order_insensitive(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        cut in 1usize..99,
+    ) {
+        let cut = cut.min(xs.len() - 1);
+        let (lo, hi) = xs.split_at(cut);
+        let mut a = StreamingStats::new();
+        lo.iter().for_each(|&x| a.push(x));
+        let mut b = StreamingStats::new();
+        hi.iter().for_each(|&x| b.push(x));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(close(ab.mean(), ba.mean()));
+        prop_assert!(close(ab.variance(), ba.variance()));
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+    }
+
+    /// SampleSeries::merge agrees with its own streaming stats and keeps
+    /// every retained sample.
+    #[test]
+    fn series_merge_matches_streaming(
+        xs in proptest::collection::vec(-1e4f64..1e4, 1..80),
+        ys in proptest::collection::vec(-1e4f64..1e4, 1..80),
+    ) {
+        let mut a = SampleSeries::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = SampleSeries::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+
+        prop_assert_eq!(a.len(), xs.len() + ys.len());
+        let mut direct = StreamingStats::new();
+        xs.iter().chain(ys.iter()).for_each(|&x| direct.push(x));
+        prop_assert_eq!(a.stats().count(), direct.count());
+        prop_assert!(close(a.stats().mean(), direct.mean()));
+        prop_assert_eq!(a.stats().min(), direct.min());
+        prop_assert_eq!(a.stats().max(), direct.max());
+    }
+}

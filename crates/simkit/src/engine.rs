@@ -8,10 +8,9 @@ use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use crate::workload::Arrival;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
-use adca_metrics::SampleSeries;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -135,7 +134,7 @@ struct ReqRecord {
 
 /// Engine state shared with protocol nodes through [`Ctx`].
 pub struct Shared<M> {
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     cfg: SimConfig,
     now: SimTime,
     seq: u64,
@@ -358,7 +357,7 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
             .report
             .custom_samples
             .entry(name)
-            .or_insert_with(SampleSeries::new)
+            .or_default()
             .push(value);
     }
 
@@ -383,7 +382,7 @@ pub struct Engine<P: Protocol> {
 impl<P: Protocol> Engine<P> {
     /// Builds an engine over `topo` running one `P` per cell (constructed
     /// by `factory`) against the given workload.
-    pub fn new<F>(topo: Rc<Topology>, cfg: SimConfig, factory: F, arrivals: Vec<Arrival>) -> Self
+    pub fn new<F>(topo: Arc<Topology>, cfg: SimConfig, factory: F, arrivals: Vec<Arrival>) -> Self
     where
         F: FnMut(CellId, &Topology) -> P,
     {
@@ -421,10 +420,13 @@ impl<P: Protocol> Engine<P> {
                 .map(|&(off, tgt)| (SimTime(arr.at + off), tgt))
                 .collect();
             for (idx, &(hop_at, _)) in hops.iter().enumerate() {
-                sh.push(hop_at, Ev::Hop {
-                    call,
-                    idx: idx as u32,
-                });
+                sh.push(
+                    hop_at,
+                    Ev::Hop {
+                        call,
+                        idx: idx as u32,
+                    },
+                );
             }
             sh.calls.push(CallRecord {
                 cell: arr.cell,
@@ -573,13 +575,14 @@ impl<P: Protocol> Engine<P> {
             self.sh.violation(Violation::Liveness { pending });
         }
         self.sh.report.end_time = self.sh.now;
+        self.sh.report.events_processed = processed;
         self.sh.report.clone()
     }
 }
 
 /// Convenience wrapper: build, run, and return the report in one call.
 pub fn run_protocol<P: Protocol, F>(
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     cfg: SimConfig,
     factory: F,
     arrivals: Vec<Arrival>,
@@ -638,8 +641,8 @@ mod tests {
         }
     }
 
-    fn topo() -> Rc<Topology> {
-        Rc::new(Topology::default_paper(6, 6))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
     }
 
     #[test]
@@ -653,6 +656,7 @@ mod tests {
         assert_eq!(report.dropped_new, 0);
         assert_eq!(report.end_time, SimTime(1000));
         assert_eq!(report.acq_latency.stats().max(), Some(0.0));
+        assert!(report.events_processed > 0, "event count must be recorded");
         report.assert_clean();
     }
 
@@ -660,7 +664,9 @@ mod tests {
     fn cell_overload_drops() {
         let t = topo();
         // 11 simultaneous calls in one cell with |PR| = 10.
-        let arrivals: Vec<Arrival> = (0..11).map(|i| Arrival::new(i, CellId(7), 10_000)).collect();
+        let arrivals: Vec<Arrival> = (0..11)
+            .map(|i| Arrival::new(i, CellId(7), 10_000))
+            .collect();
         let report = run_protocol(t, SimConfig::default(), LocalOnly::new, arrivals);
         assert_eq!(report.granted, 10);
         assert_eq!(report.dropped_new, 1);

@@ -3,7 +3,7 @@
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use adca_hexgrid::CellId;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Metadata handed to custom latency functions for each message send.
 #[derive(Debug, Clone, Copy)]
@@ -39,8 +39,9 @@ pub enum LatencyModel {
         /// Maximum latency (ticks).
         max: u64,
     },
-    /// Scripted latency per message.
-    Custom(Rc<dyn Fn(&MsgMeta) -> u64>),
+    /// Scripted latency per message. `Send + Sync` so configs can cross
+    /// thread boundaries when independent runs execute in parallel.
+    Custom(Arc<dyn Fn(&MsgMeta) -> u64 + Send + Sync>),
 }
 
 impl LatencyModel {
@@ -109,13 +110,15 @@ mod tests {
 
     #[test]
     fn custom_sees_metadata() {
-        let m = LatencyModel::Custom(Rc::new(|meta: &MsgMeta| {
-            if meta.kind == "REQUEST" {
-                7
-            } else {
-                3
-            }
-        }));
+        let m = LatencyModel::Custom(Arc::new(
+            |meta: &MsgMeta| {
+                if meta.kind == "REQUEST" {
+                    7
+                } else {
+                    3
+                }
+            },
+        ));
         let mut rng = SplitMix64::new(1);
         assert_eq!(m.latency(&meta(), &mut rng), 7);
         assert_eq!(m.upper_bound(), None);

@@ -110,10 +110,12 @@ pub struct MsgTrace {
 }
 
 /// Everything measured over one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Virtual time when the run quiesced.
     pub end_time: SimTime,
+    /// Events the engine processed over the whole run.
+    pub events_processed: u64,
     /// Calls offered (arrival events processed).
     pub offered_calls: u64,
     /// Calls that ran to completion while holding a channel.

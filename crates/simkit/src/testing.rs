@@ -97,7 +97,9 @@ impl<M> MockNet<M> {
 
     /// Whether a reject was recorded.
     pub fn rejected(&self) -> bool {
-        self.actions.iter().any(|a| matches!(a, Action::Reject { .. }))
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Action::Reject { .. }))
     }
 }
 
@@ -172,10 +174,7 @@ mod tests {
     fn clock_advances() {
         let topo = Topology::default_paper(3, 3);
         let mut mock: MockNet<u32> = MockNet::new(CellId(0), topo);
-        assert_eq!(
-            CtxBackend::<u32>::now(&mock),
-            SimTime::ZERO
-        );
+        assert_eq!(CtxBackend::<u32>::now(&mock), SimTime::ZERO);
         mock.advance(250);
         assert_eq!(CtxBackend::<u32>::now(&mock), SimTime(250));
     }

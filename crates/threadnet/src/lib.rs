@@ -314,10 +314,7 @@ where
     };
     let tick = |t: u64| Duration::from_nanos(t * cfg.ns_per_tick);
     let mut next_arrival = 0usize;
-    let mut req_meta: Vec<(CellId, u64)> = arrivals
-        .iter()
-        .map(|a| (a.cell, a.duration))
-        .collect();
+    let mut req_meta: Vec<(CellId, u64)> = arrivals.iter().map(|a| (a.cell, a.duration)).collect();
     let mut pending: u64 = 0;
     let mut ends: BinaryHeap<EndAt> = BinaryHeap::new();
     let hard_deadline = epoch + cfg.deadline;

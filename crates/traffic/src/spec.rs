@@ -94,9 +94,7 @@ impl WorkloadSpec {
     /// The base arrival rate (arrivals/tick) for `cell`.
     pub fn base_rate(&self, topo: &Topology, cell: CellId) -> f64 {
         match &self.load {
-            BaseLoad::Erlangs(rho) => {
-                rho * topo.primary(cell).len() as f64 / self.holding_mean
-            }
+            BaseLoad::Erlangs(rho) => rho * topo.primary(cell).len() as f64 / self.holding_mean,
             BaseLoad::PerCellRate(rates) => rates[cell.index()],
         }
     }
@@ -183,8 +181,12 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let t = topo();
-        let a = WorkloadSpec::uniform(0.3, 500.0, 50_000).with_seed(1).generate(&t);
-        let b = WorkloadSpec::uniform(0.3, 500.0, 50_000).with_seed(2).generate(&t);
+        let a = WorkloadSpec::uniform(0.3, 500.0, 50_000)
+            .with_seed(1)
+            .generate(&t);
+        let b = WorkloadSpec::uniform(0.3, 500.0, 50_000)
+            .with_seed(2)
+            .generate(&t);
         assert_ne!(a, b);
     }
 

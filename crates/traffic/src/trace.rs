@@ -34,7 +34,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -74,8 +78,12 @@ pub fn from_text(text: &str) -> Result<Vec<Arrival>, ParseError> {
             let (off, target) = hop
                 .split_once(':')
                 .ok_or_else(|| err(format!("bad hop `{hop}` (want off:cell)")))?;
-            let off: u64 = off.parse().map_err(|e| err(format!("bad hop offset: {e}")))?;
-            let target: u32 = target.parse().map_err(|e| err(format!("bad hop cell: {e}")))?;
+            let off: u64 = off
+                .parse()
+                .map_err(|e| err(format!("bad hop offset: {e}")))?;
+            let target: u32 = target
+                .parse()
+                .map_err(|e| err(format!("bad hop cell: {e}")))?;
             hops.push((off, CellId(target)));
         }
         out.push(Arrival {

@@ -46,17 +46,22 @@ fn main() {
     // Where did the fixed scheme hurt? Per-cell drop heat map.
     let fixed = &rows[0].report;
     let adaptive = &rows[1].report;
-    let to_heat =
-        |drops: &[u64]| drops.iter().map(|&d| d as f64).collect::<Vec<_>>();
+    let to_heat = |drops: &[u64]| drops.iter().map(|&d| d as f64).collect::<Vec<_>>();
     println!("\nper-cell drops, FIXED (hot cells bleed):");
-    println!("{}", render::render_heat(&topo, &to_heat(&fixed.per_cell_drops)));
+    println!(
+        "{}",
+        render::render_heat(&topo, &to_heat(&fixed.per_cell_drops))
+    );
     println!("per-cell drops, ADAPTIVE:");
     println!(
         "{}",
         render::render_heat(&topo, &to_heat(&adaptive.per_cell_drops))
     );
 
-    let fixed_hot: u64 = hot_cells.iter().map(|c| fixed.per_cell_drops[c.index()]).sum();
+    let fixed_hot: u64 = hot_cells
+        .iter()
+        .map(|c| fixed.per_cell_drops[c.index()])
+        .sum();
     let adaptive_hot: u64 = hot_cells
         .iter()
         .map(|c| adaptive.per_cell_drops[c.index()])

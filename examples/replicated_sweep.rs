@@ -1,0 +1,39 @@
+//! Replicated sweep: run every scheme under several workload seeds in
+//! parallel and report each metric as mean ± 95% CI instead of a
+//! single-seed point estimate.
+//!
+//! ```text
+//! cargo run --release --example replicated_sweep
+//! ADCA_THREADS=8 cargo run --release --example replicated_sweep
+//! ```
+
+use adca_repro::prelude::*;
+
+fn main() {
+    // One scenario, five workload seeds per scheme. The runner fans the
+    // (scheme × seed) cells out over the worker pool and merges the
+    // per-seed statistics (Welford parallel combine).
+    let scenario = Scenario::uniform(0.9, 120_000);
+    let seeds = [1, 2, 3, 4, 5];
+
+    println!(
+        "== multi-seed replication: rho = 0.9, {} seeds ==\n",
+        seeds.len()
+    );
+    let runner = SweepRunner::new();
+    println!(
+        "({} sweep worker(s); set ADCA_THREADS to override)\n",
+        runner.workers()
+    );
+
+    for rep in runner.run_replicated(&scenario, &SchemeKind::ALL, &seeds) {
+        println!("{}", rep.row());
+    }
+
+    println!(
+        "\neach cell is mean ± 95% CI over {} independent runs; the CI\n\
+         half-widths quantify seed-to-seed noise that a single-seed sweep\n\
+         silently bakes into its point estimates.",
+        seeds.len()
+    );
+}

@@ -40,7 +40,10 @@ fn main() {
     println!("completed  {}", report.completed);
     println!("messages   {}", report.messages_total);
     println!("wall time  {wall:.2?}");
-    println!("violations {} (audited per grant, atomically)", report.violations.len());
+    println!(
+        "violations {} (audited per grant, atomically)",
+        report.violations.len()
+    );
     println!("\nmessage mix:");
     for (kind, count) in report.msg_kinds.iter() {
         println!("  {kind:<12} {count}");

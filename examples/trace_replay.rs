@@ -35,7 +35,10 @@ fn main() {
     let replayed = scenario.run_with(SchemeKind::Adaptive, topo, reloaded);
     assert_eq!(original.report.granted, replayed.report.granted);
     assert_eq!(original.report.dropped_new, replayed.report.dropped_new);
-    assert_eq!(original.report.messages_total, replayed.report.messages_total);
+    assert_eq!(
+        original.report.messages_total,
+        replayed.report.messages_total
+    );
     assert_eq!(original.report.end_time, replayed.report.end_time);
     println!(
         "replay identical: granted {}, dropped {}, messages {}, end {}",

@@ -26,7 +26,7 @@ pub use adca_traffic as traffic;
 pub mod prelude {
     pub use adca_analysis::{erlang_b, ModelInputs, SchemeModel};
     pub use adca_core::{AdaptiveConfig, AdaptiveNode, Mode};
-    pub use adca_harness::{RunSummary, Scenario, SchemeKind};
+    pub use adca_harness::{Replicated, RunSummary, Scenario, SchemeKind, SweepRunner};
     pub use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
     pub use adca_simkit::{Arrival, AuditMode, LatencyModel, SimConfig, SimReport};
     pub use adca_traffic::{Hotspot, WorkloadSpec};

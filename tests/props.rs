@@ -3,9 +3,9 @@
 use adca_repro::core::NeighborView;
 use adca_repro::core::NfcWindow;
 use adca_repro::hexgrid::{coords, Axial, CellId, Channel, ChannelSet, HexGrid, Spectrum};
+use adca_repro::simkit::Arrival;
 use adca_repro::simkit::SimTime;
 use adca_repro::traffic::trace;
-use adca_repro::simkit::Arrival;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the subset of proptest this workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range/tuple/collection
+//! strategies, `prop_oneof!`, and the [`proptest!`] test macro. Cases
+//! are generated deterministically (seeded per test name, overridable
+//! case count via `PROPTEST_CASES`); there is no shrinking — the macro
+//! prints the failing inputs instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                self.len.start + (rng.next_u64() as usize) % (self.len.end - self.len.start)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Equivalent of `assert!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// Equivalent of `assert_eq!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// Equivalent of `assert_ne!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+/// Picks uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+///
+/// Failing inputs are printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let described = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs: {}",
+                            case + 1, cases, stringify!($name), described,
+                        );
+                        ::std::panic::resume_unwind(err);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![0u32..3, 10u32..13]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -7i32..9, y in 0u64..100) {
+            prop_assert!((-7..9).contains(&x));
+            prop_assert!(y < 100);
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0u8..4, 0u16..24).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(p.0 < 24 && p.1 < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u16..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_hits_both_arms(x in small()) {
+            prop_assert!(x < 3 || (10..13).contains(&x));
+        }
+
+        #[test]
+        fn just_returns_value(x in Just(41)) {
+            prop_assert_eq!(x + 1, 42);
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut a = crate::test_runner::TestRng::for_test("abc");
+        let mut b = crate::test_runner::TestRng::for_test("abc");
+        let mut c = crate::test_runner::TestRng::for_test("other");
+        let (va, vb): (Vec<u64>, Vec<u64>) = (0..20)
+            .map(|_| (s.generate(&mut a), s.generate(&mut b)))
+            .unzip();
+        assert_eq!(va, vb);
+        let vc: Vec<u64> = (0..20).map(|_| s.generate(&mut c)).collect();
+        assert_ne!(va, vc);
+    }
+}
