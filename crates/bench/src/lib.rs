@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use adca_harness::{sweep, RunSummary};
 
 /// Prints the standard experiment banner.

@@ -1,0 +1,180 @@
+//! Machine-readable perf baselines (`BENCH_engine.json`).
+//!
+//! The workspace has no serde (offline build), so this module hand-rolls
+//! the writer and a deliberately narrow reader: it parses exactly the
+//! row-per-line layout [`write_json`] emits, which is all the baseline
+//! comparison needs. The file itself is plain JSON so external tooling
+//! (CI trend charts, `jq`) can consume it.
+
+use std::fmt::Write as _;
+use std::io;
+
+/// One `(scheme, grid)` measurement row.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Scheme name (`SchemeKind::name`).
+    pub scheme: String,
+    /// Grid label, e.g. `"24x24"`.
+    pub grid: String,
+    /// Cell count of the grid.
+    pub cells: u64,
+    /// Events processed by the run (identical across repeats).
+    pub events: u64,
+    /// Best wall clock over the repeats, seconds.
+    pub wall_s: f64,
+    /// Engine throughput at the best wall clock.
+    pub events_per_sec: f64,
+    /// Throughput of the same cell in the baseline file, if one was given.
+    pub baseline_events_per_sec: Option<f64>,
+    /// `events_per_sec / baseline_events_per_sec`.
+    pub speedup: Option<f64>,
+}
+
+/// Writes `rows` as `BENCH_engine.json`-style JSON to `path`.
+pub fn write_json(
+    path: &str,
+    rho: f64,
+    horizon: u64,
+    repeat: u32,
+    rows: &[BenchRow],
+) -> io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"engine_throughput\",\n");
+    s.push_str("  \"workload\": \"e9_scalability grid sweep\",\n");
+    let _ = writeln!(s, "  \"rho\": {rho},");
+    let _ = writeln!(s, "  \"horizon_ticks\": {horizon},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"grid\": \"{}\", \"cells\": {}, \"events\": {}, \
+             \"wall_s\": {:.6}, \"events_per_sec\": {:.1}",
+            r.scheme, r.grid, r.cells, r.events, r.wall_s, r.events_per_sec
+        );
+        if let (Some(b), Some(x)) = (r.baseline_events_per_sec, r.speedup) {
+            let _ = write!(
+                s,
+                ", \"baseline_events_per_sec\": {b:.1}, \"speedup\": {x:.3}"
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// A previously written `BENCH_engine.json`, reduced to its throughput
+/// cells.
+#[derive(Debug, Clone, Default)]
+pub struct PerfBaseline {
+    cells: Vec<(String, String, f64)>,
+}
+
+impl PerfBaseline {
+    /// Loads the throughput cells from a file written by [`write_json`].
+    pub fn load(path: &str) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut cells = Vec::new();
+        for line in text.lines() {
+            let Some(scheme) = find_str(line, "scheme") else {
+                continue;
+            };
+            let (Some(grid), Some(eps)) =
+                (find_str(line, "grid"), find_num(line, "events_per_sec"))
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed baseline row: {line}"),
+                ));
+            };
+            cells.push((scheme.to_string(), grid.to_string(), eps));
+        }
+        Ok(PerfBaseline { cells })
+    }
+
+    /// The baseline throughput recorded for `(scheme, grid)`, if any.
+    pub fn events_per_sec(&self, scheme: &str, grid: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|(s, g, _)| s == scheme && g == grid)
+            .map(|&(_, _, eps)| eps)
+    }
+}
+
+/// Extracts the string value of `"key": "…"` from a single JSON row line.
+fn find_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts the numeric value of `"key": n` from a single JSON row line.
+fn find_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scheme: &str, grid: &str, eps: f64) -> BenchRow {
+        BenchRow {
+            scheme: scheme.into(),
+            grid: grid.into(),
+            cells: 36,
+            events: 1000,
+            wall_s: 0.5,
+            events_per_sec: eps,
+            baseline_events_per_sec: None,
+            speedup: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_baseline_reader() {
+        let dir = std::env::temp_dir().join("adca_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        let rows = vec![row("adaptive", "6x6", 123456.7), row("fixed", "9x9", 9e6)];
+        write_json(path, 0.9, 100_000, 3, &rows).unwrap();
+        let base = PerfBaseline::load(path).unwrap();
+        assert_eq!(base.events_per_sec("adaptive", "6x6"), Some(123456.7));
+        assert_eq!(base.events_per_sec("fixed", "9x9"), Some(9_000_000.0));
+        assert_eq!(base.events_per_sec("fixed", "6x6"), None);
+    }
+
+    #[test]
+    fn speedup_fields_are_emitted_when_present() {
+        let dir = std::env::temp_dir().join("adca_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_speedup.json");
+        let path = path.to_str().unwrap();
+        let mut r = row("adaptive", "24x24", 3.0e6);
+        r.baseline_events_per_sec = Some(1.5e6);
+        r.speedup = Some(2.0);
+        write_json(path, 0.9, 100_000, 1, &[r]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"speedup\": 2.000"));
+        assert!(text.contains("\"baseline_events_per_sec\": 1500000.0"));
+    }
+
+    #[test]
+    fn field_extractors() {
+        let line = "    {\"scheme\": \"adaptive\", \"grid\": \"6x6\", \"events_per_sec\": 42.5},";
+        assert_eq!(find_str(line, "scheme"), Some("adaptive"));
+        assert_eq!(find_str(line, "grid"), Some("6x6"));
+        assert_eq!(find_num(line, "events_per_sec"), Some(42.5));
+        assert_eq!(find_num(line, "missing"), None);
+    }
+}

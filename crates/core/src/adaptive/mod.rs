@@ -135,6 +135,39 @@ enum Deferred {
     Search { from: CellId },
 }
 
+/// Outstanding-response tracking for one protocol round: a bitmask over
+/// indices into the node's sorted `region` slice (interference regions
+/// are small — at most a few dozen members). Replaces a per-round
+/// `BTreeSet<CellId>` allocation on the hot path.
+#[derive(Debug, Clone, Copy)]
+struct RegionMask(u64);
+
+impl RegionMask {
+    /// All `n` region members outstanding.
+    fn full(n: usize) -> Self {
+        debug_assert!(n <= 64, "interference region exceeds mask width");
+        RegionMask(if n >= 64 { u64::MAX } else { (1u64 << n) - 1 })
+    }
+
+    /// Clears member `idx`; returns whether it was still outstanding.
+    fn remove(&mut self, idx: usize) -> bool {
+        let bit = 1u64 << idx;
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Whether every member has responded.
+    fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Outstanding member count.
+    fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
 /// How the current acquisition attempt is waiting.
 #[derive(Debug, Clone)]
 enum Phase {
@@ -142,16 +175,16 @@ enum Phase {
     WaitQuiet,
     /// Waiting for `RESPONSE(3)` from every region member after the
     /// local→borrowing transition.
-    AwaitStatus { remaining: BTreeSet<CellId> },
+    AwaitStatus { remaining: RegionMask },
     /// A borrowing-update round for channel `ch`.
     Update {
         ch: Channel,
-        remaining: BTreeSet<CellId>,
+        remaining: RegionMask,
         granted: Vec<CellId>,
         rejected: bool,
     },
     /// A borrowing-search round.
-    Search { remaining: BTreeSet<CellId> },
+    Search { remaining: RegionMask },
 }
 
 /// How an acquisition was ultimately satisfied (for the ξ metrics).
@@ -217,6 +250,11 @@ impl AdaptiveNode {
     pub fn new(cell: CellId, topo: &Topology, cfg: AdaptiveConfig) -> Self {
         cfg.validate();
         let region = topo.region(cell).to_vec();
+        assert!(
+            region.len() <= 64,
+            "interference region of {cell} has {} members; RegionMask holds 64",
+            region.len()
+        );
         let pr_of = region.iter().map(|&j| topo.primary(j).clone()).collect();
         let region_of = region.iter().map(|&j| topo.region(j).to_vec()).collect();
         AdaptiveNode {
@@ -345,26 +383,25 @@ impl AdaptiveNode {
         )
     }
 
-    /// Free channels by local knowledge: `Spectrum − (Use_i ∪ I_i)`.
-    fn free_set(&self) -> ChannelSet {
-        let mut free = self.used.union(self.view.interference());
-        free = free.complement();
-        free
+    /// The first free channel by local knowledge, if any:
+    /// `min(Spectrum − (Use_i ∪ I_i))`. Fused so the per-event hot path
+    /// allocates nothing.
+    fn first_free(&self) -> Option<Channel> {
+        self.used.first_absent(self.view.interference())
     }
 
     /// A free channel from the primary set, if any:
     /// `PR_i − (Use_i ∪ I_i)`.
     fn free_primary(&self) -> Option<Channel> {
-        let mut s = self.pr.difference(&self.used);
-        s.subtract(self.view.interference());
-        s.first()
+        self.pr
+            .first_excluding(&self.used, self.view.interference())
     }
 
     /// Figure 6's `check_mode()`.
     fn check_mode(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
-        let mut free_pr = self.pr.difference(&self.used);
-        free_pr.subtract(self.view.interference());
-        let s = free_pr.len() as u32;
+        let s = self
+            .pr
+            .count_excluding(&self.used, self.view.interference()) as u32;
         let now = ctx.now();
         self.nfc.record(now, s);
         let next = self.nfc.predict(now, s, self.cfg.t_latency);
@@ -390,15 +427,15 @@ impl AdaptiveNode {
     /// Returns the lender and the channel to request (deviation #2:
     /// candidate channels come from the lender's primary set).
     fn best(&self) -> Option<(CellId, Channel)> {
-        let free = self.free_set();
         let mut best: Option<(CellId, Channel)> = None;
         let mut best_bn = usize::MAX;
         for (idx, &j) in self.region.iter().enumerate() {
             if self.update_subs.contains(&j) {
                 continue; // j is itself borrowing
             }
-            let candidates = self.pr_of[idx].intersection(&free);
-            let Some(ch) = candidates.first() else {
+            // PR_j ∩ Free_i = PR_j − Use_i − I_i, fused (no allocation).
+            let Some(ch) = self.pr_of[idx].first_excluding(&self.used, self.view.interference())
+            else {
                 continue;
             };
             let common_bn = self
@@ -462,7 +499,7 @@ impl AdaptiveNode {
                 self.mode == Mode::Borrowing,
                 "θ_l ≥ 1 guarantees the switch when no primary is free"
             );
-            let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+            let remaining = RegionMask::full(self.region.len());
             if remaining.is_empty() {
                 // Degenerate single-cell system: retry immediately in
                 // borrowing mode.
@@ -487,7 +524,7 @@ impl AdaptiveNode {
                 self.mode = Mode::BorrowUpdate;
                 ctx.count("update_rounds_started");
                 let ts = self.attempt.as_ref().expect("attempt set").ts;
-                let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+                let remaining = RegionMask::full(self.region.len());
                 for idx in 0..self.region.len() {
                     let j = self.region[idx];
                     self.send(
@@ -512,10 +549,10 @@ impl AdaptiveNode {
         self.mode = Mode::BorrowSearch;
         ctx.count("search_rounds_started");
         let ts = self.attempt.as_ref().expect("attempt set").ts;
-        let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
+        let remaining = RegionMask::full(self.region.len());
         if remaining.is_empty() {
             // No interference region at all: anything free locally works.
-            let pick = self.free_set().first();
+            let pick = self.first_free();
             match pick {
                 Some(r) => self.complete(Some(r), Via::Search, ctx),
                 None => self.complete(None, Via::Search, ctx),
@@ -659,7 +696,7 @@ impl AdaptiveNode {
     fn conclude_search(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
         // Free_i = Spectrum − Use_i − ∪_j U_j; the view was refreshed by
         // the SearchUse responses.
-        let pick = self.free_set().first();
+        let pick = self.first_free();
         match pick {
             Some(r) => self.complete(Some(r), Via::Search, ctx),
             None => self.complete(None, Via::Search, ctx),
@@ -778,6 +815,10 @@ impl AdaptiveNode {
             Search,
             StatusComplete,
         }
+        // `region` is sorted, so the sender's mask index is a binary
+        // search away; `None` means a response from outside the region
+        // (a no-op on `remaining`, as `BTreeSet::remove` used to be).
+        let from_slot = self.region.binary_search(&from).ok();
         let done = {
             let Some(attempt) = self.attempt.as_mut() else {
                 // No attempt in flight: Status/SearchUse were pure view
@@ -797,7 +838,7 @@ impl AdaptiveNode {
                     },
                     AdaptiveMsg::Grant { ch: rch },
                 ) if *ch == *rch => {
-                    if remaining.remove(&from) {
+                    if from_slot.is_some_and(|i| remaining.remove(i)) {
                         granted.push(from);
                     }
                     if remaining.is_empty() {
@@ -819,7 +860,9 @@ impl AdaptiveNode {
                     },
                     AdaptiveMsg::Reject { ch: rch },
                 ) if *ch == *rch => {
-                    remaining.remove(&from);
+                    if let Some(i) = from_slot {
+                        remaining.remove(i);
+                    }
                     *rejected = true;
                     if remaining.is_empty() {
                         Done::Update {
@@ -832,7 +875,9 @@ impl AdaptiveNode {
                     }
                 }
                 (Phase::Search { remaining }, AdaptiveMsg::SearchUse { .. }) => {
-                    remaining.remove(&from);
+                    if let Some(i) = from_slot {
+                        remaining.remove(i);
+                    }
                     if remaining.is_empty() {
                         Done::Search
                     } else {
@@ -840,7 +885,9 @@ impl AdaptiveNode {
                     }
                 }
                 (Phase::AwaitStatus { remaining }, AdaptiveMsg::Status { .. }) => {
-                    remaining.remove(&from);
+                    if let Some(i) = from_slot {
+                        remaining.remove(i);
+                    }
                     if remaining.is_empty() {
                         Done::StatusComplete
                     } else {

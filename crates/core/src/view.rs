@@ -31,6 +31,10 @@ use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum};
 pub struct NeighborView {
     /// Region members, sorted by id (binary-searchable).
     members: Vec<CellId>,
+    /// Member id → slot index (`NOT_A_MEMBER` for foreign cells). Every
+    /// broadcast receive resolves a sender to its slot, so this is a
+    /// dense O(1) table instead of a binary search.
+    slot_of: Vec<u16>,
     /// Confirmed `U_j` per member, parallel to `members`.
     used: Vec<ChannelSet>,
     /// Granted-but-unconfirmed channels per member.
@@ -41,6 +45,8 @@ pub struct NeighborView {
     interference: ChannelSet,
 }
 
+const NOT_A_MEMBER: u16 = u16::MAX;
+
 impl NeighborView {
     /// Creates an empty view over a sorted region membership list.
     pub fn new(spectrum: Spectrum, region: &[CellId]) -> Self {
@@ -48,8 +54,14 @@ impl NeighborView {
             region.windows(2).all(|w| w[0] < w[1]),
             "region must be sorted"
         );
+        let table_len = region.last().map_or(0, |c| c.index() + 1);
+        let mut slot_of = vec![NOT_A_MEMBER; table_len];
+        for (s, j) in region.iter().enumerate() {
+            slot_of[j.index()] = s as u16;
+        }
         NeighborView {
             members: region.to_vec(),
+            slot_of,
             used: vec![spectrum.empty_set(); region.len()],
             pledged: vec![spectrum.empty_set(); region.len()],
             refcount: vec![0; spectrum.len() as usize],
@@ -57,10 +69,12 @@ impl NeighborView {
         }
     }
 
+    #[inline]
     fn slot(&self, j: CellId) -> usize {
-        self.members
-            .binary_search(&j)
-            .unwrap_or_else(|_| panic!("{j} is not in this interference region"))
+        match self.slot_of.get(j.index()) {
+            Some(&s) if s != NOT_A_MEMBER => s as usize,
+            _ => panic!("{j} is not in this interference region"),
+        }
     }
 
     #[inline]
@@ -139,24 +153,40 @@ impl NeighborView {
     /// (in which case they upgrade to uses).
     pub fn replace(&mut self, j: CellId, new_set: &ChannelSet) {
         let s = self.slot(j);
-        // Snapshot confirms pledges it contains.
-        let confirmed = self.pledged[s].intersection(new_set);
-        for ch in confirmed.iter() {
-            self.pledged[s].remove(ch);
-            // Union membership unchanged (pledged → used): no recount.
-        }
-        let old = std::mem::replace(&mut self.used[s], new_set.clone());
-        for ch in old.difference(new_set).iter() {
-            if !self.pledged[s].contains(ch) {
-                self.decr(ch);
+        // Split borrows: the diff walks `used[s]`/`new_set` while the
+        // pledge set and refcounts update — no temporaries needed. (A
+        // pledge confirmed by the snapshot is necessarily in
+        // `new − old`, because uses and pledges are disjoint.)
+        let NeighborView {
+            used,
+            pledged,
+            refcount,
+            interference,
+            ..
+        } = self;
+        let old = &mut used[s];
+        let pl = &mut pledged[s];
+        // Channels the snapshot adds: confirm the pledge (pledged → used
+        // keeps union membership, so no recount) or count a fresh use.
+        for ch in new_set.iter_difference(old) {
+            if !pl.remove(ch) {
+                refcount[ch.index()] += 1;
+                interference.insert(ch);
             }
         }
-        for ch in new_set.difference(&old).iter() {
-            // Channels that were pledged were already counted.
-            if !confirmed.contains(ch) {
-                self.incr(ch);
+        // Channels the snapshot drops: uncount unless pledged (pledges
+        // survive snapshot replacement — see the module docs).
+        for ch in old.iter_difference(new_set) {
+            if !pl.contains(ch) {
+                let rc = &mut refcount[ch.index()];
+                debug_assert!(*rc > 0);
+                *rc -= 1;
+                if *rc == 0 {
+                    interference.remove(ch);
+                }
             }
         }
+        old.copy_from(new_set);
     }
 
     /// The derived interference set `I_i` (uses ∪ pledges).
@@ -182,7 +212,9 @@ impl NeighborView {
 
     /// Whether `j` is a region member.
     pub fn contains_member(&self, j: CellId) -> bool {
-        self.members.binary_search(&j).is_ok()
+        self.slot_of
+            .get(j.index())
+            .is_some_and(|&s| s != NOT_A_MEMBER)
     }
 
     /// Internal consistency check (used by tests/proptests): refcounts

@@ -25,16 +25,30 @@ pub const THREADS_ENV: &str = "ADCA_THREADS";
 
 /// Worker count for sweeps: `ADCA_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism (1 if unknown).
+///
+/// An unparseable `ADCA_THREADS` warns **once** per process (sweeps call
+/// this per experiment cell; repeating the warning would drown the
+/// experiment's own output) and names both the rejected value and the
+/// fallback actually used.
 pub fn worker_count() -> usize {
+    let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
     if let Ok(v) = std::env::var(THREADS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
                 return n;
             }
         }
-        eprintln!("warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)");
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        let n = fallback();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive \
+                 integer); falling back to available parallelism ({n})"
+            );
+        });
+        return n;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    fallback()
 }
 
 /// Runs every closure in `jobs` on a pool of `workers` threads and

@@ -1,0 +1,70 @@
+//! Full-report determinism across schedulers and worker pools.
+//!
+//! The reproduction's tables are only trustworthy if a run is a pure
+//! function of `(topology, workload, seed, config)`. These tests pin
+//! that at the strongest level — whole-[`SimReport`] equality, covering
+//! every counter, per-cell tally, histogram and sample series — for the
+//! adaptive scheme under *jittered* latency (the adversarial case: the
+//! per-link FIFO clamp and the RNG stream both feed event timing) and
+//! for the parallel sweep runner against its sequential equivalent.
+
+use adca_harness::{run_jobs_on, Scenario, SchemeKind};
+use adca_simkit::{LatencyModel, SimReport};
+use adca_traffic::WorkloadSpec;
+
+/// One adaptive run on a 6x6 grid with jittered message latency.
+fn jittered_adaptive_run(seed: u64) -> SimReport {
+    let mut sc = Scenario::uniform(1.0, 40_000).with_grid(6, 6);
+    sc.workload = sc.workload.with_seed(seed);
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let cfg = adca_simkit::SimConfig {
+        latency: LatencyModel::Jitter { min: 50, max: 200 },
+        seed,
+        ..Default::default()
+    };
+    let ac = sc.adaptive.clone();
+    adca_simkit::engine::run_protocol(
+        topo,
+        cfg,
+        move |c, t| adca_core::AdaptiveNode::new(c, t, ac.clone()),
+        arrivals,
+    )
+}
+
+#[test]
+fn adaptive_under_jitter_is_bit_identical_across_runs() {
+    for seed in [3, 17] {
+        let r1 = jittered_adaptive_run(seed);
+        let r2 = jittered_adaptive_run(seed);
+        r1.assert_clean();
+        assert_eq!(r1, r2, "seed {seed}: reports diverge between runs");
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_sweep() {
+    // The same job set through a 1-worker pool and a 4-worker pool must
+    // produce identical reports in identical order: each run stays
+    // single-threaded, so pool size may only change wall-clock.
+    let jobs = || -> Vec<Box<dyn FnOnce() -> SimReport + Send>> {
+        let mut jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = Vec::new();
+        for seed in [5u64, 6, 7, 8] {
+            for kind in [SchemeKind::Adaptive, SchemeKind::BasicSearch] {
+                jobs.push(Box::new(move || {
+                    let sc = Scenario::uniform(0.8, 30_000)
+                        .with_grid(6, 6)
+                        .with_workload(WorkloadSpec::uniform(0.8, 5_000.0, 30_000).with_seed(seed));
+                    sc.run(kind).report
+                }));
+            }
+        }
+        jobs
+    };
+    let sequential = run_jobs_on(1, jobs());
+    let parallel = run_jobs_on(4, jobs());
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "job {i}: parallel report diverges from sequential");
+    }
+}

@@ -75,6 +75,28 @@ impl Spectrum {
 
 const WORD_BITS: usize = 64;
 
+/// Spectra up to `INLINE_WORDS * 64` channels store their bits inline —
+/// no heap allocation for the set, so `clone()` (protocol messages carry
+/// set snapshots on the simulation hot path) is a plain memcpy.
+const INLINE_WORDS: usize = 2;
+
+/// Bit storage: inline array for small spectra, heap for large ones.
+///
+/// The unused tail of an inline array (words past the spectrum, and bits
+/// past `nbits` in the last word) is kept zero by every operation, so the
+/// derived `PartialEq`/`Hash` agree with set semantics.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Words {
+    Inline([u64; INLINE_WORDS]),
+    Spill(Vec<u64>),
+}
+
+impl Default for Words {
+    fn default() -> Self {
+        Words::Inline([0; INLINE_WORDS])
+    }
+}
+
 /// A dense bitset over the channel spectrum.
 ///
 /// All binary operations require both operands to be sized for the same
@@ -85,7 +107,7 @@ const WORD_BITS: usize = 64;
 pub struct ChannelSet {
     /// Number of valid channel bits.
     nbits: u16,
-    words: Vec<u64>,
+    words: Words,
 }
 
 impl ChannelSet {
@@ -94,7 +116,36 @@ impl ChannelSet {
         let nwords = (nbits as usize).div_ceil(WORD_BITS);
         ChannelSet {
             nbits,
-            words: vec![0; nwords],
+            words: if nwords <= INLINE_WORDS {
+                Words::Inline([0; INLINE_WORDS])
+            } else {
+                Words::Spill(vec![0; nwords])
+            },
+        }
+    }
+
+    /// Number of storage words covering `0..nbits`.
+    #[inline]
+    fn nwords(&self) -> usize {
+        (self.nbits as usize).div_ceil(WORD_BITS)
+    }
+
+    /// The live storage words (exactly `nwords()` of them).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(a) => &a[..self.nwords()],
+            Words::Spill(v) => v,
+        }
+    }
+
+    /// Mutable view of the live storage words.
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = self.nwords();
+        match &mut self.words {
+            Words::Inline(a) => &mut a[..n],
+            Words::Spill(v) => v,
         }
     }
 
@@ -123,8 +174,9 @@ impl ChannelSet {
         );
         let (w, b) = (ch.index() / WORD_BITS, ch.index() % WORD_BITS);
         let mask = 1u64 << b;
-        let was = self.words[w] & mask != 0;
-        self.words[w] |= mask;
+        let word = &mut self.words_mut()[w];
+        let was = *word & mask != 0;
+        *word |= mask;
         !was
     }
 
@@ -134,8 +186,9 @@ impl ChannelSet {
         debug_assert!(ch.0 < self.nbits);
         let (w, b) = (ch.index() / WORD_BITS, ch.index() % WORD_BITS);
         let mask = 1u64 << b;
-        let was = self.words[w] & mask != 0;
-        self.words[w] &= !mask;
+        let word = &mut self.words_mut()[w];
+        let was = *word & mask != 0;
+        *word &= !mask;
         was
     }
 
@@ -146,31 +199,31 @@ impl ChannelSet {
             return false;
         }
         let (w, b) = (ch.index() / WORD_BITS, ch.index() % WORD_BITS);
-        self.words[w] & (1u64 << b) != 0
+        self.words()[w] & (1u64 << b) != 0
     }
 
     /// Number of channels in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Removes every channel.
     pub fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words_mut().iter_mut().for_each(|w| *w = 0);
     }
 
     /// In-place union: `self ∪= other`.
     #[inline]
     pub fn union_with(&mut self, other: &ChannelSet) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -179,7 +232,7 @@ impl ChannelSet {
     #[inline]
     pub fn intersect_with(&mut self, other: &ChannelSet) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
@@ -188,7 +241,7 @@ impl ChannelSet {
     #[inline]
     pub fn subtract(&mut self, other: &ChannelSet) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= !b;
         }
     }
@@ -217,7 +270,7 @@ impl ChannelSet {
     /// Complement within the spectrum: `Spectrum − self`.
     pub fn complement(&self) -> ChannelSet {
         let mut out = ChannelSet::new(self.nbits);
-        for (o, w) in out.words.iter_mut().zip(&self.words) {
+        for (o, w) in out.words_mut().iter_mut().zip(self.words()) {
             *o = !w;
         }
         out.mask_tail();
@@ -228,16 +281,19 @@ impl ChannelSet {
     #[inline]
     pub fn is_disjoint(&self, other: &ChannelSet) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Whether every channel of `self` is in `other`.
     #[inline]
     pub fn is_subset(&self, other: &ChannelSet) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
@@ -245,7 +301,7 @@ impl ChannelSet {
     /// as the deterministic "pick one of the free channels" rule.
     #[inline]
     pub fn first(&self) -> Option<Channel> {
-        for (i, &w) in self.words.iter().enumerate() {
+        for (i, &w) in self.words().iter().enumerate() {
             if w != 0 {
                 let bit = w.trailing_zeros() as usize;
                 return Some(Channel((i * WORD_BITS + bit) as u16));
@@ -257,7 +313,7 @@ impl ChannelSet {
     /// The highest-numbered channel in the set, if any.
     #[inline]
     pub fn last(&self) -> Option<Channel> {
-        for (i, &w) in self.words.iter().enumerate().rev() {
+        for (i, &w) in self.words().iter().enumerate().rev() {
             if w != 0 {
                 let bit = WORD_BITS - 1 - w.leading_zeros() as usize;
                 return Some(Channel((i * WORD_BITS + bit) as u16));
@@ -266,12 +322,101 @@ impl ChannelSet {
         None
     }
 
+    /// The lowest channel in `self − a − b`, without materializing the
+    /// difference. This is the protocols' "pick the first free channel"
+    /// rule fused into one word-at-a-time pass.
+    #[inline]
+    pub fn first_excluding(&self, a: &ChannelSet, b: &ChannelSet) -> Option<Channel> {
+        debug_assert_eq!(self.nbits, a.nbits);
+        debug_assert_eq!(self.nbits, b.nbits);
+        for (i, ((&s, &wa), &wb)) in self
+            .words()
+            .iter()
+            .zip(a.words())
+            .zip(b.words())
+            .enumerate()
+        {
+            let w = s & !wa & !wb;
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                return Some(Channel((i * WORD_BITS + bit) as u16));
+            }
+        }
+        None
+    }
+
+    /// `|self − a − b|`, without materializing the difference.
+    #[inline]
+    pub fn count_excluding(&self, a: &ChannelSet, b: &ChannelSet) -> usize {
+        debug_assert_eq!(self.nbits, a.nbits);
+        debug_assert_eq!(self.nbits, b.nbits);
+        self.words()
+            .iter()
+            .zip(a.words())
+            .zip(b.words())
+            .map(|((&s, &wa), &wb)| (s & !wa & !wb).count_ones() as usize)
+            .sum()
+    }
+
+    /// The lowest channel of the spectrum in **neither** `self` nor
+    /// `other` — `(self ∪ other).complement().first()` without the two
+    /// allocations.
+    #[inline]
+    pub fn first_absent(&self, other: &ChannelSet) -> Option<Channel> {
+        debug_assert_eq!(self.nbits, other.nbits);
+        let tail = self.nbits as usize % WORD_BITS;
+        let last = self.nwords().wrapping_sub(1);
+        for (i, (&a, &b)) in self.words().iter().zip(other.words()).enumerate() {
+            let mut w = !(a | b);
+            if i == last && tail != 0 {
+                w &= (1u64 << tail) - 1;
+            }
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                return Some(Channel((i * WORD_BITS + bit) as u16));
+            }
+        }
+        None
+    }
+
+    /// Iterates over `self − other` in increasing id order without
+    /// materializing the difference.
+    pub fn iter_difference<'a>(
+        &'a self,
+        other: &'a ChannelSet,
+    ) -> impl Iterator<Item = Channel> + 'a {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words()
+            .iter()
+            .zip(other.words())
+            .enumerate()
+            .flat_map(|(i, (&a, &b))| {
+                let mut w = a & !b;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(Channel((i * WORD_BITS + bit) as u16))
+                })
+            })
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing the allocation.
+    #[inline]
+    pub fn copy_from(&mut self, other: &ChannelSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words_mut().copy_from_slice(other.words());
+    }
+
     /// Iterates over member channels in increasing id order.
     pub fn iter(&self) -> ChannelSetIter<'_> {
+        let words = self.words();
         ChannelSetIter {
-            set: self,
+            words,
             word_idx: 0,
-            cur: self.words.first().copied().unwrap_or(0),
+            cur: words.first().copied().unwrap_or(0),
         }
     }
 
@@ -279,7 +424,7 @@ impl ChannelSet {
     fn mask_tail(&mut self) {
         let tail = self.nbits as usize % WORD_BITS;
         if tail != 0 {
-            if let Some(w) = self.words.last_mut() {
+            if let Some(w) = self.words_mut().last_mut() {
                 *w &= (1u64 << tail) - 1;
             }
         }
@@ -304,7 +449,7 @@ impl FromIterator<Channel> for ChannelSet {
 
 /// Iterator over the channels of a [`ChannelSet`].
 pub struct ChannelSetIter<'a> {
-    set: &'a ChannelSet,
+    words: &'a [u64],
     word_idx: usize,
     cur: u64,
 }
@@ -321,10 +466,10 @@ impl Iterator for ChannelSetIter<'_> {
                 return Some(Channel((self.word_idx * WORD_BITS + bit) as u16));
             }
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.cur = self.set.words[self.word_idx];
+            self.cur = self.words[self.word_idx];
         }
     }
 }
@@ -427,5 +572,52 @@ mod tests {
     #[should_panic]
     fn zero_spectrum_panics() {
         let _ = Spectrum::new(0);
+    }
+
+    #[test]
+    fn fused_ops_match_composed_ops() {
+        let s = set(130, &[0, 2, 9, 64, 127, 129]);
+        let a = set(130, &[0, 64]);
+        let b = set(130, &[2, 129]);
+        let composed = s.difference(&a).difference(&b);
+        assert_eq!(s.first_excluding(&a, &b), composed.first());
+        assert_eq!(s.count_excluding(&a, &b), composed.len());
+        // Everything excluded.
+        assert_eq!(s.first_excluding(&s, &b), None);
+        assert_eq!(s.count_excluding(&s, &b), 0);
+    }
+
+    #[test]
+    fn first_absent_matches_union_complement() {
+        let a = set(70, &[0, 1, 2, 69]);
+        let b = set(70, &[3, 4]);
+        assert_eq!(a.first_absent(&b), a.union(&b).complement().first());
+        assert_eq!(a.first_absent(&b), Some(Channel(5)));
+        // A full spectrum has no absent channel, and the tail mask must
+        // not invent phantom channels above nbits.
+        let full = Spectrum::new(70).full_set();
+        let none = ChannelSet::new(70);
+        assert_eq!(full.first_absent(&none), None);
+        // Word-aligned spectrum exercises the tail == 0 branch.
+        let full64 = Spectrum::new(64).full_set();
+        assert_eq!(full64.first_absent(&ChannelSet::new(64)), None);
+    }
+
+    #[test]
+    fn iter_difference_matches_difference_iter() {
+        let a = set(130, &[1, 9, 33, 64, 65, 128]);
+        let b = set(130, &[9, 65]);
+        let fused: Vec<Channel> = a.iter_difference(&b).collect();
+        let composed: Vec<Channel> = a.difference(&b).iter().collect();
+        assert_eq!(fused, composed);
+        assert_eq!(a.iter_difference(&a).count(), 0);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let a = set(70, &[1, 2, 69]);
+        let mut dst = set(70, &[5]);
+        dst.copy_from(&a);
+        assert_eq!(dst, a);
     }
 }

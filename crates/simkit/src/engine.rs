@@ -1,6 +1,7 @@
 //! The deterministic discrete-event engine.
 
 use crate::backend::{Ctx, CtxBackend};
+use crate::equeue::EventQueue;
 use crate::latency::{LatencyModel, MsgMeta};
 use crate::protocol::{Protocol, RequestId, RequestKind};
 use crate::report::{AuditMode, MsgTrace, SimReport, Violation};
@@ -8,8 +9,8 @@ use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use crate::workload::Arrival;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use adca_metrics::{CounterMap, SampleSeries};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -42,31 +43,6 @@ impl Default for SimConfig {
             trace: false,
             max_events: 500_000_000,
         }
-    }
-}
-
-/// Heap entry: events ordered by `(time, seq)` — earliest first, FIFO
-/// among simultaneous events.
-struct QEntry<M> {
-    at: SimTime,
-    seq: u64,
-    ev: Ev<M>,
-}
-
-impl<M> PartialEq for QEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QEntry<M> {}
-impl<M> PartialOrd for QEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
@@ -132,33 +108,168 @@ struct ReqRecord {
     state: ReqState,
 }
 
+/// Per-link FIFO clamps: the latest delivery time scheduled on each
+/// `(from, to)` link. Distributed channel-allocation protocols of this
+/// family assume FIFO channels (a RELEASE must not overtake the GRANT
+/// that preceded it); under jittered latency the clamp enforces it.
+///
+/// The engine probes this table on **every** message send, so the old
+/// `HashMap<(CellId, CellId), SimTime>` hash was pure per-event tax. For
+/// topologies up to ~1k cells a dense `n × n` array is small enough
+/// (8 MB at n = 1024) to index directly; beyond that the table compresses
+/// to interference-region links only — the only links any of the paper's
+/// protocols use — with a spill map for protocols that message outside
+/// their region.
+enum LinkHorizons {
+    Dense {
+        n: usize,
+        slots: Vec<SimTime>,
+    },
+    Region {
+        /// CSR offsets: links of `from` live at `starts[from]..starts[from+1]`.
+        starts: Vec<u32>,
+        /// Region members of each `from`, sorted by id (binary-searchable).
+        targets: Vec<CellId>,
+        slots: Vec<SimTime>,
+        spill: HashMap<(CellId, CellId), SimTime>,
+    },
+}
+
+/// Largest `n × n` slot table we are willing to allocate densely.
+const DENSE_LINK_LIMIT: usize = 1 << 20;
+
+impl LinkHorizons {
+    fn new(topo: &Topology) -> Self {
+        let n = topo.num_cells();
+        if n.saturating_mul(n) <= DENSE_LINK_LIMIT {
+            return LinkHorizons::Dense {
+                n,
+                slots: vec![SimTime::ZERO; n * n],
+            };
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        for cell in topo.cells() {
+            starts.push(targets.len() as u32);
+            targets.extend_from_slice(topo.region(cell));
+        }
+        starts.push(targets.len() as u32);
+        let slots = vec![SimTime::ZERO; targets.len()];
+        LinkHorizons::Region {
+            starts,
+            targets,
+            slots,
+            spill: HashMap::new(),
+        }
+    }
+
+    /// Applies the FIFO clamp for a delivery on `from → to` wanted at
+    /// `at`: returns the actual (clamped) delivery time and records it as
+    /// the link's new horizon.
+    #[inline]
+    fn clamp(&mut self, from: CellId, to: CellId, at: SimTime) -> SimTime {
+        let slot = match self {
+            LinkHorizons::Dense { n, slots } => &mut slots[from.index() * *n + to.index()],
+            LinkHorizons::Region {
+                starts,
+                targets,
+                slots,
+                spill,
+            } => {
+                let lo = starts[from.index()] as usize;
+                let hi = starts[from.index() + 1] as usize;
+                match targets[lo..hi].binary_search(&to) {
+                    Ok(i) => &mut slots[lo + i],
+                    Err(_) => spill.entry((from, to)).or_insert(SimTime::ZERO),
+                }
+            }
+        };
+        let at = at.max(*slot);
+        *slot = at;
+        at
+    }
+}
+
+/// Append-only interning table for `&'static str`-keyed counters.
+///
+/// Protocols label messages and counters with string literals, and the
+/// old engine paid a `BTreeMap` probe per event for each. A run only ever
+/// sees a handful of distinct labels, so a short vector scanned by
+/// pointer identity (literals are deduplicated per codegen unit; the
+/// string comparison is a cold fallback) beats the tree walk — and the
+/// totals fold into the report's sorted [`CounterMap`] once at the end of
+/// the run, so the report is byte-for-byte what the maps produced.
+#[derive(Default)]
+struct SlotCounters(Vec<(&'static str, u64)>);
+
+impl SlotCounters {
+    #[inline]
+    fn add(&mut self, name: &'static str, n: u64) {
+        for (k, v) in &mut self.0 {
+            if std::ptr::eq(*k, name) || *k == name {
+                *v += n;
+                return;
+            }
+        }
+        self.0.push((name, n));
+    }
+
+    #[inline]
+    fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    fn fold_into(&self, map: &mut CounterMap) {
+        for &(k, v) in &self.0 {
+            map.add(k, v);
+        }
+    }
+}
+
+/// Same idea as [`SlotCounters`] for `ctx.sample` series.
+#[derive(Default)]
+struct SlotSamples(Vec<(&'static str, SampleSeries)>);
+
+impl SlotSamples {
+    #[inline]
+    fn push(&mut self, name: &'static str, value: f64) {
+        for (k, s) in &mut self.0 {
+            if std::ptr::eq(*k, name) || *k == name {
+                s.push(value);
+                return;
+            }
+        }
+        let mut s = SampleSeries::new();
+        s.push(value);
+        self.0.push((name, s));
+    }
+}
+
 /// Engine state shared with protocol nodes through [`Ctx`].
 pub struct Shared<M> {
     topo: Arc<Topology>,
     cfg: SimConfig,
     now: SimTime,
-    seq: u64,
     msg_seq: u64,
-    queue: BinaryHeap<Reverse<QEntry<M>>>,
+    queue: EventQueue<Ev<M>>,
     rng: SplitMix64,
     /// Ground-truth channel usage per cell (for the Theorem-1 audit).
     usage: Vec<ChannelSet>,
-    /// Per-link FIFO clamp: the latest delivery time scheduled on each
-    /// (from, to) link. Distributed channel-allocation protocols of this
-    /// family assume FIFO channels (a RELEASE must not overtake the GRANT
-    /// that preceded it); under jittered latency the clamp enforces it.
-    link_horizon: HashMap<(CellId, CellId), SimTime>,
+    link_horizon: LinkHorizons,
     calls: Vec<CallRecord>,
     reqs: Vec<ReqRecord>,
     pending_reqs: u64,
+    /// Per-event counters, folded into `report` at the end of the run.
+    msg_kinds: SlotCounters,
+    custom: SlotCounters,
+    custom_samples: SlotSamples,
     report: SimReport,
 }
 
 impl<M> Shared<M> {
+    #[inline]
     fn push(&mut self, at: SimTime, ev: Ev<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QEntry { at, seq, ev }));
+        self.queue.push(at, ev);
     }
 
     fn violation(&mut self, v: Violation) {
@@ -192,7 +303,7 @@ impl<M> Shared<M> {
         self.calls[call as usize].state = CallState::Waiting(id);
         self.calls[call as usize].cell = cell;
         if kind == RequestKind::Handoff {
-            self.report.custom.incr("handoff_attempts");
+            self.custom.incr("handoff_attempts");
         }
         id
     }
@@ -230,16 +341,9 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
         };
         self.sh.msg_seq += 1;
         let lat = self.sh.cfg.latency.latency(&meta, &mut self.sh.rng);
-        let mut at = self.sh.now + lat;
-        let horizon = self
-            .sh
-            .link_horizon
-            .entry((self.me, to))
-            .or_insert(SimTime::ZERO);
-        at = at.max(*horizon);
-        *horizon = at;
+        let at = self.sh.link_horizon.clamp(self.me, to, self.sh.now + lat);
         self.sh.report.messages_total += 1;
-        self.sh.report.msg_kinds.incr(kind);
+        self.sh.msg_kinds.incr(kind);
         self.sh.report.per_cell_msgs[self.me.index()] += 1;
         if self.sh.cfg.trace {
             self.sh.report.trace.push(MsgTrace {
@@ -275,7 +379,7 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
             // The call ended or moved while we were acquiring; release the
             // channel right away (as a fresh event so the node's current
             // handler finishes first).
-            self.sh.report.custom.incr("stale_grants");
+            self.sh.custom.incr("stale_grants");
             let now = self.sh.now;
             self.sh.push(now, Ev::AutoRelease { node: cell, ch });
             return;
@@ -315,8 +419,8 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
         self.sh.report.per_cell_grants[cell.index()] += 1;
         self.sh.report.acq_latency.push(latency as f64);
         match kind {
-            RequestKind::NewCall => self.sh.report.custom.incr("grant_new"),
-            RequestKind::Handoff => self.sh.report.custom.incr("grant_handoff"),
+            RequestKind::NewCall => self.sh.custom.incr("grant_new"),
+            RequestKind::Handoff => self.sh.custom.incr("grant_handoff"),
         }
     }
 
@@ -344,21 +448,16 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
 
     #[inline]
     fn count(&mut self, name: &'static str) {
-        self.sh.report.custom.incr(name);
+        self.sh.custom.incr(name);
     }
 
     #[inline]
     fn add(&mut self, name: &'static str, n: u64) {
-        self.sh.report.custom.add(name, n);
+        self.sh.custom.add(name, n);
     }
 
     fn sample(&mut self, name: &'static str, value: f64) {
-        self.sh
-            .report
-            .custom_samples
-            .entry(name)
-            .or_default()
-            .push(value);
+        self.sh.custom_samples.push(name, value);
     }
 
     fn truly_free_here(&self, ch: Channel) -> bool {
@@ -396,19 +495,24 @@ impl<P: Protocol> Engine<P> {
             per_cell_grants: vec![0; n],
             ..Default::default()
         };
+        // Every arrival and hop is pushed up front (mostly landing in the
+        // queue's far-future overflow) and later becomes one request.
+        let total_hops: usize = arrivals.iter().map(|a| a.hops.len()).sum();
         let mut sh = Shared {
             rng: SplitMix64::new(cfg.seed),
+            link_horizon: LinkHorizons::new(&topo),
             topo: topo.clone(),
             cfg,
             now: SimTime::ZERO,
-            seq: 0,
             msg_seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::with_capacity(arrivals.len() + total_hops),
             usage: vec![topo.spectrum().empty_set(); n],
-            link_horizon: HashMap::new(),
             calls: Vec::with_capacity(arrivals.len()),
-            reqs: Vec::new(),
+            reqs: Vec::with_capacity(arrivals.len() + total_hops),
             pending_reqs: 0,
+            msg_kinds: SlotCounters::default(),
+            custom: SlotCounters::default(),
+            custom_samples: SlotSamples::default(),
             report,
         };
         for arr in arrivals {
@@ -463,7 +567,7 @@ impl<P: Protocol> Engine<P> {
             self.nodes[i].on_start(&mut ctx);
         }
         let mut processed: u64 = 0;
-        while let Some(Reverse(entry)) = self.sh.queue.pop() {
+        while let Some(entry) = self.sh.queue.pop() {
             processed += 1;
             if processed > self.sh.cfg.max_events {
                 self.sh.violation(Violation::EventBudget { processed });
@@ -471,7 +575,7 @@ impl<P: Protocol> Engine<P> {
             }
             debug_assert!(entry.at >= self.sh.now, "event queue went backwards");
             self.sh.now = entry.at;
-            match entry.ev {
+            match entry.item {
                 Ev::Deliver { from, to, msg, .. } => {
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
@@ -511,7 +615,7 @@ impl<P: Protocol> Engine<P> {
                             // Ended while a (handoff) acquisition was in
                             // flight; the eventual grant auto-releases.
                             rec.state = CallState::Done;
-                            self.sh.report.custom.incr("ended_while_waiting");
+                            self.sh.custom.incr("ended_while_waiting");
                         }
                         CallState::Done => {}
                     }
@@ -548,7 +652,7 @@ impl<P: Protocol> Engine<P> {
                             );
                         }
                         _ => {
-                            self.sh.report.custom.incr("hop_skipped");
+                            self.sh.custom.incr("hop_skipped");
                         }
                     }
                 }
@@ -573,6 +677,20 @@ impl<P: Protocol> Engine<P> {
         if self.sh.pending_reqs > 0 {
             let pending = self.sh.pending_reqs;
             self.sh.violation(Violation::Liveness { pending });
+        }
+        // Fold the per-event slot counters into the report's sorted maps
+        // (taking the slots, so a second `run()` call cannot double-fold).
+        // The maps order by key, so the fold order is irrelevant; sample
+        // series keep their per-key push order, so stats match exactly.
+        std::mem::take(&mut self.sh.msg_kinds).fold_into(&mut self.sh.report.msg_kinds);
+        std::mem::take(&mut self.sh.custom).fold_into(&mut self.sh.report.custom);
+        for (name, series) in std::mem::take(&mut self.sh.custom_samples.0) {
+            self.sh
+                .report
+                .custom_samples
+                .entry(name)
+                .or_default()
+                .merge(&series);
         }
         self.sh.report.end_time = self.sh.now;
         self.sh.report.events_processed = processed;

@@ -1,0 +1,362 @@
+//! The engine's event queue: a calendar queue with an overflow heap.
+//!
+//! The engine previously used `BinaryHeap<Reverse<QEntry>>`, paying
+//! `O(log n)` sift-up/sift-down per event with cache-hostile access
+//! patterns. Discrete-event workloads are strongly *near-future* biased
+//! (message latencies of ~`T` ticks, call ends within a few mean holding
+//! times), which is exactly the access pattern calendar queues exploit:
+//!
+//! * Virtual time is partitioned into fixed-width *days* of
+//!   `2^DAY_SHIFT` ticks; a ring of [`NUM_BUCKETS`] day buckets covers
+//!   the near future (`DAY_TICKS × NUM_BUCKETS` ticks ahead).
+//! * A push lands in its day's bucket as an unsorted append — `O(1)`.
+//! * When the serving cursor enters a day, that one bucket is put in
+//!   order by a *stable distribution sort* over the `2^DAY_SHIFT`
+//!   possible ticks-within-day — `O(b)` with no comparisons, exploiting
+//!   the fact that pushes arrive in ascending `seq` order — and drained
+//!   back-to-front; a push *into the serving day* keeps the bucket
+//!   sorted with a binary-search insert.
+//! * Events beyond the ring (initial arrival schedules, very long call
+//!   ends) go to a sorted overflow heap and migrate into their bucket
+//!   when the cursor reaches their day.
+//!
+//! The pop order is **exactly** the `(time, seq)` lexicographic order of
+//! the heap it replaces — equal-time events pop in push order — so every
+//! `SimReport` is bit-identical to the `BinaryHeap` engine's. A property
+//! test (`tests/equeue_props.rs`) pins this against a reference heap for
+//! random push/pop interleavings.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Width of one calendar day in ticks (as a shift): 16 ticks.
+///
+/// Narrow days keep the serving bucket small, which bounds the two
+/// `O(bucket)` costs: the binary-insert memmove for a push into the
+/// serving day (common — exponentially distributed call holding times
+/// put many `End` events within a few ticks of `now`) and each bucket
+/// sort. Wider days would amortize the day-advance step better, but that
+/// step is a trivial counter increment.
+const DAY_SHIFT: u32 = 4;
+/// Ticks per day, and the modulus of the distribution sort.
+const DAY_TICKS: usize = 1 << DAY_SHIFT;
+/// Mask extracting the tick-within-day from a time.
+const TICK_MASK: u64 = (DAY_TICKS as u64) - 1;
+/// Number of day buckets in the ring (must stay a power of two). The
+/// ring spans `2^DAY_SHIFT × NUM_BUCKETS` = 16k ticks ahead; beyond it
+/// events overflow to the heap (mean call durations are ~`T`, so the
+/// exponential tail past the ring is negligible).
+const NUM_BUCKETS: usize = 1024;
+/// Ring index mask.
+const DAY_MASK: u64 = (NUM_BUCKETS as u64) - 1;
+
+/// One scheduled event: `(at, seq)` is the total pop order.
+#[derive(Debug, Clone)]
+pub struct EqEntry<T> {
+    /// Due time.
+    pub at: SimTime,
+    /// Global tie-break sequence (push order among equal times).
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> EqEntry<T> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<T> PartialEq for EqEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for EqEntry<T> {}
+impl<T> PartialOrd for EqEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EqEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A monotone priority queue over `(SimTime, seq)` keys.
+///
+/// "Monotone" is the engine's contract: every push is at or after the
+/// time of the last pop (`debug_assert`ed). This is what lets the
+/// serving cursor only ever move forward.
+pub struct EventQueue<T> {
+    /// The day-bucket ring. Only the serving day's bucket is sorted
+    /// (descending, so popping from the back yields ascending order).
+    buckets: Vec<Vec<EqEntry<T>>>,
+    /// The day currently being served.
+    cur_day: u64,
+    /// Whether the serving day's bucket has been sorted yet.
+    cur_sorted: bool,
+    /// Entries across all ring buckets.
+    ring_len: usize,
+    /// Entries in `overflow`.
+    overflow: BinaryHeap<Reverse<EqEntry<T>>>,
+    /// Scratch: overflow entries migrating into the serving day.
+    migrating: Vec<EqEntry<T>>,
+    /// Scratch: one FIFO per tick-within-day for the distribution sort.
+    tick_lists: Vec<Vec<EqEntry<T>>>,
+    /// Monotone sequence counter for tie-breaks.
+    seq: u64,
+}
+
+#[inline]
+fn day_of(at: SimTime) -> u64 {
+    at.ticks() >> DAY_SHIFT
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with `far` slots pre-reserved in the overflow heap
+    /// (for workloads whose whole arrival schedule is pushed up front).
+    pub fn with_capacity(far: usize) -> Self {
+        EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cur_day: 0,
+            cur_sorted: false,
+            ring_len: 0,
+            overflow: BinaryHeap::with_capacity(far),
+            migrating: Vec::new(),
+            tick_lists: (0..DAY_TICKS).map(|_| Vec::new()).collect(),
+            seq: 0,
+        }
+    }
+
+    /// Total number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// Whether no event is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `item` at `at`, after everything already scheduled for
+    /// `at`. Returns the entry's tie-break sequence number.
+    pub fn push(&mut self, at: SimTime, item: T) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_with_seq(at, seq, item);
+        seq
+    }
+
+    /// Schedules `item` at `(at, seq)` with a caller-supplied tie-break.
+    /// The engine uses this to keep one global event-sequence counter.
+    ///
+    /// `seq` values must be monotone in push order (as a single shared
+    /// counter guarantees): the day-entry distribution sort is stable
+    /// and relies on same-day entries arriving in ascending `seq`.
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, item: T) {
+        let day = day_of(at);
+        debug_assert!(
+            day >= self.cur_day,
+            "monotonicity violated: pushed day {day} before serving day {}",
+            self.cur_day
+        );
+        let entry = EqEntry { at, seq, item };
+        if day >= self.cur_day + NUM_BUCKETS as u64 {
+            self.overflow.push(Reverse(entry));
+            return;
+        }
+        let bucket = &mut self.buckets[(day & DAY_MASK) as usize];
+        if day == self.cur_day && self.cur_sorted {
+            // The serving day's bucket is sorted descending and drained
+            // from the back; keep the order exact.
+            let key = entry.key();
+            let pos = bucket.partition_point(|e| e.key() > key);
+            bucket.insert(pos, entry);
+        } else {
+            bucket.push(entry);
+        }
+        self.ring_len += 1;
+    }
+
+    /// Removes and returns the earliest `(at, seq)` event.
+    pub fn pop(&mut self) -> Option<EqEntry<T>> {
+        loop {
+            if !self.cur_sorted {
+                self.enter_day();
+            }
+            let bucket = &mut self.buckets[(self.cur_day & DAY_MASK) as usize];
+            if let Some(entry) = bucket.pop() {
+                self.ring_len -= 1;
+                return Some(entry);
+            }
+            // Serving day exhausted: advance to the next populated day.
+            if self.ring_len > 0 {
+                self.cur_day += 1;
+            } else if let Some(Reverse(head)) = self.overflow.peek() {
+                self.cur_day = day_of(head.at);
+            } else {
+                return None;
+            }
+            self.cur_sorted = false;
+        }
+    }
+
+    /// Prepares `cur_day` for serving: migrate its overflow entries into
+    /// the bucket and order it descending so pops come off the back in
+    /// ascending `(at, seq)` order.
+    ///
+    /// Ordering is a stable distribution sort over the `DAY_TICKS`
+    /// possible ticks-within-day — `O(b)`, no comparisons. Stability is
+    /// what makes it correct: ring appends arrive in ascending `seq`,
+    /// and every overflow entry bound for this day was pushed while
+    /// `cur_day` was still more than a ring-length behind it, i.e.
+    /// *before* any ring append for the day — so listing migrated
+    /// entries first keeps each tick's FIFO in ascending `seq`.
+    fn enter_day(&mut self) {
+        debug_assert!(self.migrating.is_empty());
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if day_of(head.at) != self.cur_day {
+                break;
+            }
+            let Reverse(entry) = self.overflow.pop().expect("peeked");
+            self.migrating.push(entry);
+            self.ring_len += 1;
+        }
+        let Self {
+            buckets,
+            migrating,
+            tick_lists,
+            ..
+        } = self;
+        let bucket = &mut buckets[(self.cur_day & DAY_MASK) as usize];
+        if bucket.len() + migrating.len() > 1 {
+            for e in migrating.drain(..).chain(bucket.drain(..)) {
+                tick_lists[(e.at.ticks() & TICK_MASK) as usize].push(e);
+            }
+            for list in tick_lists.iter_mut().rev() {
+                // Descending seq within a tick = reversed FIFO order.
+                bucket.extend(list.drain(..).rev());
+            }
+            debug_assert!(
+                bucket.windows(2).all(|w| w[0].key() > w[1].key()),
+                "non-monotone seq values broke the distribution sort"
+            );
+        } else {
+            bucket.append(migrating);
+        }
+        self.cur_sorted = true;
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.at.ticks(), e.seq, e.item));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(50), 1);
+        q.push(SimTime(10), 2);
+        q.push(SimTime(50), 3);
+        q.push(SimTime(0), 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            drain(&mut q),
+            vec![(0, 3, 4), (10, 1, 2), (50, 0, 1), (50, 2, 3)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow() {
+        let mut q = EventQueue::new();
+        let far = (NUM_BUCKETS as u64) << DAY_SHIFT; // beyond the ring
+        q.push(SimTime(10 * far), 1);
+        q.push(SimTime(3), 2);
+        q.push(SimTime(far + 7), 3);
+        assert_eq!(
+            drain(&mut q),
+            vec![(3, 1, 2), (far + 7, 2, 3), (10 * far, 0, 1)]
+        );
+    }
+
+    #[test]
+    fn push_into_serving_day_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 1);
+        q.push(SimTime(6), 2);
+        let first = q.pop().unwrap();
+        assert_eq!(first.at, SimTime(5));
+        // Same-day pushes after serving started, including one equal to
+        // a queued time (seq breaks the tie).
+        q.push(SimTime(6), 3);
+        q.push(SimTime(5), 4);
+        assert_eq!(drain(&mut q), vec![(5, 3, 4), (6, 1, 2), (6, 2, 3)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_days() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(0), 0);
+        let mut now = 0;
+        let mut popped = Vec::new();
+        let mut i = 0u32;
+        while let Some(e) = q.pop() {
+            now = e.at.ticks();
+            popped.push((now, e.seq));
+            // Reschedule a few follow-ups like a protocol would.
+            if i < 200 {
+                q.push(SimTime(now + 100), i);
+                q.push(SimTime(now + 1), i);
+                i += 2;
+            }
+        }
+        assert!(popped.windows(2).all(|w| w[0] < w[1]), "strictly ordered");
+        // 1 seed event + 2 events per pushing pop (100 of them).
+        assert_eq!(popped.len(), 201);
+        let _ = now;
+    }
+
+    #[test]
+    fn idle_gap_jumps_without_walking() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(0), 1);
+        q.push(SimTime(u64::MAX / 2), 2);
+        assert_eq!(q.pop().unwrap().item, 1);
+        assert_eq!(q.pop().unwrap().item, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.pop().is_none(), "pop on empty is repeatable");
+    }
+}

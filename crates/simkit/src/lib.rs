@@ -30,6 +30,7 @@
 
 pub mod backend;
 pub mod engine;
+pub mod equeue;
 pub mod latency;
 pub mod protocol;
 pub mod report;

@@ -1,0 +1,94 @@
+//! Property test pinning [`EventQueue`] against the `BinaryHeap` it
+//! replaced: for random push/pop interleavings the pop sequences must be
+//! identical — same times, same payloads, and the same `seq` tie-breaks
+//! for equal-time events. This is the executable form of the engine's
+//! bit-identity guarantee: swapping the scheduler must not reorder any
+//! event, so every `SimReport` stays byte-for-byte stable.
+
+use adca_simkit::equeue::{EqEntry, EventQueue};
+use adca_simkit::SimTime;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `last popped time + delta` (the queue is monotone).
+    Push(u64),
+    Pop,
+}
+
+/// Delta mix exercising every queue path: `0` forces equal-time seq
+/// tie-breaks and serving-day inserts, small deltas stay within the
+/// bucket ring, the `16Ki` band straddles the ring edge, and the huge
+/// band lands deep in the overflow heap (and forces idle-gap jumps).
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        0u64..16,
+        16u64..2_000,
+        10_000u64..40_000,
+        1_000_000u64..(1u64 << 40),
+    ]
+}
+
+/// Push-biased op stream (3 pushes : 2 pops on average) so runs grow
+/// deep enough to populate many days and the overflow heap.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..5, delta_strategy()).prop_map(
+        |(sel, delta)| {
+            if sel < 3 {
+                Op::Push(delta)
+            } else {
+                Op::Pop
+            }
+        },
+    )
+}
+
+proptest! {
+    /// The calendar queue and a reference `BinaryHeap<Reverse<…>>` fed
+    /// the same operations pop exactly the same `(at, seq, item)`
+    /// sequence, with equal lengths at every step.
+    #[test]
+    fn matches_reference_heap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut reference: BinaryHeap<Reverse<EqEntry<usize>>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Push(delta) => {
+                    let at = SimTime(now.saturating_add(*delta));
+                    let assigned = q.push(at, i);
+                    prop_assert_eq!(assigned, seq, "queue must assign seqs in push order");
+                    reference.push(Reverse(EqEntry { at, seq, item: i }));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    let want = reference.pop().map(|Reverse(e)| e);
+                    prop_assert_eq!(
+                        got.is_some(),
+                        want.is_some(),
+                        "one scheduler ran dry before the other"
+                    );
+                    if let (Some(g), Some(w)) = (got, want) {
+                        prop_assert_eq!((g.at, g.seq, g.item), (w.at, w.seq, w.item));
+                        now = g.at.ticks();
+                    }
+                    prop_assert_eq!(q.len(), reference.len());
+                }
+            }
+        }
+        // Drain both tails: the orders must agree to the very end.
+        loop {
+            let got = q.pop();
+            let want = reference.pop().map(|Reverse(e)| e);
+            prop_assert_eq!(got.is_some(), want.is_some(), "tail lengths diverge");
+            let (Some(g), Some(w)) = (got, want) else { break };
+            prop_assert_eq!((g.at, g.seq, g.item), (w.at, w.seq, w.item));
+        }
+        prop_assert!(q.is_empty());
+    }
+}
