@@ -16,9 +16,30 @@
 
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
+
+/// Timeout/retry hardening knobs for the basic search scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicSearchConfig {
+    /// Response deadline in ticks. `None` (default) arms no timers —
+    /// bit-identical to the unhardened scheme. Pick ≥ `2T` so an
+    /// undisturbed round trip never times out.
+    pub retry_ticks: Option<u64>,
+    /// Resends (same timestamp, outstanding responders only) before the
+    /// search gives up and rejects the call.
+    pub max_retries: u32,
+}
+
+impl Default for BasicSearchConfig {
+    fn default() -> Self {
+        BasicSearchConfig {
+            retry_ticks: None,
+            max_retries: 3,
+        }
+    }
+}
 
 /// Wire messages of the basic search scheme.
 #[derive(Debug, Clone)]
@@ -32,6 +53,25 @@ pub enum BasicSearchMsg {
     Response {
         /// `Use_j` of the responder.
         used: ChannelSet,
+        /// Echo of the request's timestamp. With hardening on, the
+        /// searcher only credits responses echoing its live search's
+        /// timestamp: a late answer to an abandoned (retry-exhausted)
+        /// search carries a snapshot that may predate a concurrent
+        /// acquisition, and crediting it to the next search lets two
+        /// cells pick the same channel.
+        ts: Timestamp,
+    },
+    /// Defer acknowledgement (hardening extension, not in the
+    /// published scheme): sent in place of the response when the
+    /// request is deferred behind the responder's own older search.
+    /// Deferral chains serialize timestamp-ordered searches and
+    /// legitimately outlast any fixed deadline, so without this signal
+    /// the searcher cannot tell "deferred" from "lost" and
+    /// retry-exhausts live rounds. A matching echo resets the retry
+    /// budget; exhaustion then means `max_retries` *silent* deadlines.
+    Busy {
+        /// Echo of the request's timestamp.
+        ts: Timestamp,
     },
 }
 
@@ -44,25 +84,39 @@ struct Search {
     remaining: BTreeSet<CellId>,
     /// Union of collected `Use_j` sets.
     seen_used: ChannelSet,
+    /// Deadline expiries consumed so far.
+    retries: u32,
 }
 
 /// A mobile service station running basic search.
 #[derive(Debug, Clone)]
 pub struct BasicSearchNode {
+    cfg: BasicSearchConfig,
     spectrum: Spectrum,
     region: Vec<CellId>,
     used: ChannelSet,
     clock: LamportClock,
     call_q: CallQueue,
     search: Option<Search>,
-    /// Requests deferred because our own search has a lower timestamp.
-    deferred: VecDeque<CellId>,
+    /// Requests deferred because our own search has a lower timestamp,
+    /// with the requester's timestamp (echoed in the drained response).
+    deferred: VecDeque<(CellId, Timestamp)>,
+    /// Monotonic timer tag; `armed` holds the one live deadline's tag.
+    timer_epoch: u64,
+    armed: Option<u64>,
 }
 
 impl BasicSearchNode {
-    /// Creates the node for `cell`.
+    /// Creates the node for `cell` with hardening off (the scheme as
+    /// published).
     pub fn new(cell: CellId, topo: &Topology) -> Self {
+        Self::with_config(cell, topo, BasicSearchConfig::default())
+    }
+
+    /// Creates the node for `cell` with explicit hardening knobs.
+    pub fn with_config(cell: CellId, topo: &Topology, cfg: BasicSearchConfig) -> Self {
         BasicSearchNode {
+            cfg,
             spectrum: topo.spectrum(),
             region: topo.region(cell).to_vec(),
             used: topo.spectrum().empty_set(),
@@ -70,6 +124,8 @@ impl BasicSearchNode {
             call_q: CallQueue::new(),
             search: None,
             deferred: VecDeque::new(),
+            timer_epoch: 0,
+            armed: None,
         }
     }
 
@@ -80,6 +136,15 @@ impl BasicSearchNode {
 
     fn send(&self, ctx: &mut Ctx<'_, BasicSearchMsg>, to: CellId, msg: BasicSearchMsg) {
         ctx.send_kind(to, Self::msg_kind(&msg), msg);
+    }
+
+    /// Arms the response deadline (no-op unless `retry_ticks` is set).
+    fn arm(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        if let Some(d) = self.cfg.retry_ticks {
+            self.timer_epoch += 1;
+            self.armed = Some(self.timer_epoch);
+            ctx.set_timer(d, self.timer_epoch);
+        }
     }
 
     fn try_start_next(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
@@ -100,6 +165,7 @@ impl BasicSearchNode {
                 started,
                 remaining,
                 seen_used: self.spectrum.empty_set(),
+                retries: 0,
             });
             self.conclude(ctx);
             return;
@@ -114,11 +180,14 @@ impl BasicSearchNode {
             started,
             remaining,
             seen_used: self.spectrum.empty_set(),
+            retries: 0,
         });
+        self.arm(ctx);
     }
 
     fn conclude(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
         let search = self.search.take().expect("search in flight");
+        self.armed = None;
         ctx.sample(
             "attempt_ticks",
             ctx.now().saturating_since(search.started) as f64,
@@ -135,14 +204,33 @@ impl BasicSearchNode {
                 ctx.reject(search.req);
             }
         }
-        // Answer everyone we deferred — with the post-acquisition Use set,
-        // which is what makes the deferral safe.
-        while let Some(j) = self.deferred.pop_front() {
+        self.finish_and_drain(ctx);
+    }
+
+    /// Retry budget exhausted: the search cannot safely pick a channel
+    /// from an incomplete response set, so the call is rejected.
+    fn give_up(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        let search = self.search.take().expect("search in flight");
+        self.armed = None;
+        ctx.sample(
+            "attempt_ticks",
+            ctx.now().saturating_since(search.started) as f64,
+        );
+        ctx.count("acq_failed");
+        ctx.reject_with(search.req, DropCause::RetryExhausted);
+        self.finish_and_drain(ctx);
+    }
+
+    /// Answers deferred requesters (with the post-acquisition Use set,
+    /// which is what makes the deferral safe) and starts the next call.
+    fn finish_and_drain(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        while let Some((j, ts)) = self.deferred.pop_front() {
             self.send(
                 ctx,
                 j,
                 BasicSearchMsg::Response {
                     used: self.used.clone(),
+                    ts,
                 },
             );
         }
@@ -158,6 +246,7 @@ impl Protocol for BasicSearchNode {
         match msg {
             BasicSearchMsg::Request { .. } => "REQUEST",
             BasicSearchMsg::Response { .. } => "RESPONSE",
+            BasicSearchMsg::Busy { .. } => "BUSY",
         }
     }
 
@@ -177,33 +266,117 @@ impl Protocol for BasicSearchNode {
                 self.clock.observe(ts);
                 let defer = self.search.as_ref().is_some_and(|s| s.ts < ts);
                 if defer {
-                    ctx.count("deferred_search_reqs");
-                    self.deferred.push_back(from);
+                    if let Some(slot) = self.deferred.iter_mut().find(|(j, _)| *j == from) {
+                        // Duplicated or retried request already queued;
+                        // keep the latest timestamp so the drained
+                        // response echoes the requester's live search.
+                        slot.1 = ts;
+                        ctx.count("duplicate_deferred_reqs");
+                    } else {
+                        ctx.count("deferred_search_reqs");
+                        self.deferred.push_back((from, ts));
+                    }
+                    if self.cfg.retry_ticks.is_some() {
+                        self.send(ctx, from, BasicSearchMsg::Busy { ts });
+                    }
                 } else {
                     self.send(
                         ctx,
                         from,
                         BasicSearchMsg::Response {
                             used: self.used.clone(),
+                            ts,
                         },
                     );
                 }
             }
-            BasicSearchMsg::Response { used } => {
+            BasicSearchMsg::Response { used, ts } => {
+                // Hardened runs discard echoes that mismatch the live
+                // search (see the message doc); unhardened runs keep the
+                // original lax matching bit-for-bit.
+                let strict = self.cfg.retry_ticks.is_some();
                 let conclude = {
                     let Some(search) = self.search.as_mut() else {
                         ctx.count("stale_responses");
                         return;
                     };
+                    if strict && ts != search.ts {
+                        ctx.count("stale_responses");
+                        return;
+                    }
                     search.seen_used.union_with(&used);
-                    search.remaining.remove(&from);
+                    if search.remaining.remove(&from) {
+                        // Progress signal: with hardening on, reset the
+                        // retry budget so exhaustion means consecutive
+                        // *silent* deadlines, never a slow-but-advancing
+                        // round. Unobservable unhardened (the budget is
+                        // only read when timers arm).
+                        search.retries = 0;
+                    }
                     search.remaining.is_empty()
                 };
                 if conclude {
                     self.conclude(ctx);
                 }
             }
+            BasicSearchMsg::Busy { ts } => {
+                // A responder deferred us behind its older search: the
+                // round is alive, so the deadline should measure
+                // silence, not deferral depth. Reset the retry budget.
+                match self.search.as_mut().filter(|s| s.ts == ts) {
+                    Some(search) => {
+                        search.retries = 0;
+                        ctx.count("defer_acks");
+                    }
+                    None => ctx.count("stale_acks"),
+                }
+            }
         }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.armed != Some(tag) {
+            ctx.count("stale_timers");
+            return;
+        }
+        self.armed = None;
+        let (retry, ts, remaining) = {
+            let Some(s) = self.search.as_mut() else {
+                return;
+            };
+            let retry = s.retries < self.cfg.max_retries;
+            if retry {
+                s.retries += 1;
+            }
+            (retry, s.ts, s.remaining.clone())
+        };
+        if retry {
+            // Resend with the original timestamp so responders that
+            // already answered see a duplicate, not a new younger
+            // request, and the deferral order is unchanged.
+            ctx.count("search_retries");
+            for j in remaining {
+                self.send(ctx, j, BasicSearchMsg::Request { ts });
+            }
+            self.arm(ctx);
+        } else {
+            ctx.count("search_retry_exhausted");
+            self.give_up(ctx);
+        }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {
+        // Volatile state is gone; the engine killed our calls and
+        // force-rejected queued requests while we were down. The Lamport
+        // clock survives (stable storage), keeping post-restart searches
+        // younger than pre-crash in-flight ones. No extra resync is
+        // needed: a search only picks after collecting *every* region
+        // member's fresh Use set.
+        self.used = self.spectrum.empty_set();
+        self.call_q = CallQueue::new();
+        self.search = None;
+        self.deferred.clear();
+        self.armed = None;
     }
 }
 

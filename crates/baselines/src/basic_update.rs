@@ -15,7 +15,7 @@
 
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
 use std::collections::BTreeSet;
 
 /// Configuration of the basic update baseline.
@@ -28,11 +28,22 @@ pub struct BasicUpdateConfig {
     /// where the pure scheme would starve. Give-ups are counted in the
     /// `update_gaveup` metric so experiments can report them.
     pub max_attempts: u32,
+    /// Response deadline per permission round, in ticks. `None`
+    /// (default) arms no timers — bit-identical to the unhardened
+    /// scheme. Pick ≥ `2T`.
+    pub retry_ticks: Option<u64>,
+    /// Resends (same channel, same timestamp, outstanding responders
+    /// only) before a round is abandoned and the call rejected.
+    pub max_retries: u32,
 }
 
 impl Default for BasicUpdateConfig {
     fn default() -> Self {
-        BasicUpdateConfig { max_attempts: 64 }
+        BasicUpdateConfig {
+            max_attempts: 64,
+            retry_ticks: None,
+            max_retries: 3,
+        }
     }
 }
 
@@ -50,11 +61,19 @@ pub enum BasicUpdateMsg {
     Grant {
         /// The requested channel.
         ch: Channel,
+        /// Echo of the request's timestamp. With hardening on, the
+        /// requester only credits responses echoing its live round's
+        /// timestamp, so a duplicated response from an earlier round for
+        /// the same channel cannot satisfy a round the responder never
+        /// saw.
+        ts: Timestamp,
     },
     /// Permission denied.
     Reject {
         /// The requested channel.
         ch: Channel,
+        /// Echo of the request's timestamp (see [`BasicUpdateMsg::Grant`]).
+        ts: Timestamp,
     },
     /// The sender acquired the channel.
     Acquisition {
@@ -81,6 +100,8 @@ struct Attempt {
     /// attempt must be abandoned even if everyone grants it.
     aborted: bool,
     attempts_so_far: u32,
+    /// Deadline expiries consumed by this round.
+    retries: u32,
 }
 
 /// A mobile service station running basic update.
@@ -96,6 +117,9 @@ pub struct BasicUpdateNode {
     attempt: Option<Attempt>,
     /// When service of the head request began (protocol latency metric).
     serving_since: Option<adca_simkit::SimTime>,
+    /// Monotonic timer tag; `armed` holds the one live deadline's tag.
+    timer_epoch: u64,
+    armed: Option<u64>,
 }
 
 impl BasicUpdateNode {
@@ -111,6 +135,8 @@ impl BasicUpdateNode {
             call_q: CallQueue::new(),
             attempt: None,
             serving_since: None,
+            timer_epoch: 0,
+            armed: None,
             region,
         }
     }
@@ -122,6 +148,15 @@ impl BasicUpdateNode {
 
     fn send(&self, ctx: &mut Ctx<'_, BasicUpdateMsg>, to: CellId, msg: BasicUpdateMsg) {
         ctx.send_kind(to, Self::msg_kind(&msg), msg);
+    }
+
+    /// Arms the round's response deadline (no-op unless `retry_ticks`).
+    fn arm(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+        if let Some(d) = self.cfg.retry_ticks {
+            self.timer_epoch += 1;
+            self.armed = Some(self.timer_epoch);
+            ctx.set_timer(d, self.timer_epoch);
+        }
     }
 
     /// Picks the lowest channel free per local information, excluding
@@ -141,12 +176,12 @@ impl BasicUpdateNode {
     ) {
         if attempts_so_far >= self.cfg.max_attempts {
             ctx.count("update_gaveup");
-            self.finish(None, attempts_so_far, ctx);
+            self.finish(None, attempts_so_far, DropCause::Blocked, ctx);
             return;
         }
         let Some(ch) = self.pick_channel(tried) else {
             // Nothing looks free: the call is dropped.
-            self.finish(None, attempts_so_far, ctx);
+            self.finish(None, attempts_so_far, DropCause::Blocked, ctx);
             return;
         };
         let ts = self.clock.tick();
@@ -154,7 +189,7 @@ impl BasicUpdateNode {
         if remaining.is_empty() {
             // No region: take it.
             self.used.insert(ch);
-            self.finish(Some(ch), attempts_so_far + 1, ctx);
+            self.finish(Some(ch), attempts_so_far + 1, DropCause::Blocked, ctx);
             return;
         }
         for idx in 0..self.region.len() {
@@ -170,12 +205,22 @@ impl BasicUpdateNode {
             rejected: false,
             aborted: false,
             attempts_so_far: attempts_so_far + 1,
+            retries: 0,
         });
+        self.arm(ctx);
     }
 
-    /// Resolves the head request; `ch = None` means dropped.
-    fn finish(&mut self, ch: Option<Channel>, attempts: u32, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+    /// Resolves the head request; `ch = None` means dropped, attributed
+    /// to `fail_cause`.
+    fn finish(
+        &mut self,
+        ch: Option<Channel>,
+        attempts: u32,
+        fail_cause: DropCause,
+        ctx: &mut Ctx<'_, BasicUpdateMsg>,
+    ) {
         let (req, _) = self.call_q.pop().expect("head request present");
+        self.armed = None;
         if let Some(started) = self.serving_since.take() {
             ctx.sample("attempt_ticks", ctx.now().saturating_since(started) as f64);
         }
@@ -192,7 +237,7 @@ impl BasicUpdateNode {
             }
             None => {
                 ctx.count("acq_failed");
-                ctx.reject(req);
+                ctx.reject_with(req, fail_cause);
             }
         }
         self.try_start_next(ctx);
@@ -211,16 +256,32 @@ impl BasicUpdateNode {
 
     fn conclude(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
         let attempt = self.attempt.take().expect("attempt in flight");
+        self.armed = None;
         let failed = attempt.rejected || attempt.aborted;
         if !failed {
             self.used.insert(attempt.ch);
-            self.finish(Some(attempt.ch), attempt.attempts_so_far, ctx);
+            self.finish(
+                Some(attempt.ch),
+                attempt.attempts_so_far,
+                DropCause::Blocked,
+                ctx,
+            );
             return;
         }
         ctx.count("update_rounds_failed");
-        // Release whoever granted us.
-        for j in attempt.granted {
-            self.send(ctx, j, BasicUpdateMsg::Release { ch: attempt.ch });
+        if self.cfg.retry_ticks.is_some() {
+            // Hardened: a Grant to us may have been lost after the
+            // granter recorded the pledge; release to the whole region
+            // (`clear_used` is an idempotent no-op for non-granters).
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, BasicUpdateMsg::Release { ch: attempt.ch });
+            }
+        } else {
+            // Release whoever granted us.
+            for j in attempt.granted {
+                self.send(ctx, j, BasicUpdateMsg::Release { ch: attempt.ch });
+            }
         }
         // Retry with another channel. We exclude the just-rejected channel
         // for this retry; the view usually reflects the winner's
@@ -262,7 +323,7 @@ impl Protocol for BasicUpdateNode {
             BasicUpdateMsg::Request { ch, ts } => {
                 self.clock.observe(ts);
                 if self.used.contains(ch) {
-                    self.send(ctx, from, BasicUpdateMsg::Reject { ch });
+                    self.send(ctx, from, BasicUpdateMsg::Reject { ch, ts });
                     return;
                 }
                 // Conflict with our own pending attempt for the same
@@ -271,29 +332,42 @@ impl Protocol for BasicUpdateNode {
                 if conflict {
                     let my_ts = self.attempt.as_ref().expect("checked").ts;
                     if my_ts < ts {
-                        self.send(ctx, from, BasicUpdateMsg::Reject { ch });
+                        self.send(ctx, from, BasicUpdateMsg::Reject { ch, ts });
                         return;
                     }
                     // Grant the older request and abandon our own attempt
-                    // ("grant and abort its own request").
-                    self.attempt.as_mut().expect("checked").aborted = true;
-                    ctx.count("update_self_aborts");
+                    // ("grant and abort its own request"). A duplicated
+                    // or retried request must not count the abort twice.
+                    let a = self.attempt.as_mut().expect("checked");
+                    if !a.aborted {
+                        a.aborted = true;
+                        ctx.count("update_self_aborts");
+                    }
                 }
-                self.send(ctx, from, BasicUpdateMsg::Grant { ch });
+                self.send(ctx, from, BasicUpdateMsg::Grant { ch, ts });
                 self.view.set_used(from, ch);
             }
-            BasicUpdateMsg::Grant { ch } => {
+            BasicUpdateMsg::Grant { ch, ts } => {
+                // Hardened runs additionally require the timestamp echo to
+                // match the live round (timestamps are fresh per round);
+                // unhardened runs keep the original lax matching.
+                let strict = self.cfg.retry_ticks.is_some();
                 let conclude = {
                     let Some(a) = self.attempt.as_mut() else {
                         ctx.count("stale_responses");
                         return;
                     };
-                    if a.ch != ch {
+                    if a.ch != ch || (strict && a.ts != ts) {
                         ctx.count("stale_responses");
                         return;
                     }
                     if a.remaining.remove(&from) {
                         a.granted.push(from);
+                        // Progress: with hardening on, reset the retry
+                        // budget so exhaustion means consecutive silent
+                        // deadlines (unobservable unhardened — the
+                        // budget is only read when timers arm).
+                        a.retries = 0;
                     }
                     a.remaining.is_empty()
                 };
@@ -301,17 +375,20 @@ impl Protocol for BasicUpdateNode {
                     self.conclude(ctx);
                 }
             }
-            BasicUpdateMsg::Reject { ch } => {
+            BasicUpdateMsg::Reject { ch, ts } => {
+                let strict = self.cfg.retry_ticks.is_some();
                 let conclude = {
                     let Some(a) = self.attempt.as_mut() else {
                         ctx.count("stale_responses");
                         return;
                     };
-                    if a.ch != ch {
+                    if a.ch != ch || (strict && a.ts != ts) {
                         ctx.count("stale_responses");
                         return;
                     }
-                    a.remaining.remove(&from);
+                    if a.remaining.remove(&from) {
+                        a.retries = 0;
+                    }
                     a.rejected = true;
                     a.remaining.is_empty()
                 };
@@ -326,6 +403,66 @@ impl Protocol for BasicUpdateNode {
                 self.view.clear_used(from, ch);
             }
         }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.armed != Some(tag) {
+            ctx.count("stale_timers");
+            return;
+        }
+        self.armed = None;
+        let (retry, ch, ts, remaining) = {
+            let Some(a) = self.attempt.as_mut() else {
+                return;
+            };
+            let retry = a.retries < self.cfg.max_retries;
+            if retry {
+                a.retries += 1;
+            }
+            (retry, a.ch, a.ts, a.remaining.clone())
+        };
+        if retry {
+            // Resend with the original channel and timestamp: responders
+            // that already answered see a duplicate, and the timestamp
+            // conflict resolution is unchanged.
+            ctx.count("update_retries");
+            for j in remaining {
+                self.send(ctx, j, BasicUpdateMsg::Request { ch, ts });
+            }
+            self.arm(ctx);
+        } else {
+            // The region stopped answering: abandon the acquisition. Any
+            // pledge a lost Grant left behind is cleared by a
+            // region-wide Release.
+            ctx.count("update_retry_exhausted");
+            let attempt = self.attempt.take().expect("attempt in flight");
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, BasicUpdateMsg::Release { ch: attempt.ch });
+            }
+            self.finish(
+                None,
+                attempt.attempts_so_far,
+                DropCause::RetryExhausted,
+                ctx,
+            );
+        }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {
+        // Volatile state is gone; the engine killed our calls and
+        // force-rejected queued requests while we were down, so an empty
+        // Use set matches ground truth. The Lamport clock persists
+        // (stable storage) so post-restart rounds stay younger than
+        // pre-crash in-flight ones. The view restarts empty: a stale
+        // pick is caught by the holder's Reject (`used.contains`), which
+        // is the scheme's intrinsic conflict check.
+        self.used = self.spectrum.empty_set();
+        self.view = NeighborView::new(self.spectrum, &self.region);
+        self.call_q = CallQueue::new();
+        self.attempt = None;
+        self.serving_since = None;
+        self.armed = None;
     }
 }
 

@@ -23,6 +23,6 @@ pub mod fixed;
 
 pub use advanced_search::{AdvancedSearchMsg, AdvancedSearchNode};
 pub use advanced_update::{AdvancedUpdateMsg, AdvancedUpdateNode};
-pub use basic_search::{BasicSearchMsg, BasicSearchNode};
+pub use basic_search::{BasicSearchConfig, BasicSearchMsg, BasicSearchNode};
 pub use basic_update::{BasicUpdateConfig, BasicUpdateMsg, BasicUpdateNode};
 pub use fixed::FixedNode;

@@ -1,0 +1,166 @@
+//! `e12_fault_tolerance` — behavior under deterministic fault injection
+//! (extension; the paper's Section 2 model assumes reliable links and
+//! always-up MSSs). Two sections:
+//!
+//! 1. **Loss × load sweep** — per-link message loss from 0 to 10% at two
+//!    offered loads, for the three hardened schemes (adaptive, basic
+//!    search, basic update) with response deadlines and `α`-bounded
+//!    retries armed (defer-acks keep deferred rounds from exhausting
+//!    the budget). The safety auditor runs in panic mode, so every
+//!    printed row doubles as a proof of zero interference violations;
+//!    drops are split by cause (capacity vs retry exhaustion).
+//! 2. **Crash/recovery** — scheduled cell crashes (plus background
+//!    loss); down cells lose their calls, restarted cells recover via
+//!    `on_restart` (the adaptive scheme resyncs through a forced search
+//!    round before trusting its view again).
+//!
+//! Run with `--smoke` for the CI-sized subset.
+
+use adca_bench::{banner, pct, perf_footer, TextTable};
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
+use adca_hexgrid::CellId;
+use adca_simkit::FaultPlan;
+
+/// The schemes with timeout/retry hardening implemented.
+const HARDENED: [SchemeKind; 3] = [
+    SchemeKind::BasicSearch,
+    SchemeKind::BasicUpdate,
+    SchemeKind::Adaptive,
+];
+
+/// Response deadline in ticks: 4·T, double the undisturbed round trip.
+const DEADLINE: u64 = 400;
+
+fn retries_of(s: &adca_harness::RunSummary) -> u64 {
+    ["search_retries", "update_retries", "status_retries"]
+        .iter()
+        .map(|k| s.report.custom.get(k))
+        .sum()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "e12_fault_tolerance",
+        "robustness under loss and crashes (extension; hardened schemes)",
+        "drop-cause split and retry counts per loss rate; crash/recovery section",
+    );
+
+    let losses: &[f64] = if smoke {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05, 0.10]
+    };
+    let loads: &[f64] = if smoke { &[0.9] } else { &[0.5, 0.9] };
+    let horizon: u64 = if smoke { 40_000 } else { 120_000 };
+
+    // ---- Section 1: loss × load ------------------------------------
+    let mut scenarios = Vec::new();
+    for &rho in loads {
+        for &loss in losses {
+            scenarios.push(
+                Scenario::uniform(rho, horizon)
+                    .with_hardening(DEADLINE)
+                    .with_faults(FaultPlan::none().with_loss(loss)),
+            );
+        }
+    }
+    let grid = SweepRunner::new().run_matrix(&scenarios, &HARDENED);
+    for (li, &rho) in loads.iter().enumerate() {
+        println!("--- loss sweep at rho = {rho} (audit: panic on violation) ---\n");
+        let table = TextTable::new(&[
+            ("loss", 6),
+            ("scheme", 14),
+            ("drop%", 7),
+            ("blocked", 8),
+            ("retry_ex", 9),
+            ("msgs_lost", 10),
+            ("retries", 8),
+        ]);
+        for (fi, &loss) in losses.iter().enumerate() {
+            for s in &grid[li * losses.len() + fi] {
+                s.report.assert_clean();
+                table.row(&[
+                    format!("{loss:.2}"),
+                    s.scheme.name().to_string(),
+                    pct(s.drop_rate()),
+                    s.report.drops_blocked.to_string(),
+                    s.report.drops_retry_exhausted.to_string(),
+                    s.report.messages_lost.to_string(),
+                    retries_of(s).to_string(),
+                ]);
+            }
+        }
+        println!();
+    }
+    println!(
+        "shape: at loss = 0 the hardened schemes track their fault-free\n\
+         drop rates — deadlines do fire while responses sit in defer\n\
+         queues, but defer-acks (BUSY) reset the retry budget, so no live\n\
+         round is abandoned (retry_ex = 0) and drops stay capacity-bound\n\
+         (blocked). Under loss the deadline/retry machinery converts lost\n\
+         rounds into resends; only the tail that sees a full budget of\n\
+         consecutive silent deadlines surfaces as retry_ex drops. Every\n\
+         row ran with the interference auditor in panic mode: loss never\n\
+         produces a safety violation, only messages, latency, and drops.\n"
+    );
+
+    // ---- Section 2: crash/recovery ---------------------------------
+    let crash_plan = |base: FaultPlan| {
+        if smoke {
+            base.with_crash(CellId(30), 10_000, 6_000)
+        } else {
+            base.with_crash(CellId(30), 30_000, 8_000)
+                .with_crash(CellId(75), 50_000, 8_000)
+                .with_crash(CellId(110), 70_000, 8_000)
+        }
+    };
+    let crash_sc = vec![Scenario::uniform(0.7, horizon)
+        .with_hardening(DEADLINE)
+        .with_faults(crash_plan(FaultPlan::none().with_loss(0.01)))];
+    let crash_grid = SweepRunner::new().run_matrix(&crash_sc, &HARDENED);
+    println!("--- crash/recovery at rho = 0.7, loss = 1% ---\n");
+    let table = TextTable::new(&[
+        ("scheme", 14),
+        ("drop%", 7),
+        ("crashes", 8),
+        ("restarts", 9),
+        ("crash_drops", 12),
+        ("proto_restarts", 15),
+    ]);
+    for s in &crash_grid[0] {
+        s.report.assert_clean();
+        assert_eq!(
+            s.report.crashes, s.report.restarts,
+            "every crash window must end in a restart"
+        );
+        table.row(&[
+            s.scheme.name().to_string(),
+            pct(s.drop_rate()),
+            s.report.crashes.to_string(),
+            s.report.restarts.to_string(),
+            s.report.drops_crashed.to_string(),
+            s.report.custom.get("protocol_restarts").to_string(),
+        ]);
+    }
+    println!(
+        "\nshape: crashed cells shed their calls (crash_drops) and restart\n\
+         with empty volatile state; the adaptive scheme re-enters service\n\
+         through a forced search round (view resync) and the audits stay\n\
+         clean — no restarted cell ever grants a channel its neighbors\n\
+         hold.\n"
+    );
+
+    let mut labeled = Vec::new();
+    for (li, &rho) in loads.iter().enumerate() {
+        for (fi, &loss) in losses.iter().enumerate() {
+            for s in &grid[li * losses.len() + fi] {
+                labeled.push((format!("rho={rho}/loss={loss}/{}", s.scheme), s));
+            }
+        }
+    }
+    for s in &crash_grid[0] {
+        labeled.push((format!("crash/{}", s.scheme), s));
+    }
+    perf_footer(labeled);
+}

@@ -47,7 +47,7 @@ use crate::nfc::NfcWindow;
 use crate::queue::CallQueue;
 use crate::view::NeighborView;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind, SimTime};
 use std::collections::{BTreeSet, VecDeque};
 
 #[cfg(test)]
@@ -85,26 +85,60 @@ pub enum AdaptiveMsg {
         update: Option<Channel>,
         /// The requester's timestamp.
         ts: Timestamp,
+        /// The requester's round sequence number, echoed in the
+        /// response. Retries of one round reuse it; successive rounds of
+        /// one attempt increment it. With hardening on, the requester
+        /// discards responses whose `(ts, round)` echo mismatches its
+        /// live round — a response to an abandoned round must not be
+        /// credited to the current one (its snapshot may predate a
+        /// concurrent acquisition).
+        round: u32,
     },
     /// `RESPONSE(0, j, r)`: update request for `r` rejected.
     Reject {
         /// The channel that was refused.
         ch: Channel,
+        /// Echo of the request's timestamp.
+        ts: Timestamp,
+        /// Echo of the request's round number.
+        round: u32,
     },
     /// `RESPONSE(1, j, r)`: update request for `r` granted.
     Grant {
         /// The channel that was granted.
         ch: Channel,
+        /// Echo of the request's timestamp.
+        ts: Timestamp,
+        /// Echo of the request's round number.
+        round: u32,
     },
     /// `RESPONSE(2, j, Use_j)`: reply to a search request.
     SearchUse {
         /// The responder's full use set.
         used: ChannelSet,
+        /// Echo of the request's timestamp.
+        ts: Timestamp,
+        /// Echo of the request's round number.
+        round: u32,
     },
     /// `RESPONSE(3, j, Use_j)`: status reply to a `CHANGE_MODE`.
     Status {
         /// The responder's full use set.
         used: ChannelSet,
+    },
+    /// Defer acknowledgement (hardening extension, not in the paper):
+    /// sent in place of an immediate response when the request lands in
+    /// `DeferQ_i`. Deferral legitimately outlasts any fixed deadline —
+    /// the response waits on the responder's own older attempt, which
+    /// may itself be deferred behind others — so without this signal
+    /// the requester cannot tell "deferred" from "lost" and burns its
+    /// retry budget on live rounds. On a matching echo the requester
+    /// resets that budget; exhaustion then means α *silent* deadlines.
+    Busy {
+        /// Echo of the request's timestamp.
+        ts: Timestamp,
+        /// Echo of the request's round number.
+        round: u32,
     },
     /// `CHANGE_MODE(mode, j)`.
     ChangeMode {
@@ -126,13 +160,31 @@ pub enum AdaptiveMsg {
     },
 }
 
-/// A request deferred for later response (`DeferQ_i`).
+/// A request deferred for later response (`DeferQ_i`). The requester's
+/// `(ts, round)` tags are stored so the eventual response echoes them.
 #[derive(Debug, Clone)]
 enum Deferred {
     /// A deferred update request for a channel.
-    Update { from: CellId, ch: Channel },
+    Update {
+        from: CellId,
+        ch: Channel,
+        ts: Timestamp,
+        round: u32,
+    },
     /// A deferred search request.
-    Search { from: CellId },
+    Search {
+        from: CellId,
+        ts: Timestamp,
+        round: u32,
+    },
+}
+
+impl Deferred {
+    fn sender(&self) -> CellId {
+        match self {
+            Deferred::Update { from, .. } | Deferred::Search { from, .. } => *from,
+        }
+    }
 }
 
 /// Outstanding-response tracking for one protocol round: a bitmask over
@@ -160,6 +212,11 @@ impl RegionMask {
     /// Whether every member has responded.
     fn is_empty(self) -> bool {
         self.0 == 0
+    }
+
+    /// Whether member `idx` is still outstanding.
+    fn contains(self, idx: usize) -> bool {
+        self.0 & (1u64 << idx) != 0
     }
 
     /// Outstanding member count.
@@ -204,6 +261,12 @@ struct Attempt {
     /// this is the protocol latency the paper's Section 5 analyzes).
     started: adca_simkit::SimTime,
     phase: Phase,
+    /// Deadline expiries consumed by the *current* phase (reset on every
+    /// phase entry); capped at `α` before the phase degrades.
+    retries: u32,
+    /// Round sequence number within this attempt, carried by the round's
+    /// requests and echoed by responses (see [`AdaptiveMsg::Request`]).
+    round_seq: u32,
 }
 
 /// One mobile service station running the adaptive scheme.
@@ -232,17 +295,34 @@ pub struct AdaptiveNode {
     update_subs: BTreeSet<CellId>,
     /// `DeferQ_i`.
     defer_q: VecDeque<Deferred>,
-    /// `waiting_i`.
-    waiting: u32,
+    /// The searchers we answered and still owe an `ACQUISITION(1)`.
+    /// `owed.len()` is the paper's `waiting_i`; carrying the identities
+    /// (not just the count) makes the gate robust to duplicated or
+    /// retried search requests — a repeat from a cell already in `owed`
+    /// is re-answered without double-counting. Each entry also records
+    /// the searcher's request timestamp and the answer time; with
+    /// hardening on they drive two dangling-owe releases (attempts are
+    /// serial per cell, so a `Request` from an owed searcher with a
+    /// *newer* timestamp proves the gated search concluded and its
+    /// `ACQUISITION(1)` was lost; entries older than the quiet bound
+    /// are pruned at attempt start) instead of stalling every later
+    /// attempt through the full `WaitQuiet` escape deadline.
+    owed: Vec<(CellId, Timestamp, SimTime)>,
     /// `rounds` (persists across retries within one attempt).
     rounds: u32,
     clock: LamportClock,
     call_q: CallQueue,
     attempt: Option<Attempt>,
-    /// Debug-only mirror of `waiting`: which searchers we owe an
-    /// ACQUISITION from.
-    #[cfg(debug_assertions)]
-    dbg_owed: Vec<CellId>,
+    /// Recovery flag: when set (after a restart or a retry-exhausted
+    /// round), the silent `free_primary`/`Best()` fast paths are
+    /// bypassed — the view may be stale or empty, so only a full search
+    /// round (which resyncs every `U_j`) may pick a channel. Cleared
+    /// once a search round concludes.
+    force_search: bool,
+    /// Monotonic timer tag; `armed` holds the tag of the one live
+    /// deadline, so stale timer firings are ignored by tag mismatch.
+    timer_epoch: u64,
+    armed: Option<u64>,
 }
 
 impl AdaptiveNode {
@@ -269,13 +349,14 @@ impl AdaptiveNode {
             mode: Mode::Local,
             update_subs: BTreeSet::new(),
             defer_q: VecDeque::new(),
-            waiting: 0,
+            owed: Vec::new(),
             rounds: 0,
             clock: LamportClock::new(cell),
             call_q: CallQueue::new(),
             attempt: None,
-            #[cfg(debug_assertions)]
-            dbg_owed: Vec::new(),
+            force_search: false,
+            timer_epoch: 0,
+            armed: None,
             region,
             cfg,
         }
@@ -307,7 +388,7 @@ impl AdaptiveNode {
 
     /// Current `waiting_i`.
     pub fn waiting(&self) -> u32 {
-        self.waiting
+        self.owed.len() as u32
     }
 
     /// Number of deferred requests.
@@ -342,10 +423,9 @@ impl AdaptiveNode {
         self.call_q.len()
     }
 
-    /// Debug builds only: the searchers this node owes an ACQUISITION.
-    #[cfg(debug_assertions)]
-    pub fn debug_owed(&self) -> &[CellId] {
-        &self.dbg_owed
+    /// The searchers this node owes an `ACQUISITION(1)` notice.
+    pub fn debug_owed(&self) -> Vec<CellId> {
+        self.owed.iter().map(|&(j, _, _)| j).collect()
     }
 
     /// The deferred requests, as `(kind, requester)` pairs.
@@ -354,7 +434,7 @@ impl AdaptiveNode {
             .iter()
             .map(|d| match d {
                 Deferred::Update { from, .. } => ("update", *from),
-                Deferred::Search { from } => ("search", *from),
+                Deferred::Search { from, .. } => ("search", *from),
             })
             .collect()
     }
@@ -381,6 +461,62 @@ impl AdaptiveNode {
                 ..
             })
         )
+    }
+
+    /// Arms the per-round response deadline (no-op unless
+    /// [`AdaptiveConfig::retry_ticks`] is set). The fresh tag invalidates
+    /// any previously armed deadline.
+    fn arm_retry(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        if let Some(d) = self.cfg.retry_ticks {
+            self.timer_epoch += 1;
+            self.armed = Some(self.timer_epoch);
+            ctx.set_timer(d, self.timer_epoch);
+        }
+    }
+
+    /// Arms the `WaitQuiet` escape deadline: generous (`d·(α+2)` ticks),
+    /// because the gate normally clears by itself and the timer only
+    /// covers a lost `ACQUISITION(1)` notice.
+    fn arm_quiet(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        if let Some(d) = self.cfg.retry_ticks {
+            self.timer_epoch += 1;
+            self.armed = Some(self.timer_epoch);
+            ctx.set_timer(d * (u64::from(self.cfg.alpha) + 2), self.timer_epoch);
+        }
+    }
+
+    /// Records the owe for an answered search from `from` with request
+    /// timestamp `ts`. Returns `true` if an entry for `from` already
+    /// existed (a duplicated or retried request); a newer `ts` refreshes
+    /// the stored tags so the dangling-owe releases track the
+    /// requester's *latest* search.
+    fn owe_push(&mut self, from: CellId, ts: Timestamp, now: SimTime) -> bool {
+        if let Some(e) = self.owed.iter_mut().find(|e| e.0 == from) {
+            if e.1 < ts {
+                e.1 = ts;
+                e.2 = now;
+            }
+            true
+        } else {
+            self.owed.push((from, ts, now));
+            false
+        }
+    }
+
+    /// Queues `d`, or — if its requester already has an entry (a retry,
+    /// a duplicate, or a degraded follow-up round while deferred) —
+    /// replaces that entry so the drain answers the requester's *latest*
+    /// round. Returns `true` when an entry was replaced. One entry per
+    /// requester keeps the drain from double-pushing `owed`.
+    fn defer_upsert(&mut self, d: Deferred) -> bool {
+        let from = d.sender();
+        if let Some(slot) = self.defer_q.iter_mut().find(|e| e.sender() == from) {
+            *slot = d;
+            true
+        } else {
+            self.defer_q.push_back(d);
+            false
+        }
     }
 
     /// The first free channel by local knowledge, if any:
@@ -466,6 +602,8 @@ impl AdaptiveNode {
             ts,
             started: ctx.now(),
             phase: Phase::WaitQuiet, // placeholder; request_channel sets it
+            retries: 0,
+            round_seq: 0,
         });
         self.request_channel(ctx);
     }
@@ -474,7 +612,29 @@ impl AdaptiveNode {
     /// Re-entered on retries (same timestamp, `rounds` preserved).
     fn request_channel(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
         debug_assert!(self.attempt.is_some());
-        if self.waiting > 0 {
+        // Whatever phase deadline was armed, this entry supersedes it.
+        self.armed = None;
+        if let Some(d) = self.cfg.retry_ticks {
+            // Entries older than the quiet bound are dangling: the
+            // searcher's round is deadline-bounded, so its
+            // `ACQUISITION(1)` should long since have arrived — it was
+            // lost (or the searcher crashed). Waiting out `WaitQuiet`
+            // would stall *every* later attempt ~2000 ticks apiece
+            // (under 10% loss that compounded into million-tick queue
+            // tails); instead take the escape action at once — drop the
+            // dead owes and resync the possibly-stale view through a
+            // forced search round.
+            let bound = d * (u64::from(self.cfg.alpha) + 2);
+            let now = ctx.now();
+            let before = self.owed.len();
+            self.owed
+                .retain(|&(_, _, t)| now.saturating_since(t) < bound);
+            if self.owed.len() < before {
+                ctx.count("owed_pruned");
+                self.force_search = true;
+            }
+        }
+        if !self.owed.is_empty() {
             // wait UNTIL waiting_i = 0. The paper gates only the local
             // branch on `waiting_i`, but the silent free-primary
             // acquisition in the borrowing branch is equally racy: a
@@ -483,22 +643,54 @@ impl AdaptiveNode {
             // hole (documented deviation #7); progress is preserved
             // because every answered search terminates with an
             // ACQUISITION broadcast, which resumes us.
-            self.attempt.as_mut().expect("attempt set").phase = Phase::WaitQuiet;
-            return;
-        }
-        if self.mode == Mode::Local {
-            if let Some(r) = self.free_primary() {
-                self.complete(Some(r), Via::Local, ctx);
+            if self.cfg.retry_ticks.is_some() {
+                // Hardened: don't stall. Only the *silent* grabs race
+                // with pending searchers — visible rounds serialize
+                // against them through timestamp deferral (an older
+                // searcher defers our request until it has picked; a
+                // younger one cannot conclude until we answer it). At
+                // high load the owe list is replenished faster than it
+                // drains, so waiting for it to empty turns every
+                // deadline into a full `WaitQuiet` escape; route the
+                // attempt through a resync search instead.
+                ctx.count("gate_bypass_searches");
+                self.force_search = true;
+            } else {
+                // Unhardened (the scheme as published): block. Under
+                // message loss the resuming broadcast may never arrive;
+                // `arm_quiet` is the escape hatch.
+                self.attempt.as_mut().expect("attempt set").phase = Phase::WaitQuiet;
+                self.arm_quiet(ctx);
                 return;
             }
-            // Out of primaries: check_mode necessarily switches to
-            // borrowing (s = 0 ⇒ predicted ≤ 0 < θ_l) and announces it;
-            // then wait for a status snapshot from the whole region.
-            self.check_mode(ctx);
-            debug_assert!(
-                self.mode == Mode::Borrowing,
-                "θ_l ≥ 1 guarantees the switch when no primary is free"
-            );
+        }
+        if self.mode == Mode::Local {
+            if self.force_search {
+                // Recovery from local mode: the view is not trustworthy,
+                // so neither the silent primary grab nor an update round
+                // is safe. Announce borrowing mode explicitly (so region
+                // members subscribe us) and take the status round into a
+                // forced search.
+                self.mode = Mode::Borrowing;
+                ctx.count("forced_borrowing");
+                for idx in 0..self.region.len() {
+                    let j = self.region[idx];
+                    self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: true });
+                }
+            } else {
+                if let Some(r) = self.free_primary() {
+                    self.complete(Some(r), Via::Local, DropCause::Blocked, ctx);
+                    return;
+                }
+                // Out of primaries: check_mode necessarily switches to
+                // borrowing (s = 0 ⇒ predicted ≤ 0 < θ_l) and announces
+                // it; then wait for a status snapshot from the region.
+                self.check_mode(ctx);
+                debug_assert!(
+                    self.mode == Mode::Borrowing,
+                    "θ_l ≥ 1 guarantees the switch when no primary is free"
+                );
+            }
             let remaining = RegionMask::full(self.region.len());
             if remaining.is_empty() {
                 // Degenerate single-cell system: retry immediately in
@@ -506,70 +698,118 @@ impl AdaptiveNode {
                 self.request_channel(ctx);
                 return;
             }
-            self.attempt.as_mut().expect("attempt set").phase = Phase::AwaitStatus { remaining };
+            let a = self.attempt.as_mut().expect("attempt set");
+            a.phase = Phase::AwaitStatus { remaining };
+            a.retries = 0;
+            a.round_seq += 1;
+            self.arm_retry(ctx);
             return;
         }
         // Borrowing mode (mode = 1 on entry; 2/3 are transient while a
         // round is in flight and never re-enter here).
         debug_assert_eq!(self.mode, Mode::Borrowing);
-        if let Some(r) = self.free_primary() {
-            self.complete(Some(r), Via::Local, ctx);
-            return;
-        }
-        self.rounds += 1;
-        if self.rounds <= self.cfg.alpha {
-            if let Some((_lender, ch)) = self.best() {
-                // Borrowing-update round: ask the whole region for
-                // permission to use `ch`.
-                self.mode = Mode::BorrowUpdate;
-                ctx.count("update_rounds_started");
-                let ts = self.attempt.as_ref().expect("attempt set").ts;
-                let remaining = RegionMask::full(self.region.len());
-                for idx in 0..self.region.len() {
-                    let j = self.region[idx];
-                    self.send(
-                        ctx,
-                        j,
-                        AdaptiveMsg::Request {
-                            update: Some(ch),
-                            ts,
-                        },
-                    );
-                }
-                self.attempt.as_mut().expect("attempt set").phase = Phase::Update {
-                    ch,
-                    remaining,
-                    granted: Vec::new(),
-                    rejected: false,
-                };
+        if !self.force_search {
+            if let Some(r) = self.free_primary() {
+                self.complete(Some(r), Via::Local, DropCause::Blocked, ctx);
                 return;
             }
+            self.rounds += 1;
+            if self.rounds <= self.cfg.alpha {
+                if let Some((_lender, ch)) = self.best() {
+                    // Borrowing-update round: ask the whole region for
+                    // permission to use `ch`.
+                    self.mode = Mode::BorrowUpdate;
+                    ctx.count("update_rounds_started");
+                    let (ts, round) = {
+                        let a = self.attempt.as_mut().expect("attempt set");
+                        a.round_seq += 1;
+                        (a.ts, a.round_seq)
+                    };
+                    let remaining = RegionMask::full(self.region.len());
+                    for idx in 0..self.region.len() {
+                        let j = self.region[idx];
+                        self.send(
+                            ctx,
+                            j,
+                            AdaptiveMsg::Request {
+                                update: Some(ch),
+                                ts,
+                                round,
+                            },
+                        );
+                    }
+                    let a = self.attempt.as_mut().expect("attempt set");
+                    a.phase = Phase::Update {
+                        ch,
+                        remaining,
+                        granted: Vec::new(),
+                        rejected: false,
+                    };
+                    a.retries = 0;
+                    self.arm_retry(ctx);
+                    return;
+                }
+            }
+        } else {
+            ctx.count("forced_search_rounds");
         }
-        // Borrowing-search round.
+        self.start_search_round(ctx);
+    }
+
+    /// Starts a borrowing-search round for the in-flight attempt
+    /// (extracted from `request_channel` so timeout recovery can enter
+    /// it directly).
+    fn start_search_round(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
         self.mode = Mode::BorrowSearch;
         ctx.count("search_rounds_started");
-        let ts = self.attempt.as_ref().expect("attempt set").ts;
+        let (ts, round) = {
+            let a = self.attempt.as_mut().expect("attempt set");
+            a.round_seq += 1;
+            (a.ts, a.round_seq)
+        };
         let remaining = RegionMask::full(self.region.len());
         if remaining.is_empty() {
-            // No interference region at all: anything free locally works.
+            // No interference region at all: anything free locally works
+            // (and with nobody to resync from, recovery is trivially
+            // complete).
+            self.force_search = false;
             let pick = self.first_free();
             match pick {
-                Some(r) => self.complete(Some(r), Via::Search, ctx),
-                None => self.complete(None, Via::Search, ctx),
+                Some(r) => self.complete(Some(r), Via::Search, DropCause::Blocked, ctx),
+                None => self.complete(None, Via::Search, DropCause::Blocked, ctx),
             }
             return;
         }
         for idx in 0..self.region.len() {
             let j = self.region[idx];
-            self.send(ctx, j, AdaptiveMsg::Request { update: None, ts });
+            self.send(
+                ctx,
+                j,
+                AdaptiveMsg::Request {
+                    update: None,
+                    ts,
+                    round,
+                },
+            );
         }
-        self.attempt.as_mut().expect("attempt set").phase = Phase::Search { remaining };
+        let a = self.attempt.as_mut().expect("attempt set");
+        a.phase = Phase::Search { remaining };
+        a.retries = 0;
+        self.arm_retry(ctx);
     }
 
     /// Figure 3's `acquire(r)` followed by resolving the engine request;
-    /// `ch = None` is the failed-search `acquire(−1)`.
-    fn complete(&mut self, ch: Option<Channel>, via: Via, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    /// `ch = None` is the failed-search `acquire(−1)`, attributed to
+    /// `fail_cause` (ignored on success).
+    fn complete(
+        &mut self,
+        ch: Option<Channel>,
+        via: Via,
+        fail_cause: DropCause,
+        ctx: &mut Ctx<'_, AdaptiveMsg>,
+    ) {
         let attempt = self.attempt.take().expect("attempt in flight");
+        self.armed = None;
         let entry_mode = self.mode;
         let rounds_used = self.rounds;
         if let Some(r) = ch {
@@ -615,23 +855,29 @@ impl AdaptiveNode {
         // Drain DeferQ_i.
         while let Some(d) = self.defer_q.pop_front() {
             match d {
-                Deferred::Update { from, ch } => {
+                Deferred::Update {
+                    from,
+                    ch,
+                    ts,
+                    round,
+                } => {
                     if self.used.contains(ch) {
-                        self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                        self.send(ctx, from, AdaptiveMsg::Reject { ch, ts, round });
                     } else {
-                        self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                        self.send(ctx, from, AdaptiveMsg::Grant { ch, ts, round });
                         self.view.pledge(from, ch);
                     }
                 }
-                Deferred::Search { from } => {
-                    self.waiting += 1;
-                    #[cfg(debug_assertions)]
-                    self.dbg_owed.push(from);
+                Deferred::Search { from, ts, round } => {
+                    let now = ctx.now();
+                    self.owe_push(from, ts, now);
                     self.send(
                         ctx,
                         from,
                         AdaptiveMsg::SearchUse {
                             used: self.used.clone(),
+                            ts,
+                            round,
                         },
                     );
                 }
@@ -664,7 +910,7 @@ impl AdaptiveNode {
             }
             None => {
                 ctx.count("acq_failed");
-                ctx.reject(attempt.req);
+                ctx.reject_with(attempt.req, fail_cause);
             }
         }
         self.call_q.pop();
@@ -680,43 +926,59 @@ impl AdaptiveNode {
         ctx: &mut Ctx<'_, AdaptiveMsg>,
     ) {
         if !rejected {
-            self.complete(Some(ch), Via::Update, ctx);
+            self.complete(Some(ch), Via::Update, DropCause::Blocked, ctx);
             return;
         }
         ctx.count("update_rounds_failed");
         self.mode = Mode::Borrowing;
-        for j in granted {
-            self.send(ctx, j, AdaptiveMsg::Release { ch });
-            // The granter recorded `U_i ∋ ch`; the release clears it.
+        if self.cfg.retry_ticks.is_some() {
+            // Hardened: a Grant sent to us may have been lost in flight,
+            // leaving a pledge (`U_i ∋ ch`) at a granter not in our
+            // `granted` list. Release to the whole region — `clear_used`
+            // is an idempotent no-op at members who pledged nothing.
+            for idx in 0..self.region.len() {
+                let j = self.region[idx];
+                self.send(ctx, j, AdaptiveMsg::Release { ch });
+            }
+        } else {
+            for j in granted {
+                self.send(ctx, j, AdaptiveMsg::Release { ch });
+                // The granter recorded `U_i ∋ ch`; the release clears it.
+            }
         }
         self.request_channel(ctx);
     }
 
     /// A borrowing-search round concluded (all `U_j` collected).
     fn conclude_search(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Every region member just reported its authoritative `U_j`, so
+        // the view is fully resynced: recovery (if any) is done.
+        self.force_search = false;
         // Free_i = Spectrum − Use_i − ∪_j U_j; the view was refreshed by
         // the SearchUse responses.
         let pick = self.first_free();
         match pick {
-            Some(r) => self.complete(Some(r), Via::Search, ctx),
-            None => self.complete(None, Via::Search, ctx),
+            Some(r) => self.complete(Some(r), Via::Search, DropCause::Blocked, ctx),
+            None => self.complete(None, Via::Search, DropCause::Blocked, ctx),
         }
     }
 
     /// Figure 4: `Receive_Request(req_type, r, TS, j)`, update flavor.
+    /// `round` is the requester's round tag, echoed verbatim.
     fn on_update_request(
         &mut self,
         from: CellId,
         ch: Channel,
         ts: Timestamp,
+        round: u32,
         ctx: &mut Ctx<'_, AdaptiveMsg>,
     ) {
         match self.mode {
             Mode::Local | Mode::Borrowing => {
                 if self.used.contains(ch) {
-                    self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                    self.send(ctx, from, AdaptiveMsg::Reject { ch, ts, round });
                 } else {
-                    self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                    self.send(ctx, from, AdaptiveMsg::Grant { ch, ts, round });
                     self.view.pledge(from, ch);
                     self.check_mode(ctx);
                 }
@@ -735,9 +997,9 @@ impl AdaptiveNode {
                         )
                 };
                 if self.used.contains(ch) || conflict {
-                    self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                    self.send(ctx, from, AdaptiveMsg::Reject { ch, ts, round });
                 } else {
-                    self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                    self.send(ctx, from, AdaptiveMsg::Grant { ch, ts, round });
                     self.view.pledge(from, ch);
                     self.check_mode(ctx);
                 }
@@ -745,15 +1007,26 @@ impl AdaptiveNode {
             Mode::BorrowSearch => {
                 let my_ts = self.my_ts().expect("mode 3 implies pending search");
                 if my_ts < ts {
-                    ctx.count("deferred_update_reqs");
-                    self.defer_q.push_back(Deferred::Update { from, ch });
+                    if self.defer_upsert(Deferred::Update {
+                        from,
+                        ch,
+                        ts,
+                        round,
+                    }) {
+                        ctx.count("duplicate_deferred_reqs");
+                    } else {
+                        ctx.count("deferred_update_reqs");
+                    }
+                    if self.cfg.retry_ticks.is_some() {
+                        self.send(ctx, from, AdaptiveMsg::Busy { ts, round });
+                    }
                 } else {
                     // An older request than our search: answer now. (It
                     // cannot be granted a channel we hold.)
                     if self.used.contains(ch) {
-                        self.send(ctx, from, AdaptiveMsg::Reject { ch });
+                        self.send(ctx, from, AdaptiveMsg::Reject { ch, ts, round });
                     } else {
-                        self.send(ctx, from, AdaptiveMsg::Grant { ch });
+                        self.send(ctx, from, AdaptiveMsg::Grant { ch, ts, round });
                         self.view.pledge(from, ch);
                         self.check_mode(ctx);
                     }
@@ -775,20 +1048,37 @@ impl AdaptiveNode {
     /// an older request and Theorem 2's descending-timestamp argument
     /// goes through again. (In the paper's blocking formulation a mode-1
     /// node never has a pending request, so the case is simply absent.)
-    fn on_search_request(&mut self, from: CellId, ts: Timestamp, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn on_search_request(
+        &mut self,
+        from: CellId,
+        ts: Timestamp,
+        round: u32,
+        ctx: &mut Ctx<'_, AdaptiveMsg>,
+    ) {
         let defer = self.attempt.as_ref().is_some_and(|a| a.ts < ts);
         if defer {
-            ctx.count("deferred_search_reqs");
-            self.defer_q.push_back(Deferred::Search { from });
+            if self.defer_upsert(Deferred::Search { from, ts, round }) {
+                ctx.count("duplicate_deferred_reqs");
+            } else {
+                ctx.count("deferred_search_reqs");
+            }
+            if self.cfg.retry_ticks.is_some() {
+                self.send(ctx, from, AdaptiveMsg::Busy { ts, round });
+            }
         } else {
-            self.waiting += 1;
-            #[cfg(debug_assertions)]
-            self.dbg_owed.push(from);
+            let now = ctx.now();
+            if self.owe_push(from, ts, now) {
+                // A duplicated or retried request whose ACQUISITION we
+                // still await: answer again, don't double-count the owe.
+                ctx.count("search_reqs_reanswered");
+            }
             self.send(
                 ctx,
                 from,
                 AdaptiveMsg::SearchUse {
                     used: self.used.clone(),
+                    ts,
+                    round,
                 },
             );
         }
@@ -799,11 +1089,18 @@ impl AdaptiveNode {
         // View updates happen regardless of attempt bookkeeping: both
         // SearchUse and Status carry authoritative `Use_j` snapshots.
         match &msg {
-            AdaptiveMsg::SearchUse { used } | AdaptiveMsg::Status { used } => {
+            AdaptiveMsg::SearchUse { used, .. } | AdaptiveMsg::Status { used } => {
                 self.view.replace(from, used);
             }
             _ => {}
         }
+        // Hardened runs discard responses whose `(ts, round)` echo does
+        // not match the live round: a late answer to an abandoned round
+        // may predate a concurrent acquisition the current round must
+        // hear about (the view refresh above is still taken — it is the
+        // freshest in-order knowledge from that link). Unhardened runs
+        // keep the original lax matching bit-for-bit.
+        let strict = self.cfg.retry_ticks.is_some();
         enum Done {
             Nothing,
             Stale,
@@ -819,6 +1116,12 @@ impl AdaptiveNode {
         // search away; `None` means a response from outside the region
         // (a no-op on `remaining`, as `BTreeSet::remove` used to be).
         let from_slot = self.region.binary_search(&from).ok();
+        // Any credited response is a progress signal: with hardening on
+        // it resets the retry budget, so exhaustion means α consecutive
+        // deadlines with *no* signal for the live round (genuine loss or
+        // a dead peer), never a slow-but-advancing round. Unobservable
+        // unhardened (the budget is only read when timers arm).
+        let mut progress = false;
         let done = {
             let Some(attempt) = self.attempt.as_mut() else {
                 // No attempt in flight: Status/SearchUse were pure view
@@ -828,6 +1131,8 @@ impl AdaptiveNode {
                 }
                 return;
             };
+            let a_ts = attempt.ts;
+            let a_round = attempt.round_seq;
             match (&mut attempt.phase, &msg) {
                 (
                     Phase::Update {
@@ -836,10 +1141,15 @@ impl AdaptiveNode {
                         granted,
                         rejected,
                     },
-                    AdaptiveMsg::Grant { ch: rch },
-                ) if *ch == *rch => {
+                    AdaptiveMsg::Grant {
+                        ch: rch,
+                        ts: rts,
+                        round: rround,
+                    },
+                ) if *ch == *rch && (!strict || (*rts == a_ts && *rround == a_round)) => {
                     if from_slot.is_some_and(|i| remaining.remove(i)) {
                         granted.push(from);
+                        progress = true;
                     }
                     if remaining.is_empty() {
                         Done::Update {
@@ -858,10 +1168,14 @@ impl AdaptiveNode {
                         granted,
                         rejected,
                     },
-                    AdaptiveMsg::Reject { ch: rch },
-                ) if *ch == *rch => {
+                    AdaptiveMsg::Reject {
+                        ch: rch,
+                        ts: rts,
+                        round: rround,
+                    },
+                ) if *ch == *rch && (!strict || (*rts == a_ts && *rround == a_round)) => {
                     if let Some(i) = from_slot {
-                        remaining.remove(i);
+                        progress |= remaining.remove(i);
                     }
                     *rejected = true;
                     if remaining.is_empty() {
@@ -874,9 +1188,17 @@ impl AdaptiveNode {
                         Done::Nothing
                     }
                 }
+                (
+                    Phase::Search { .. },
+                    AdaptiveMsg::SearchUse {
+                        ts: rts,
+                        round: rround,
+                        ..
+                    },
+                ) if strict && (*rts != a_ts || *rround != a_round) => Done::Stale,
                 (Phase::Search { remaining }, AdaptiveMsg::SearchUse { .. }) => {
                     if let Some(i) = from_slot {
-                        remaining.remove(i);
+                        progress |= remaining.remove(i);
                     }
                     if remaining.is_empty() {
                         Done::Search
@@ -886,7 +1208,7 @@ impl AdaptiveNode {
                 }
                 (Phase::AwaitStatus { remaining }, AdaptiveMsg::Status { .. }) => {
                     if let Some(i) = from_slot {
-                        remaining.remove(i);
+                        progress |= remaining.remove(i);
                     }
                     if remaining.is_empty() {
                         Done::StatusComplete
@@ -903,6 +1225,11 @@ impl AdaptiveNode {
                 _ => Done::Stale,
             }
         };
+        if progress {
+            if let Some(a) = self.attempt.as_mut() {
+                a.retries = 0;
+            }
+        }
         match done {
             Done::Nothing => {}
             Done::Stale => ctx.count("stale_responses"),
@@ -927,6 +1254,7 @@ impl Protocol for AdaptiveNode {
             | AdaptiveMsg::Grant { .. }
             | AdaptiveMsg::SearchUse { .. }
             | AdaptiveMsg::Status { .. } => "RESPONSE",
+            AdaptiveMsg::Busy { .. } => "BUSY",
             AdaptiveMsg::ChangeMode { .. } => "CHANGE_MODE",
             AdaptiveMsg::Release { .. } => "RELEASE",
             AdaptiveMsg::Acquisition { .. } => "ACQUISITION",
@@ -942,6 +1270,155 @@ impl Protocol for AdaptiveNode {
     fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, AdaptiveMsg>) {
         self.call_q.push(req, kind);
         self.try_start_next(ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Only the most recently armed deadline is live; anything else
+        // is a leftover from a phase that already resolved.
+        if self.armed != Some(tag) {
+            ctx.count("stale_timers");
+            return;
+        }
+        self.armed = None;
+        let Some(attempt) = self.attempt.as_mut() else {
+            return;
+        };
+        // Decide under the borrow, act after releasing it.
+        enum Act {
+            QuietTimeout,
+            ResendStatus {
+                remaining: RegionMask,
+            },
+            Resend {
+                update: Option<Channel>,
+                remaining: RegionMask,
+            },
+            StatusExhausted,
+            UpdateExhausted {
+                ch: Channel,
+                granted: Vec<CellId>,
+            },
+            SearchExhausted,
+        }
+        let retry = attempt.retries < self.cfg.alpha;
+        if retry {
+            attempt.retries += 1;
+        }
+        let act = match &mut attempt.phase {
+            Phase::WaitQuiet => Act::QuietTimeout,
+            Phase::AwaitStatus { remaining } if retry => Act::ResendStatus {
+                remaining: *remaining,
+            },
+            Phase::AwaitStatus { .. } => Act::StatusExhausted,
+            Phase::Update { ch, remaining, .. } if retry => Act::Resend {
+                update: Some(*ch),
+                remaining: *remaining,
+            },
+            Phase::Update { ch, granted, .. } => Act::UpdateExhausted {
+                ch: *ch,
+                granted: std::mem::take(granted),
+            },
+            Phase::Search { remaining } if retry => Act::Resend {
+                update: None,
+                remaining: *remaining,
+            },
+            Phase::Search { .. } => Act::SearchExhausted,
+        };
+        match act {
+            Act::QuietTimeout => {
+                // The ACQUISITION(1) notice(s) we're gated on were lost
+                // (or their sender crashed). Stop gating and recover
+                // through a forced search round, which is safe without
+                // the gate: it resyncs every `U_j` post-acquisition.
+                ctx.count("waitquiet_timeouts");
+                self.owed.clear();
+                self.force_search = true;
+                self.request_channel(ctx);
+            }
+            Act::ResendStatus { remaining } => {
+                ctx.count("status_retries");
+                for idx in 0..self.region.len() {
+                    if remaining.contains(idx) {
+                        let j = self.region[idx];
+                        self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: true });
+                    }
+                }
+                self.arm_retry(ctx);
+            }
+            Act::Resend { update, remaining } => {
+                // Same timestamp on the resend: responders that already
+                // answered treat it as a duplicate, and the timestamp
+                //-deferral order (the Theorem 1 safety argument) is
+                // untouched.
+                ctx.count(if update.is_some() {
+                    "update_retries"
+                } else {
+                    "search_retries"
+                });
+                let (ts, round) = {
+                    let a = self.attempt.as_ref().expect("attempt set");
+                    (a.ts, a.round_seq)
+                };
+                for idx in 0..self.region.len() {
+                    if remaining.contains(idx) {
+                        let j = self.region[idx];
+                        self.send(ctx, j, AdaptiveMsg::Request { update, ts, round });
+                    }
+                }
+                self.arm_retry(ctx);
+            }
+            Act::StatusExhausted => {
+                // Give up on the full snapshot; a search round refreshes
+                // the view with post-acquisition `U_j` sets anyway.
+                ctx.count("status_retry_exhausted");
+                self.force_search = true;
+                self.start_search_round(ctx);
+            }
+            Act::UpdateExhausted { ch, granted } => {
+                // Treat the round as rejected: release pledges and fall
+                // back through `request_channel` — with `rounds` pushed
+                // past α so it degrades to a search, not another update.
+                ctx.count("update_retry_exhausted");
+                self.rounds = self.cfg.alpha;
+                self.conclude_update(ch, granted, true, ctx);
+            }
+            Act::SearchExhausted => {
+                // Even resends went unanswered: reject the call rather
+                // than wedge the node. The region-wide ACQUISITION(1,
+                // None) broadcast in `complete` un-gates any responder
+                // that did answer.
+                ctx.count("search_retry_exhausted");
+                self.complete(None, Via::Search, DropCause::RetryExhausted, ctx);
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        // Everything volatile is lost; the engine already killed our
+        // active calls and force-rejected our queued requests, so the
+        // empty `Use_i` is consistent with ground truth. The Lamport
+        // clock is deliberately NOT reset (treated as stable storage):
+        // restarting it at zero would make our recovery request *older*
+        // than pre-crash requests still in flight, inverting the
+        // timestamp-deferral order that mutual exclusion rests on.
+        self.used = self.spectrum.empty_set();
+        self.view = NeighborView::new(self.spectrum, &self.region);
+        self.nfc = NfcWindow::new(self.cfg.window);
+        self.mode = Mode::Local;
+        self.update_subs.clear();
+        self.defer_q.clear();
+        self.owed.clear();
+        self.rounds = 0;
+        self.call_q = CallQueue::new();
+        self.attempt = None;
+        self.armed = None;
+        // The view is empty, so a silent free-primary grab could collide
+        // with a borrow we pledged pre-crash and no longer remember;
+        // route the next acquisition through a full search round.
+        self.force_search = true;
+        let s = self.pr.len() as u32;
+        self.nfc.record(ctx.now(), s);
+        ctx.count("protocol_restarts");
     }
 
     fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, AdaptiveMsg>) {
@@ -964,11 +1441,52 @@ impl Protocol for AdaptiveNode {
 
     fn on_message(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Ctx<'_, AdaptiveMsg>) {
         match msg {
-            AdaptiveMsg::Request { update, ts } => {
+            AdaptiveMsg::Request { update, ts, round } => {
                 self.clock.observe(ts);
+                // Dangling-owe release (hardening only): attempts are
+                // serial per cell, so a request from an owed searcher
+                // with a *newer* timestamp proves the search we gated on
+                // concluded and its `ACQUISITION(1)` notice was lost
+                // (per-link FIFO: had it been sent and delivered, it
+                // would have arrived first). Without this, one lost
+                // notice holds every later attempt in `WaitQuiet` for
+                // the full escape deadline — under 10% loss those stalls
+                // compounded into million-tick queue tails.
+                if self.cfg.retry_ticks.is_some() {
+                    if let Some(pos) = self.owed.iter().position(|e| e.0 == from && e.1 < ts) {
+                        self.owed.swap_remove(pos);
+                        ctx.count("owed_undangled");
+                        // The lost notice named the channel the searcher
+                        // took, so our view is stale: a silent primary
+                        // grab could pick that very channel. Route the
+                        // next acquisition through a resync search, as
+                        // the `WaitQuiet` escape does.
+                        self.force_search = true;
+                        if self.owed.is_empty() && self.pending() {
+                            self.request_channel(ctx);
+                        }
+                    }
+                }
                 match update {
-                    Some(ch) => self.on_update_request(from, ch, ts, ctx),
-                    None => self.on_search_request(from, ts, ctx),
+                    Some(ch) => self.on_update_request(from, ch, ts, round, ctx),
+                    None => self.on_search_request(from, ts, round, ctx),
+                }
+            }
+            AdaptiveMsg::Busy { ts, round } => {
+                // A responder parked our request in its defer queue: the
+                // round is alive, so the deadline should measure silence,
+                // not deferral depth. Reset the retry budget.
+                let live = self.attempt.as_mut().filter(|a| {
+                    a.ts == ts
+                        && a.round_seq == round
+                        && matches!(a.phase, Phase::Update { .. } | Phase::Search { .. })
+                });
+                match live {
+                    Some(a) => {
+                        a.retries = 0;
+                        ctx.count("defer_acks");
+                    }
+                    None => ctx.count("stale_acks"),
                 }
             }
             AdaptiveMsg::ChangeMode { borrowing } => {
@@ -998,23 +1516,21 @@ impl Protocol for AdaptiveNode {
                     self.check_mode(ctx);
                 }
                 if search {
-                    debug_assert!(self.waiting > 0, "ACQUISITION(1) without matching response");
-                    #[cfg(debug_assertions)]
-                    {
-                        let pos = self.dbg_owed.iter().position(|&j| j == from);
-                        assert!(
-                            pos.is_some(),
-                            "{} got ACQUISITION(1) from {from} but owes {:?}",
-                            self.me,
-                            self.dbg_owed
-                        );
-                        self.dbg_owed.swap_remove(pos.expect("checked"));
-                    }
-                    self.waiting = self.waiting.saturating_sub(1);
-                    if self.waiting == 0 && self.pending() {
-                        // The paper's local-mode `wait UNTIL waiting_i = 0`
-                        // resumes here.
-                        self.request_channel(ctx);
+                    if let Some(pos) = self.owed.iter().position(|&(j, _, _)| j == from) {
+                        self.owed.swap_remove(pos);
+                        if self.owed.is_empty() && self.pending() {
+                            // The paper's local-mode
+                            // `wait UNTIL waiting_i = 0` resumes here.
+                            self.request_channel(ctx);
+                        }
+                    } else {
+                        // Duplicate delivery, a notice whose matching
+                        // response we never sent (our SearchUse was sent
+                        // pre-crash, or the searcher's retry never
+                        // reached us), or one that arrived after the
+                        // WaitQuiet escape already cleared the owe. In
+                        // fault-free runs this is unreachable.
+                        ctx.count("unmatched_acquisitions");
                     }
                 }
             }

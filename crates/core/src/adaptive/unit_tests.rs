@@ -6,6 +6,15 @@ use super::*;
 use adca_simkit::testing::{Action, MockNet};
 use adca_simkit::Ctx;
 
+/// Echo timestamp for handcrafted responses. The default (unhardened)
+/// config matches responses laxly, so any value works.
+fn echo_ts() -> Timestamp {
+    Timestamp {
+        counter: 0,
+        node: 0,
+    }
+}
+
 /// 3×3 grid: the center cell's interference region is all 8 other cells.
 fn world() -> (Topology, CellId) {
     let topo = Topology::builder(3, 3).channels(70).build();
@@ -249,7 +258,14 @@ fn unanimous_grants_complete_the_borrow() {
     let ch = to_update_round(&mut t);
     let (topo, me) = world();
     for &j in topo.region(me) {
-        t.deliver(j, AdaptiveMsg::Grant { ch });
+        t.deliver(
+            j,
+            AdaptiveMsg::Grant {
+                ch,
+                ts: echo_ts(),
+                round: 1,
+            },
+        );
     }
     let (_, got) = t.mock.granted().expect("borrow granted");
     assert_eq!(got, ch);
@@ -266,10 +282,24 @@ fn one_reject_releases_granters_and_retries() {
     let region: Vec<CellId> = topo.region(me).to_vec();
     // First 7 grant, the last one rejects.
     for &j in &region[..7] {
-        t.deliver(j, AdaptiveMsg::Grant { ch });
+        t.deliver(
+            j,
+            AdaptiveMsg::Grant {
+                ch,
+                ts: echo_ts(),
+                round: 1,
+            },
+        );
     }
     t.mock.take_actions();
-    t.deliver(region[7], AdaptiveMsg::Reject { ch });
+    t.deliver(
+        region[7],
+        AdaptiveMsg::Reject {
+            ch,
+            ts: echo_ts(),
+            round: 1,
+        },
+    );
     assert!(t.mock.granted().is_none(), "round failed");
     let actions = t.mock.take_actions();
     let releases: Vec<CellId> = actions
@@ -339,7 +369,14 @@ fn failed_search_drops_and_broadcasts_minus_one() {
     // Everyone reports the full spectrum in use: nothing to find.
     let full = topo.spectrum().full_set();
     for &j in topo.region(me) {
-        t.deliver(j, AdaptiveMsg::SearchUse { used: full.clone() });
+        t.deliver(
+            j,
+            AdaptiveMsg::SearchUse {
+                used: full.clone(),
+                ts: echo_ts(),
+                round: 1,
+            },
+        );
     }
     assert!(t.mock.rejected(), "no channel anywhere -> drop");
     // Deviation #4: the failed search still broadcasts ACQUISITION(1,
@@ -381,6 +418,7 @@ fn grants_own_free_primary_to_borrower_and_avoids_it() {
         AdaptiveMsg::Request {
             update: Some(my_lowest),
             ts,
+            round: 0,
         },
     );
     let actions = t.mock.take_actions();
@@ -389,7 +427,7 @@ fn grants_own_free_primary_to_borrower_and_avoids_it() {
             a,
             Action::Send {
                 kind: "RESPONSE",
-                msg: AdaptiveMsg::Grant { ch },
+                msg: AdaptiveMsg::Grant { ch, .. },
                 ..
             } if *ch == my_lowest
         )),
@@ -415,6 +453,7 @@ fn rejects_update_request_for_channel_in_use() {
                 counter: 1,
                 node: 0,
             },
+            round: 0,
         },
     );
     assert!(matches!(
@@ -439,6 +478,7 @@ fn search_response_sets_waiting_and_blocks_local_grant() {
                 counter: 1,
                 node: 0,
             },
+            round: 0,
         },
     );
     assert_eq!(t.node.waiting(), 1);
@@ -481,6 +521,7 @@ fn younger_search_is_deferred_while_pending() {
                 counter: 1,
                 node: 0,
             },
+            round: 0,
         },
     );
     t.acquire(); // pending, ts > the observed counter 1
@@ -494,6 +535,7 @@ fn younger_search_is_deferred_while_pending() {
                 counter: 999,
                 node: 1,
             },
+            round: 0,
         },
     );
     assert!(t.mock.sends().is_empty(), "younger search deferred");
@@ -507,6 +549,7 @@ fn younger_search_is_deferred_while_pending() {
                 counter: 0,
                 node: 2,
             },
+            round: 0,
         },
     );
     assert_eq!(t.mock.sends(), vec![("RESPONSE", CellId(2))]);
@@ -527,6 +570,7 @@ fn release_message_frees_view_entry() {
                 counter: 1,
                 node: 0,
             },
+            round: 0,
         },
     );
     t.deliver(borrower, AdaptiveMsg::Release { ch: my_lowest });

@@ -21,6 +21,21 @@ pub struct AdaptiveConfig {
     /// predictor for the `2T` round-trip horizon). Should match the
     /// simulator's latency model.
     pub t_latency: u64,
+    /// Response deadline for timeout/retry hardening, in ticks. When
+    /// `Some(d)`, every round that waits on responses (`AwaitStatus`,
+    /// `Update`, `Search`) arms a deadline of `d` ticks, resends the
+    /// round's request to the members still outstanding on expiry (same
+    /// timestamp, so the timestamp-deferral safety argument is
+    /// unchanged), up to `α` times, then degrades: a timed-out status or
+    /// update round falls back to a search round; a timed-out search
+    /// round rejects the call. The local-mode `WaitQuiet` gate gets a
+    /// generous `d·(α + 2)` deadline after which the node assumes the
+    /// ACQUISITION notice was lost and recovers through a forced search.
+    /// `None` (default) arms no timers at all — behavior, messages and
+    /// reports are bit-identical to the pre-hardening protocol. Pick
+    /// `d ≥ 2·t_latency` so an undisturbed round trip never times out
+    /// (`4·t_latency` is a sensible default under jitter).
+    pub retry_ticks: Option<u64>,
     /// Figure 4's `mode = 2` case rejects any update request younger than
     /// the node's own pending request *regardless of channel*; the prose
     /// only requires rejecting requests for the *same* channel. `true`
@@ -37,6 +52,7 @@ impl Default for AdaptiveConfig {
             window: 800,
             alpha: 3,
             t_latency: 100,
+            retry_ticks: None,
             strict_mode2_reject: true,
         }
     }
@@ -59,6 +75,9 @@ impl AdaptiveConfig {
         );
         assert!(self.window > 0, "window W must be positive");
         assert!(self.t_latency > 0, "T must be positive");
+        if let Some(d) = self.retry_ticks {
+            assert!(d > 0, "retry_ticks must be positive when set");
+        }
     }
 }
 

@@ -2,13 +2,13 @@
 
 use crate::summary::RunSummary;
 use adca_baselines::{
-    AdvancedSearchNode, AdvancedUpdateNode, BasicSearchNode, BasicUpdateConfig, BasicUpdateNode,
-    FixedNode,
+    AdvancedSearchNode, AdvancedUpdateNode, BasicSearchConfig, BasicSearchNode, BasicUpdateConfig,
+    BasicUpdateNode, FixedNode,
 };
 use adca_core::{AdaptiveConfig, AdaptiveNode};
 use adca_hexgrid::Topology;
 use adca_simkit::engine::run_protocol;
-use adca_simkit::{Arrival, AuditMode, LatencyModel, SimConfig};
+use adca_simkit::{Arrival, AuditMode, FaultPlan, LatencyModel, SimConfig};
 use adca_traffic::WorkloadSpec;
 use std::sync::Arc;
 
@@ -108,6 +108,15 @@ pub struct Scenario {
     pub adaptive: AdaptiveConfig,
     /// Basic-update retry cap.
     pub basic_update: BasicUpdateConfig,
+    /// Basic-search hardening knobs.
+    pub basic_search: BasicSearchConfig,
+    /// Fault injection plan handed to the engine. The default
+    /// [`FaultPlan::none()`] leaves every report bit-identical to a
+    /// fault-free engine.
+    pub faults: FaultPlan,
+    /// Liveness watchdog bound in ticks (`None` disables); defaults to
+    /// the engine default.
+    pub watchdog_ticks: Option<u64>,
     /// Simulator seed (latency jitter).
     pub sim_seed: u64,
     /// Audit behavior.
@@ -135,6 +144,9 @@ impl Scenario {
                 ..Default::default()
             },
             basic_update: BasicUpdateConfig::default(),
+            basic_search: BasicSearchConfig::default(),
+            faults: FaultPlan::none(),
+            watchdog_ticks: SimConfig::default().watchdog_ticks,
             sim_seed: 0xADCA,
             audit: AuditMode::Panic,
             wrap: false,
@@ -163,6 +175,29 @@ impl Scenario {
     /// Wraps the grid onto a torus (see [`adca_hexgrid::TopologyBuilder::wrap`]).
     pub fn with_wrap(mut self) -> Self {
         self.wrap = true;
+        self
+    }
+
+    /// Overrides the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the liveness watchdog bound (`None` disables it).
+    pub fn with_watchdog(mut self, ticks: Option<u64>) -> Self {
+        self.watchdog_ticks = ticks;
+        self
+    }
+
+    /// Arms response-deadline/retry hardening on every scheme that
+    /// supports it (the adaptive scheme and both basic baselines), with
+    /// deadline `d` ticks. Pick `d` ≥ 2·latency so an undisturbed round
+    /// trip never times out.
+    pub fn with_hardening(mut self, d: u64) -> Self {
+        self.adaptive.retry_ticks = Some(d);
+        self.basic_update.retry_ticks = Some(d);
+        self.basic_search.retry_ticks = Some(d);
         self
     }
 
@@ -195,6 +230,8 @@ impl Scenario {
             latency: LatencyModel::Fixed(self.t_ticks),
             seed: self.sim_seed,
             audit: self.audit,
+            faults: self.faults.clone(),
+            watchdog_ticks: self.watchdog_ticks,
             ..Default::default()
         }
     }
@@ -218,7 +255,15 @@ impl Scenario {
         let started = std::time::Instant::now();
         let report = match kind {
             SchemeKind::Fixed => run_protocol(topo, cfg, FixedNode::new, arrivals),
-            SchemeKind::BasicSearch => run_protocol(topo, cfg, BasicSearchNode::new, arrivals),
+            SchemeKind::BasicSearch => {
+                let bs = self.basic_search.clone();
+                run_protocol(
+                    topo,
+                    cfg,
+                    move |c, t| BasicSearchNode::with_config(c, t, bs.clone()),
+                    arrivals,
+                )
+            }
             SchemeKind::BasicUpdate => {
                 let bu = self.basic_update.clone();
                 run_protocol(

@@ -1,0 +1,116 @@
+//! Fault-injection regression suite at the harness level.
+//!
+//! Three pins:
+//! 1. **No-fault identity** — a [`FaultPlan::none()`] and an explicit
+//!    all-zero-probability plan produce whole-[`SimReport`] equality
+//!    with the default (fault-free) engine, for every scheme. The fault
+//!    layer must be invisible when disabled — this is what makes every
+//!    checked-in fault-free result trustworthy after the faults module
+//!    landed.
+//! 2. **Drop-cause split** — the per-cause drop counters partition the
+//!    drop totals exactly, with and without faults.
+//! 3. **Crash accounting** — every crash window ends in a restart and
+//!    the down cell's shed calls are attributed to
+//!    [`DropCause::Crashed`].
+
+use adca_harness::{Scenario, SchemeKind};
+use adca_hexgrid::CellId;
+use adca_simkit::{FaultPlan, SimReport};
+
+/// e1-shaped scenario (12×12 grid, 70 channels, uniform load) scaled to
+/// a test-sized horizon.
+fn e1_shaped(rho: f64) -> Scenario {
+    Scenario::uniform(rho, 20_000)
+}
+
+fn assert_split(r: &SimReport, label: &str) {
+    assert_eq!(
+        r.drops_blocked + r.drops_retry_exhausted + r.drops_crashed,
+        r.dropped_new + r.dropped_handoff,
+        "{label}: drop-cause counters must partition the drop totals"
+    );
+}
+
+#[test]
+fn disabled_fault_plans_are_bit_identical() {
+    // An explicit zero-probability plan (with a different fault seed, to
+    // pin that the fault RNG stream is never consulted when inactive)
+    // and the default plan must be indistinguishable.
+    let zero = FaultPlan::none()
+        .with_loss(0.0)
+        .with_duplication(0.0)
+        .with_seed(0xDEAD_BEEF);
+    assert!(!zero.is_active());
+    for kind in SchemeKind::ALL {
+        let base = e1_shaped(0.9).run(kind).report;
+        let explicit_none = e1_shaped(0.9)
+            .with_faults(FaultPlan::none())
+            .run(kind)
+            .report;
+        let explicit_zero = e1_shaped(0.9).with_faults(zero.clone()).run(kind).report;
+        base.assert_clean();
+        assert!(base.offered_calls > 0 && base.granted > 0);
+        assert_eq!(
+            base, explicit_none,
+            "{kind}: FaultPlan::none() must be invisible"
+        );
+        assert_eq!(
+            base, explicit_zero,
+            "{kind}: zero-probability faults must be invisible"
+        );
+        assert_eq!(base.messages_lost, 0);
+        assert_eq!(base.messages_duplicated, 0);
+        assert_eq!(base.crashes, 0);
+    }
+}
+
+#[test]
+fn drop_causes_partition_drop_totals() {
+    // Fault-free at overload: every drop is a capacity block.
+    for kind in [SchemeKind::Fixed, SchemeKind::BasicUpdate] {
+        let r = e1_shaped(1.3).run(kind).report;
+        r.assert_clean();
+        assert!(r.dropped_new > 0, "{kind}: overload must drop");
+        assert_split(&r, kind.name());
+        assert_eq!(r.drops_retry_exhausted, 0);
+        assert_eq!(r.drops_crashed, 0);
+    }
+    // Hardened under loss: the split gains a retry-exhausted component
+    // but must still partition exactly.
+    for kind in [
+        SchemeKind::BasicSearch,
+        SchemeKind::BasicUpdate,
+        SchemeKind::Adaptive,
+    ] {
+        let r = e1_shaped(0.9)
+            .with_hardening(400)
+            .with_faults(FaultPlan::none().with_loss(0.05))
+            .run(kind)
+            .report;
+        r.assert_clean();
+        assert!(r.messages_lost > 0, "{kind}: 5% loss must lose messages");
+        assert_split(&r, kind.name());
+    }
+}
+
+#[test]
+fn crash_windows_restart_and_attribute_drops() {
+    let r = e1_shaped(0.7)
+        .with_hardening(400)
+        .with_faults(
+            FaultPlan::none()
+                .with_loss(0.01)
+                .with_crash(CellId(30), 5_000, 4_000)
+                .with_crash(CellId(75), 9_000, 4_000),
+        )
+        .run(SchemeKind::Adaptive)
+        .report;
+    r.assert_clean();
+    assert_eq!(r.crashes, 2, "both scheduled crash windows must fire");
+    assert_eq!(r.restarts, 2, "every crash window must end in a restart");
+    assert!(
+        r.drops_crashed > 0,
+        "a loaded cell going down must shed calls"
+    );
+    assert_split(&r, "adaptive+crash");
+}

@@ -11,6 +11,7 @@
 //!   interleavings.
 
 use crate::protocol::RequestId;
+use crate::report::DropCause;
 use crate::time::SimTime;
 use adca_hexgrid::{CellId, Channel, Topology};
 
@@ -26,8 +27,9 @@ pub trait CtxBackend<M> {
     fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M);
     /// Grant channel `ch` to request `req` (audited).
     fn grant(&mut self, req: RequestId, ch: Channel);
-    /// Reject request `req` (the call is denied service).
-    fn reject(&mut self, req: RequestId);
+    /// Reject request `req` (the call is denied service), attributing
+    /// the drop to `cause` in the report.
+    fn reject(&mut self, req: RequestId, cause: DropCause);
     /// Schedule `on_timer(tag)` after `delay` ticks.
     fn set_timer(&mut self, delay: u64, tag: u64);
     /// Increment a named metric counter.
@@ -88,12 +90,27 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Rejects request `req`: the call is dropped / the handoff fails.
+    /// The drop is attributed to [`DropCause::Blocked`] (no channel); use
+    /// [`Ctx::reject_with`] to attribute it differently.
     #[inline]
     pub fn reject(&mut self, req: RequestId) {
-        self.inner.reject(req);
+        self.inner.reject(req, DropCause::Blocked);
+    }
+
+    /// Rejects request `req`, attributing the drop to `cause` (retry
+    /// exhaustion, crash, …) in the report's drop-cause split.
+    #[inline]
+    pub fn reject_with(&mut self, req: RequestId, cause: DropCause) {
+        self.inner.reject(req, cause);
     }
 
     /// Schedules `on_timer(tag)` on this node after `delay` ticks.
+    ///
+    /// Same-tick ordering: under the deterministic engine, a timer due
+    /// at tick `t` and a message delivery due at tick `t` fire in
+    /// *scheduling order* — all event classes share one `(time, seq)`
+    /// queue (see `simkit::equeue`). A protocol must therefore not
+    /// assume timers beat (or lose to) same-tick deliveries as a class.
     #[inline]
     pub fn set_timer(&mut self, delay: u64, tag: u64) {
         self.inner.set_timer(delay, tag);

@@ -2,9 +2,10 @@
 
 use crate::backend::{Ctx, CtxBackend};
 use crate::equeue::EventQueue;
+use crate::faults::FaultPlan;
 use crate::latency::{LatencyModel, MsgMeta};
 use crate::protocol::{Protocol, RequestId, RequestKind};
-use crate::report::{AuditMode, MsgTrace, SimReport, Violation};
+use crate::report::{AuditMode, DropCause, MsgTrace, SimReport, Violation};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use crate::workload::Arrival;
@@ -31,6 +32,10 @@ pub struct SimConfig {
     pub trace: bool,
     /// Abort the run after this many processed events (runaway guard).
     pub max_events: u64,
+    /// Fault injection plan (loss / duplication / crash schedule). The
+    /// default [`FaultPlan::none()`] takes no fault branch anywhere, so
+    /// reports stay bit-identical to a fault-free engine.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -42,6 +47,7 @@ impl Default for SimConfig {
             watchdog_ticks: Some(1_000_000),
             trace: false,
             max_events: 500_000_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -71,6 +77,14 @@ enum Ev<M> {
     AutoRelease {
         node: CellId,
         ch: Channel,
+    },
+    /// Fault injection: the cell goes down (crash schedule).
+    CrashDown {
+        node: CellId,
+    },
+    /// Fault injection: the cell restarts after its crash window.
+    CrashUp {
+        node: CellId,
     },
 }
 
@@ -253,6 +267,16 @@ pub struct Shared<M> {
     msg_seq: u64,
     queue: EventQueue<Ev<M>>,
     rng: SplitMix64,
+    /// Dedicated RNG stream for fault decisions. Kept apart from the
+    /// latency RNG so enabling faults never perturbs latency draws (and
+    /// a disabled plan never touches either).
+    fault_rng: SplitMix64,
+    /// Whether the fault plan can inject anything (`faults.is_active()`,
+    /// cached). All fault branches are behind this flag.
+    faults_on: bool,
+    /// Which cells are currently crashed (all `false` unless the plan
+    /// schedules crashes).
+    down: Vec<bool>,
     /// Ground-truth channel usage per cell (for the Theorem-1 audit).
     usage: Vec<ChannelSet>,
     link_horizon: LinkHorizons,
@@ -307,6 +331,29 @@ impl<M> Shared<M> {
         }
         id
     }
+
+    fn count_drop_cause(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Blocked => self.report.drops_blocked += 1,
+            DropCause::RetryExhausted => self.report.drops_retry_exhausted += 1,
+            DropCause::Crashed => self.report.drops_crashed += 1,
+        }
+    }
+
+    /// Force-resolves `req` as a drop attributed to `cause` — the crash
+    /// paths, where no protocol node is up to answer the request.
+    fn force_reject(&mut self, req: RequestId, cause: DropCause) {
+        let Some((call, cell, kind, _latency)) = self.finish_request(req) else {
+            return;
+        };
+        self.calls[call as usize].state = CallState::Done;
+        self.report.per_cell_drops[cell.index()] += 1;
+        self.count_drop_cause(cause);
+        match kind {
+            RequestKind::NewCall => self.report.dropped_new += 1,
+            RequestKind::Handoff => self.report.dropped_handoff += 1,
+        }
+    }
 }
 
 /// The deterministic-engine backend behind [`Ctx`].
@@ -315,7 +362,7 @@ struct DesCtx<'a, M> {
     me: CellId,
 }
 
-impl<M> CtxBackend<M> for DesCtx<'_, M> {
+impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
     #[inline]
     fn me(&self) -> CellId {
         self.me
@@ -340,11 +387,29 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
             seq: self.sh.msg_seq,
         };
         self.sh.msg_seq += 1;
+        // Latency is always drawn (and the FIFO horizon advanced) before
+        // any fault decision, so the latency RNG stream — and with it
+        // every fault-free delivery time — is independent of the plan.
         let lat = self.sh.cfg.latency.latency(&meta, &mut self.sh.rng);
         let at = self.sh.link_horizon.clamp(self.me, to, self.sh.now + lat);
         self.sh.report.messages_total += 1;
         self.sh.msg_kinds.incr(kind);
         self.sh.report.per_cell_msgs[self.me.index()] += 1;
+        let from = self.me;
+        if self.sh.faults_on {
+            // A down cell sends nothing (its handlers should not run at
+            // all; this is a defensive backstop for drained sends).
+            if self.sh.down[from.index()] {
+                self.sh.report.messages_crash_dropped += 1;
+                return;
+            }
+            if self.sh.cfg.faults.loss > 0.0
+                && self.sh.fault_rng.next_f64() < self.sh.cfg.faults.loss
+            {
+                self.sh.report.messages_lost += 1;
+                return;
+            }
+        }
         if self.sh.cfg.trace {
             self.sh.report.trace.push(MsgTrace {
                 sent_at: self.sh.now,
@@ -354,8 +419,26 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
                 kind,
             });
         }
-        let from = self.me;
-        self.sh.push(at, Ev::Deliver { from, to, msg });
+        let dup = self.sh.faults_on
+            && self.sh.cfg.faults.duplicate > 0.0
+            && self.sh.fault_rng.next_f64() < self.sh.cfg.faults.duplicate;
+        if dup {
+            // The copy lands at the same tick; seq order puts it right
+            // after the original, preserving per-link FIFO.
+            self.sh.report.messages_duplicated += 1;
+            let copy = msg.clone();
+            self.sh.push(at, Ev::Deliver { from, to, msg });
+            self.sh.push(
+                at,
+                Ev::Deliver {
+                    from,
+                    to,
+                    msg: copy,
+                },
+            );
+        } else {
+            self.sh.push(at, Ev::Deliver { from, to, msg });
+        }
     }
 
     fn grant(&mut self, req: RequestId, ch: Channel) {
@@ -424,15 +507,28 @@ impl<M> CtxBackend<M> for DesCtx<'_, M> {
         }
     }
 
-    fn reject(&mut self, req: RequestId) {
-        let Some((call, cell, kind, _latency)) = self.sh.finish_request(req) else {
+    fn reject(&mut self, req: RequestId, cause: DropCause) {
+        let Some((call, cell, kind, latency)) = self.sh.finish_request(req) else {
             panic!("request {req:?} resolved twice");
         };
         debug_assert_eq!(cell, self.me, "reject from the wrong node");
+        // The liveness contract bounds *resolution*, not just grants: a
+        // reject that took longer than the watchdog is as much a wedged
+        // request as a slow grant.
+        if let Some(bound) = self.sh.cfg.watchdog_ticks {
+            if latency > bound {
+                self.sh.violation(Violation::Watchdog {
+                    cell,
+                    latency,
+                    bound,
+                });
+            }
+        }
         let call_rec = &mut self.sh.calls[call as usize];
         if call_rec.state == CallState::Waiting(req) {
             call_rec.state = CallState::Done;
             self.sh.report.per_cell_drops[cell.index()] += 1;
+            self.sh.count_drop_cause(cause);
             match kind {
                 RequestKind::NewCall => self.sh.report.dropped_new += 1,
                 RequestKind::Handoff => self.sh.report.dropped_handoff += 1,
@@ -498,8 +594,15 @@ impl<P: Protocol> Engine<P> {
         // Every arrival and hop is pushed up front (mostly landing in the
         // queue's far-future overflow) and later becomes one request.
         let total_hops: usize = arrivals.iter().map(|a| a.hops.len()).sum();
+        let faults_on = cfg.faults.is_active();
+        if faults_on {
+            cfg.faults.validate();
+        }
         let mut sh = Shared {
             rng: SplitMix64::new(cfg.seed),
+            fault_rng: SplitMix64::new(cfg.faults.seed),
+            faults_on,
+            down: vec![false; n],
             link_horizon: LinkHorizons::new(&topo),
             topo: topo.clone(),
             cfg,
@@ -515,6 +618,17 @@ impl<P: Protocol> Engine<P> {
             custom_samples: SlotSamples::default(),
             report,
         };
+        // Crash windows are scheduled before arrivals so that, at a tied
+        // tick, the crash takes effect first (push order is the same-tick
+        // tie-break; see `equeue`).
+        if faults_on {
+            let crashes = sh.cfg.faults.crashes.clone();
+            for c in &crashes {
+                assert!(c.cell.index() < n, "{}: crash outside topology", c.cell);
+                sh.push(SimTime(c.at), Ev::CrashDown { node: c.cell });
+                sh.push(SimTime(c.at + c.down_for), Ev::CrashUp { node: c.cell });
+            }
+        }
         for arr in arrivals {
             let call = sh.calls.len() as u32;
             let at = SimTime(arr.at);
@@ -577,6 +691,11 @@ impl<P: Protocol> Engine<P> {
             self.sh.now = entry.at;
             match entry.item {
                 Ev::Deliver { from, to, msg, .. } => {
+                    if self.sh.down[to.index()] {
+                        // A down cell receives nothing.
+                        self.sh.report.messages_crash_dropped += 1;
+                        continue;
+                    }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: to,
@@ -589,6 +708,11 @@ impl<P: Protocol> Engine<P> {
                     self.sh.report.offered_calls += 1;
                     self.sh.report.per_cell_arrivals[cell.index()] += 1;
                     let req = self.sh.issue_request(call, cell, RequestKind::NewCall);
+                    if self.sh.down[cell.index()] {
+                        // The serving MSS is crashed: the call is lost.
+                        self.sh.force_reject(req, DropCause::Crashed);
+                        continue;
+                    }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: cell,
@@ -640,6 +764,12 @@ impl<P: Protocol> Engine<P> {
                             let mut ctx = Ctx::new(&mut backend);
                             self.nodes[old.index()].on_release(ch, &mut ctx);
                             let req = self.sh.issue_request(call, target, RequestKind::Handoff);
+                            if self.sh.down[target.index()] {
+                                // Handoff into a crashed cell: the call is
+                                // forcibly terminated.
+                                self.sh.force_reject(req, DropCause::Crashed);
+                                continue;
+                            }
                             let mut backend = DesCtx {
                                 sh: &mut self.sh,
                                 me: target,
@@ -657,6 +787,12 @@ impl<P: Protocol> Engine<P> {
                     }
                 }
                 Ev::Timer { node, tag } => {
+                    if self.sh.down[node.index()] {
+                        // Timers die with the cell; restart re-arms what
+                        // it needs via `on_restart`.
+                        self.sh.custom.incr("crash_dropped_timers");
+                        continue;
+                    }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: node,
@@ -665,12 +801,56 @@ impl<P: Protocol> Engine<P> {
                     self.nodes[node.index()].on_timer(tag, &mut ctx);
                 }
                 Ev::AutoRelease { node, ch } => {
+                    if self.sh.down[node.index()] {
+                        // The node's bookkeeping is wiped on restart
+                        // anyway; nothing to free.
+                        continue;
+                    }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: node,
                     };
                     let mut ctx = Ctx::new(&mut backend);
                     self.nodes[node.index()].on_release(ch, &mut ctx);
+                }
+                Ev::CrashDown { node } => {
+                    if self.sh.down[node.index()] {
+                        continue; // overlapping windows: already down
+                    }
+                    self.sh.down[node.index()] = true;
+                    self.sh.report.crashes += 1;
+                    // Kill the cell's active calls (their channels go
+                    // silent with the transmitter) and force-reject its
+                    // in-flight requests.
+                    for idx in 0..self.sh.calls.len() {
+                        if self.sh.calls[idx].cell != node {
+                            continue;
+                        }
+                        match self.sh.calls[idx].state {
+                            CallState::Active(ch) => {
+                                self.sh.calls[idx].state = CallState::Done;
+                                self.sh.usage[node.index()].remove(ch);
+                                self.sh.custom.incr("crash_killed_calls");
+                            }
+                            CallState::Waiting(req) => {
+                                self.sh.force_reject(req, DropCause::Crashed);
+                            }
+                            CallState::Done => {}
+                        }
+                    }
+                }
+                Ev::CrashUp { node } => {
+                    if !self.sh.down[node.index()] {
+                        continue;
+                    }
+                    self.sh.down[node.index()] = false;
+                    self.sh.report.restarts += 1;
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: node,
+                    };
+                    let mut ctx = Ctx::new(&mut backend);
+                    self.nodes[node.index()].on_restart(&mut ctx);
                 }
             }
         }

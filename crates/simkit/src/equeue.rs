@@ -25,6 +25,19 @@
 //! `SimReport` is bit-identical to the `BinaryHeap` engine's. A property
 //! test (`tests/equeue_props.rs`) pins this against a reference heap for
 //! random push/pop interleavings.
+//!
+//! # Same-tick tie-break across event classes
+//!
+//! *All* engine event classes — message deliveries, protocol timers
+//! (`Ev::Timer`), arrivals, call ends, crash events — share this one
+//! queue and one `seq` counter, so the `(time, seq)` order is also the
+//! contract between classes: a timer and a message delivery scheduled
+//! for the same tick fire in the order they were *scheduled* (`set_timer`
+//! vs. `send_kind` call order), not in any class-priority order. The
+//! timeout/retry hardening leans on this: a response arriving at exactly
+//! its deadline tick beats the timeout iff its delivery was scheduled
+//! before the timer was armed. The property test exercises mixed
+//! same-tick entries to pin the rule.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;

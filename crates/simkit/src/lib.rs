@@ -31,6 +31,7 @@
 pub mod backend;
 pub mod engine;
 pub mod equeue;
+pub mod faults;
 pub mod latency;
 pub mod protocol;
 pub mod report;
@@ -41,8 +42,9 @@ pub mod workload;
 
 pub use backend::{Ctx, CtxBackend};
 pub use engine::{Engine, SimConfig};
+pub use faults::{Crash, FaultPlan};
 pub use latency::LatencyModel;
 pub use protocol::{Protocol, RequestId, RequestKind};
-pub use report::{AuditMode, SimReport, Violation};
+pub use report::{AuditMode, DropCause, SimReport, Violation};
 pub use time::SimTime;
 pub use workload::Arrival;

@@ -61,4 +61,15 @@ pub trait Protocol {
 
     /// A timer set through `ctx.set_timer` fired.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// The cell restarted after a crash window (fault injection): all
+    /// volatile protocol state must be re-initialized. While the cell was
+    /// down its active calls were killed and its in-flight requests
+    /// force-rejected by the engine, so `Use_i` should come back empty;
+    /// logical clocks may be treated as persisted (stable storage) —
+    /// resetting a Lamport clock to zero would let a restarted node issue
+    /// timestamps older than pre-crash requests still in flight and break
+    /// timestamp-ordered mutual exclusion. The default does nothing,
+    /// which is only correct for stateless protocols.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }

@@ -94,6 +94,20 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// Why a request was rejected (the drop-cause split behind the
+/// `drops_*` counters of [`SimReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// No channel was available (the classic blocking drop).
+    Blocked,
+    /// The protocol gave up after exhausting its timeout/retry budget
+    /// (only possible when retry hardening is enabled).
+    RetryExhausted,
+    /// The serving cell was crashed (fault injection), or the request
+    /// was force-rejected when its cell went down.
+    Crashed,
+}
+
 /// One traced message (when tracing is enabled).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgTrace {
@@ -138,6 +152,24 @@ pub struct SimReport {
     pub per_cell_arrivals: Vec<u64>,
     /// Drops (new + handoff) per cell.
     pub per_cell_drops: Vec<u64>,
+    /// Drops because no channel was available ([`DropCause::Blocked`]).
+    pub drops_blocked: u64,
+    /// Drops after the protocol exhausted its retries
+    /// ([`DropCause::RetryExhausted`]).
+    pub drops_retry_exhausted: u64,
+    /// Drops because the serving cell was down ([`DropCause::Crashed`]).
+    pub drops_crashed: u64,
+    /// Messages lost to fault injection (counted in `messages_total`).
+    pub messages_lost: u64,
+    /// Extra deliveries created by fault-injected duplication (not
+    /// counted in `messages_total`, which counts *sends*).
+    pub messages_duplicated: u64,
+    /// Deliveries dropped because the receiving cell was down.
+    pub messages_crash_dropped: u64,
+    /// Cells taken down by the crash schedule.
+    pub crashes: u64,
+    /// Cells restarted after a crash window.
+    pub restarts: u64,
     /// Grants per cell.
     pub per_cell_grants: Vec<u64>,
     /// Protocol-specific counters (`ctx.count`).

@@ -7,6 +7,7 @@
 
 use crate::backend::CtxBackend;
 use crate::protocol::RequestId;
+use crate::report::DropCause;
 use crate::time::SimTime;
 use adca_hexgrid::{CellId, Channel, Topology};
 
@@ -29,10 +30,12 @@ pub enum Action<M> {
         /// The granted channel.
         ch: Channel,
     },
-    /// `reject(req)`.
+    /// `reject(req, cause)`.
     Reject {
         /// The request resolved.
         req: RequestId,
+        /// The attributed drop cause.
+        cause: DropCause,
     },
     /// `set_timer(delay, tag)`.
     Timer {
@@ -124,8 +127,8 @@ impl<M> CtxBackend<M> for MockNet<M> {
         self.actions.push(Action::Grant { req, ch });
     }
 
-    fn reject(&mut self, req: RequestId) {
-        self.actions.push(Action::Reject { req });
+    fn reject(&mut self, req: RequestId, cause: DropCause) {
+        self.actions.push(Action::Reject { req, cause });
     }
 
     fn set_timer(&mut self, delay: u64, tag: u64) {

@@ -91,4 +91,34 @@ proptest! {
         }
         prop_assert!(q.is_empty());
     }
+
+    /// Same-tick entries of *mixed kinds* pop in scheduling order.
+    /// The engine pushes `Ev::Deliver` and `Ev::Timer` into this one
+    /// queue, so this is the executable form of the documented rule
+    /// (see `equeue.rs` and `CtxBackend::set_timer`): a timer and a
+    /// message landing on the same tick fire in the order they were
+    /// scheduled — neither class gets priority.
+    #[test]
+    fn same_tick_mixed_kinds_pop_in_scheduling_order(
+        kinds in proptest::collection::vec(0u8..2, 1..64),
+        at in 0u64..1_000_000,
+    ) {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Kind { Deliver(usize), Timer(usize) }
+        let mut q: EventQueue<Kind> = EventQueue::new();
+        let scheduled: Vec<Kind> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &is_timer)| if is_timer == 1 { Kind::Timer(i) } else { Kind::Deliver(i) })
+            .collect();
+        for &k in &scheduled {
+            q.push(SimTime(at), k);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            prop_assert_eq!(e.at, SimTime(at));
+            popped.push(e.item);
+        }
+        prop_assert_eq!(popped, scheduled, "same-tick pops must preserve push order");
+    }
 }

@@ -20,15 +20,21 @@
 //!
 //! Scope: new-call traffic only (no mobility), immediate message
 //! delivery (FIFO per link by channel order), wall-clock time scaled by
-//! [`ThreadNetConfig::ns_per_tick`]. Timers are unsupported (no protocol
-//! in this workspace uses them).
+//! [`ThreadNetConfig::ns_per_tick`]. Protocol timers are supported:
+//! `set_timer` spawns a sleeper thread that posts a `Timer` event back to
+//! the owning node after the scaled delay. Optional fault injection:
+//! [`ThreadNetConfig::drop_prob`] drops each sent message independently
+//! at the sender (deterministic per-node RNG stream, but the
+//! interleaving stays nondeterministic), exercising the protocols'
+//! timeout/retry hardening under real threads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
 use adca_metrics::CounterMap;
-use adca_simkit::{Ctx, CtxBackend, Protocol, RequestId, RequestKind, SimTime};
+use adca_simkit::rng::SplitMix64;
+use adca_simkit::{Ctx, CtxBackend, DropCause, Protocol, RequestId, RequestKind, SimTime};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
@@ -42,6 +48,14 @@ pub struct ThreadNetConfig {
     pub ns_per_tick: u64,
     /// Give up and report a liveness violation after this much wall time.
     pub deadline: Duration,
+    /// Per-message loss probability in `[0, 1)`, applied independently
+    /// at the sender (default 0.0 = lossless). Non-zero values require
+    /// protocols with timeout/retry hardening, or the liveness deadline
+    /// will trip.
+    pub drop_prob: f64,
+    /// Seed for the per-node loss RNG streams (node `i` uses
+    /// `fault_seed ^ i`).
+    pub fault_seed: u64,
 }
 
 impl Default for ThreadNetConfig {
@@ -49,6 +63,8 @@ impl Default for ThreadNetConfig {
         ThreadNetConfig {
             ns_per_tick: 500,
             deadline: Duration::from_secs(20),
+            drop_prob: 0.0,
+            fault_seed: 0xFA_0175,
         }
     }
 }
@@ -84,6 +100,8 @@ pub struct ThreadReport {
     pub completed: u64,
     /// Total control messages sent.
     pub messages_total: u64,
+    /// Messages dropped by fault injection (`drop_prob`).
+    pub messages_lost: u64,
     /// Message counts by protocol label.
     pub msg_kinds: CounterMap,
     /// Protocol-specific counters, merged across nodes.
@@ -107,6 +125,7 @@ enum NodeEvent<M> {
     Acquire(RequestId, RequestKind),
     Release(Channel),
     Msg(CellId, M),
+    Timer(u64),
     Stop,
 }
 
@@ -138,9 +157,12 @@ struct ThreadBackend<M> {
     counters: CounterMap,
     msg_kinds: CounterMap,
     messages: u64,
+    drop_prob: f64,
+    fault_rng: SplitMix64,
+    lost: u64,
 }
 
-impl<M> CtxBackend<M> for ThreadBackend<M> {
+impl<M: Send + 'static> CtxBackend<M> for ThreadBackend<M> {
     fn me(&self) -> CellId {
         self.me
     }
@@ -156,6 +178,12 @@ impl<M> CtxBackend<M> for ThreadBackend<M> {
     fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
         self.messages += 1;
         self.msg_kinds.incr(kind);
+        // Fault injection: lose the message at the sender (it still
+        // counts as sent, mirroring the deterministic engine).
+        if self.drop_prob > 0.0 && self.fault_rng.next_f64() < self.drop_prob {
+            self.lost += 1;
+            return;
+        }
         // A closed peer means the run is shutting down; drop silently.
         let _ = self.peers[to.index()].send(NodeEvent::Msg(self.me, msg));
     }
@@ -188,12 +216,27 @@ impl<M> CtxBackend<M> for ThreadBackend<M> {
         });
     }
 
-    fn reject(&mut self, req: RequestId) {
+    fn reject(&mut self, req: RequestId, cause: DropCause) {
+        self.counters.incr(match cause {
+            DropCause::Blocked => "drops_blocked",
+            DropCause::RetryExhausted => "drops_retry_exhausted",
+            DropCause::Crashed => "drops_crashed",
+        });
         let _ = self.coord.send(CoordMsg::Rejected { req });
     }
 
-    fn set_timer(&mut self, _delay: u64, _tag: u64) {
-        unimplemented!("threadnet does not support protocol timers");
+    fn set_timer(&mut self, delay: u64, tag: u64) {
+        // A sleeper thread per timer: wasteful for production, fine for a
+        // validation driver. Stale firings are the protocol's problem
+        // (every workspace protocol tags timers with an epoch and
+        // ignores mismatches), and a send after shutdown is a silent
+        // no-op on the closed channel.
+        let tx = self.peers[self.me.index()].clone();
+        let dur = Duration::from_nanos(delay.saturating_mul(self.ns_per_tick));
+        std::thread::spawn(move || {
+            std::thread::sleep(dur);
+            let _ = tx.send(NodeEvent::Timer(tag));
+        });
     }
 
     fn count(&mut self, name: &'static str) {
@@ -286,6 +329,9 @@ where
             counters: CounterMap::new(),
             msg_kinds: CounterMap::new(),
             messages: 0,
+            drop_prob: cfg.drop_prob,
+            fault_rng: SplitMix64::new(cfg.fault_seed ^ idx as u64),
+            lost: 0,
         };
         handles.push(std::thread::spawn(move || {
             {
@@ -298,10 +344,16 @@ where
                     NodeEvent::Acquire(req, kind) => node.on_acquire(req, kind, &mut ctx),
                     NodeEvent::Release(ch) => node.on_release(ch, &mut ctx),
                     NodeEvent::Msg(from, msg) => node.on_message(from, msg, &mut ctx),
+                    NodeEvent::Timer(tag) => node.on_timer(tag, &mut ctx),
                     NodeEvent::Stop => break,
                 }
             }
-            (backend.counters, backend.msg_kinds, backend.messages)
+            (
+                backend.counters,
+                backend.msg_kinds,
+                backend.messages,
+                backend.lost,
+            )
         }));
     }
     drop(coord_tx);
@@ -391,10 +443,11 @@ where
         let _ = tx.send(NodeEvent::Stop);
     }
     for h in handles {
-        if let Ok((counters, kinds, msgs)) = h.join() {
+        if let Ok((counters, kinds, msgs, lost)) = h.join() {
             report.custom.merge(&counters);
             report.msg_kinds.merge(&kinds);
             report.messages_total += msgs;
+            report.messages_lost += lost;
         }
     }
     report
@@ -425,6 +478,7 @@ mod tests {
         ThreadNetConfig {
             ns_per_tick: 500,
             deadline: Duration::from_secs(30),
+            ..Default::default()
         }
     }
 
@@ -465,6 +519,51 @@ mod tests {
         let report = run_threaded(t, cfg(), BasicSearchNode::new, burst(6, 30_000));
         report.assert_clean();
         assert_eq!(report.granted + report.rejected, 150);
+    }
+
+    #[test]
+    fn adaptive_survives_message_loss_with_retries() {
+        // 5% of all control messages vanish; the hardened protocol must
+        // still resolve every request (liveness) without a single
+        // interference violation (Theorem 1 audit stays on).
+        let t = topo();
+        let ac = AdaptiveConfig {
+            retry_ticks: Some(2_000),
+            ..Default::default()
+        };
+        let report = run_threaded(
+            t,
+            ThreadNetConfig {
+                drop_prob: 0.05,
+                ..cfg()
+            },
+            move |c, topo| AdaptiveNode::new(c, topo, ac.clone()),
+            burst(12, 40_000),
+        );
+        report.assert_clean();
+        assert_eq!(report.granted + report.rejected, 300);
+        assert!(report.messages_lost > 0, "5% loss must actually drop");
+    }
+
+    #[test]
+    fn basic_search_survives_message_loss_with_retries() {
+        let t = topo();
+        let bc = adca_baselines::BasicSearchConfig {
+            retry_ticks: Some(2_000),
+            max_retries: 8,
+        };
+        let report = run_threaded(
+            t,
+            ThreadNetConfig {
+                drop_prob: 0.05,
+                ..cfg()
+            },
+            move |c, topo| BasicSearchNode::with_config(c, topo, bc.clone()),
+            burst(4, 20_000),
+        );
+        report.assert_clean();
+        assert_eq!(report.granted + report.rejected, 100);
+        assert!(report.messages_lost > 0);
     }
 
     #[test]
