@@ -1,0 +1,182 @@
+//! Tolerance-banded runtime auditing of the Section 5 closed forms.
+//!
+//! The experiment binaries *print* measured-vs-predicted comparisons; this
+//! module turns that comparison into a machine-checkable verdict so a run
+//! (or CI smoke job) can fail loudly when measurement drifts away from the
+//! paper's Table 1 formulas. Each [`AuditCheck`] records one measured
+//! quantity, the model's prediction, and a relative tolerance band; an
+//! [`Audit`] collects the checks and can panic with a readable report
+//! ([`Audit::assert_pass`]) for CI use.
+//!
+//! Bands are relative with an absolute floor: a check passes when
+//! `|measured − predicted| ≤ tol · max(|predicted|, floor)`. The floor
+//! keeps near-zero predictions (e.g. the adaptive scheme's low-load
+//! message cost of exactly 0) from demanding exact equality of a noisy
+//! measurement.
+
+/// One measured-vs-predicted comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditCheck {
+    /// Human-readable label, e.g. `"adaptive msgs/acq"`.
+    pub label: String,
+    /// The quantity measured from simulation.
+    pub measured: f64,
+    /// The closed-form prediction it is checked against.
+    pub predicted: f64,
+    /// Relative tolerance (e.g. `0.25` = ±25 %).
+    pub tolerance: f64,
+    /// Absolute floor for the band (see module docs).
+    pub floor: f64,
+}
+
+impl AuditCheck {
+    /// Half-width of the acceptance band in absolute units.
+    pub fn band(&self) -> f64 {
+        self.tolerance * self.predicted.abs().max(self.floor)
+    }
+
+    /// Whether the measurement falls inside the band.
+    pub fn pass(&self) -> bool {
+        (self.measured - self.predicted).abs() <= self.band()
+    }
+
+    /// `measured / predicted`, or `None` when the prediction is ~0.
+    pub fn ratio(&self) -> Option<f64> {
+        (self.predicted.abs() > 1e-12).then(|| self.measured / self.predicted)
+    }
+}
+
+impl std::fmt::Display for AuditCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: measured {:.3} vs predicted {:.3} (±{:.3}) — {}",
+            self.label,
+            self.measured,
+            self.predicted,
+            self.band(),
+            if self.pass() { "ok" } else { "OUT OF BAND" }
+        )
+    }
+}
+
+/// A collection of [`AuditCheck`]s with a single pass/fail verdict.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Audit {
+    checks: Vec<AuditCheck>,
+}
+
+impl Audit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        Audit::default()
+    }
+
+    /// Adds a check with the default absolute floor of `1.0` (one
+    /// message / one latency unit), returning whether it passed.
+    pub fn check(
+        &mut self,
+        label: impl Into<String>,
+        measured: f64,
+        predicted: f64,
+        tolerance: f64,
+    ) -> bool {
+        self.check_with_floor(label, measured, predicted, tolerance, 1.0)
+    }
+
+    /// Adds a check with an explicit absolute floor.
+    pub fn check_with_floor(
+        &mut self,
+        label: impl Into<String>,
+        measured: f64,
+        predicted: f64,
+        tolerance: f64,
+        floor: f64,
+    ) -> bool {
+        let c = AuditCheck {
+            label: label.into(),
+            measured,
+            predicted,
+            tolerance,
+            floor,
+        };
+        let ok = c.pass();
+        self.checks.push(c);
+        ok
+    }
+
+    /// All recorded checks.
+    pub fn checks(&self) -> &[AuditCheck] {
+        &self.checks
+    }
+
+    /// The checks that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &AuditCheck> {
+        self.checks.iter().filter(|c| !c.pass())
+    }
+
+    /// Whether every check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass())
+    }
+
+    /// Panics with a readable report if any check failed (CI mode).
+    pub fn assert_pass(&self) {
+        let failures: Vec<String> = self.failures().map(|c| c.to_string()).collect();
+        assert!(
+            failures.is_empty(),
+            "analytic audit failed:\n  {}",
+            failures.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_band_passes() {
+        let mut a = Audit::new();
+        assert!(a.check("msgs", 10.5, 10.0, 0.1));
+        assert!(a.all_pass());
+        a.assert_pass();
+    }
+
+    #[test]
+    fn out_of_band_fails() {
+        let mut a = Audit::new();
+        assert!(!a.check("msgs", 13.0, 10.0, 0.1));
+        assert!(!a.all_pass());
+        assert_eq!(a.failures().count(), 1);
+    }
+
+    #[test]
+    fn zero_prediction_uses_floor() {
+        let mut a = Audit::new();
+        // predicted 0 with floor 1.0 and tol 0.5 ⇒ band ±0.5.
+        assert!(a.check("low-load msgs", 0.3, 0.0, 0.5));
+        assert!(!a.check("low-load msgs 2", 0.8, 0.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "analytic audit failed")]
+    fn assert_pass_panics() {
+        let mut a = Audit::new();
+        a.check("bad", 100.0, 1.0, 0.01);
+        a.assert_pass();
+    }
+
+    #[test]
+    fn ratio_and_display() {
+        let c = AuditCheck {
+            label: "x".into(),
+            measured: 12.0,
+            predicted: 10.0,
+            tolerance: 0.25,
+            floor: 1.0,
+        };
+        assert!((c.ratio().unwrap() - 1.2).abs() < 1e-12);
+        assert!(c.to_string().contains("ok"));
+    }
+}

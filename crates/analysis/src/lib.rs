@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod erlang;
 pub mod model;
 
+pub use audit::{Audit, AuditCheck};
 pub use erlang::erlang_b;
 pub use model::{Bounds, ModelInputs, SchemeModel};

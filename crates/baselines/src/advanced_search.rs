@@ -22,6 +22,7 @@
 
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -110,7 +111,11 @@ struct Search {
 /// A mobile service station running advanced search.
 #[derive(Debug, Clone)]
 pub struct AdvancedSearchNode {
+    me: CellId,
     spectrum: Spectrum,
+    /// The initial (reuse-pattern) allotment — channels outside it are
+    /// flagged as borrowed in trace events.
+    initial: ChannelSet,
     region: Vec<CellId>,
     /// Channels this cell owns.
     allocated: ChannelSet,
@@ -130,7 +135,9 @@ impl AdvancedSearchNode {
     /// pattern's primary set.
     pub fn new(cell: CellId, topo: &Topology) -> Self {
         AdvancedSearchNode {
+            me: cell,
             spectrum: topo.spectrum(),
+            initial: topo.primary(cell).clone(),
             region: topo.region(cell).to_vec(),
             allocated: topo.primary(cell).clone(),
             used: topo.spectrum().empty_set(),
@@ -177,6 +184,14 @@ impl AdvancedSearchNode {
             self.used.insert(ch);
             ctx.count("acq_local");
             ctx.sample("attempt_ticks", 0.0);
+            let me = self.me;
+            let borrowed = !self.initial.contains(ch);
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch: Some(ch),
+                via: AcqPath::Local,
+                borrowed,
+            });
             ctx.grant(req, ch);
             self.call_q.pop();
             self.try_start_next(ctx);
@@ -186,6 +201,11 @@ impl AdvancedSearchNode {
         let ts = self.clock.tick();
         let remaining: BTreeSet<CellId> = self.region.iter().copied().collect();
         ctx.count("searches_started");
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::RoundStart {
+            cell: me,
+            kind: RoundKind::Search,
+        });
         self.search = Some(Search {
             req,
             ts,
@@ -279,6 +299,16 @@ impl AdvancedSearchNode {
             return;
         };
         ctx.count("transfer_attempts");
+        // One representative borrow-attempt event per transfer group
+        // (multi-owner groups name the first owner as the lender).
+        let me = self.me;
+        let lender = owners[0];
+        ctx.trace_with(|| TraceEvent::BorrowAttempt {
+            cell: me,
+            lender,
+            ch,
+            attempt: 1,
+        });
         for &owner in &owners {
             self.send(ctx, owner, AdvancedSearchMsg::Transfer { ch });
         }
@@ -397,12 +427,26 @@ impl AdvancedSearchNode {
                 ctx.now().saturating_since(search.started) as f64,
             );
         }
+        let me = self.me;
+        {
+            let borrowed = ch.map(|r| !self.initial.contains(r)).unwrap_or(false);
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch,
+                via: AcqPath::Search,
+                borrowed,
+            });
+        }
         match ch {
             Some(ch) => ctx.grant(req, ch),
             None => {
                 ctx.count("acq_failed");
                 ctx.reject(req);
             }
+        }
+        let drained = self.deferred.len() as u32;
+        if drained > 0 {
+            ctx.trace_with(|| TraceEvent::DeferDrain { cell: me, drained });
         }
         while let Some(j) = self.deferred.pop_front() {
             let msg = self.response_msg();
@@ -432,11 +476,18 @@ impl Protocol for AdvancedSearchNode {
         self.try_start_next(ctx);
     }
 
-    fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
         // Silent: the channel stays allocated here (the scheme's load
         // adaptation — and the hoarding Section 6 criticizes).
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
+        let me = self.me;
+        let borrowed = !self.initial.contains(ch);
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed,
+        });
     }
 
     fn on_message(&mut self, from: CellId, msg: AdvancedSearchMsg, ctx: &mut Ctx<'_, Self::Msg>) {
@@ -447,6 +498,12 @@ impl Protocol for AdvancedSearchNode {
                 if defer {
                     ctx.count("deferred_search_reqs");
                     self.deferred.push_back(from);
+                    let me = self.me;
+                    ctx.trace_with(|| TraceEvent::Defer {
+                        cell: me,
+                        requester: from,
+                        kind: RoundKind::Search,
+                    });
                 } else {
                     let msg = self.response_msg();
                     self.send(ctx, from, msg);

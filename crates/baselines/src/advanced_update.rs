@@ -31,6 +31,7 @@
 
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -87,6 +88,7 @@ struct Attempt {
 /// A mobile service station running advanced update.
 #[derive(Debug, Clone)]
 pub struct AdvancedUpdateNode {
+    me: CellId,
     spectrum: Spectrum,
     region: Vec<CellId>,
     /// `PR_i`.
@@ -117,6 +119,7 @@ impl AdvancedUpdateNode {
         let pr_of: Vec<ChannelSet> = region.iter().map(|&j| topo.primary(j).clone()).collect();
         let borrowable = Self::compute_borrowable(cell, topo);
         AdvancedUpdateNode {
+            me: cell,
             spectrum: topo.spectrum(),
             primary: topo.primary(cell).clone(),
             pr_of,
@@ -212,6 +215,13 @@ impl AdvancedUpdateNode {
             self.used.insert(ch);
             ctx.count("acq_local");
             ctx.sample("attempt_ticks", 0.0);
+            let me = self.me;
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch: Some(ch),
+                via: AcqPath::Local,
+                borrowed: false,
+            });
             for idx in 0..self.region.len() {
                 let j = self.region[idx];
                 self.send(ctx, j, AdvancedUpdateMsg::Acquisition { ch });
@@ -242,6 +252,21 @@ impl AdvancedUpdateNode {
             return;
         };
         let ts = self.clock.tick();
+        let me = self.me;
+        let lender = owners[0];
+        let attempt_no = attempts_so_far + 1;
+        ctx.trace_with(|| TraceEvent::RoundStart {
+            cell: me,
+            kind: RoundKind::Update,
+        });
+        // One representative borrow-attempt event per round (multi-owner
+        // channels name the first primary owner as the lender).
+        ctx.trace_with(|| TraceEvent::BorrowAttempt {
+            cell: me,
+            lender,
+            ch,
+            attempt: attempt_no,
+        });
         for &p in &owners {
             self.send(ctx, p, AdvancedUpdateMsg::Request { ch, ts });
         }
@@ -263,6 +288,13 @@ impl AdvancedUpdateNode {
             ctx.sample("attempt_ticks", ctx.now().saturating_since(started) as f64);
         }
         ctx.count("acq_failed");
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::Acquired {
+            cell: me,
+            ch: None,
+            via: AcqPath::Update,
+            borrowed: false,
+        });
         ctx.reject(req);
         self.try_start_next(ctx);
     }
@@ -273,6 +305,14 @@ impl AdvancedUpdateNode {
             self.used.insert(a.ch);
             ctx.count("acq_update");
             ctx.sample("update_attempts", a.attempts_so_far as f64);
+            let me = self.me;
+            let ch = a.ch;
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch: Some(ch),
+                via: AcqPath::Update,
+                borrowed: true,
+            });
             if let Some(started) = self.serving_since.take() {
                 ctx.sample("attempt_ticks", ctx.now().saturating_since(started) as f64);
             }
@@ -317,6 +357,13 @@ impl Protocol for AdvancedUpdateNode {
     fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
+        let me = self.me;
+        let borrowed = !self.primary.contains(ch);
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed,
+        });
         for idx in 0..self.region.len() {
             let j = self.region[idx];
             self.send(ctx, j, AdvancedUpdateMsg::Release { ch });

@@ -16,6 +16,7 @@
 
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
@@ -91,8 +92,13 @@ struct Search {
 /// A mobile service station running basic search.
 #[derive(Debug, Clone)]
 pub struct BasicSearchNode {
+    me: CellId,
     cfg: BasicSearchConfig,
     spectrum: Spectrum,
+    /// The cell's nominal primary allotment — unused by the scheme's
+    /// logic, kept so trace events can flag borrowed (non-primary)
+    /// channels.
+    primary: ChannelSet,
     region: Vec<CellId>,
     used: ChannelSet,
     clock: LamportClock,
@@ -116,8 +122,10 @@ impl BasicSearchNode {
     /// Creates the node for `cell` with explicit hardening knobs.
     pub fn with_config(cell: CellId, topo: &Topology, cfg: BasicSearchConfig) -> Self {
         BasicSearchNode {
+            me: cell,
             cfg,
             spectrum: topo.spectrum(),
+            primary: topo.primary(cell).clone(),
             region: topo.region(cell).to_vec(),
             used: topo.spectrum().empty_set(),
             clock: LamportClock::new(cell),
@@ -182,6 +190,11 @@ impl BasicSearchNode {
             seen_used: self.spectrum.empty_set(),
             retries: 0,
         });
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::RoundStart {
+            cell: me,
+            kind: RoundKind::Search,
+        });
         self.arm(ctx);
     }
 
@@ -193,14 +206,28 @@ impl BasicSearchNode {
             ctx.now().saturating_since(search.started) as f64,
         );
         let free = self.used.union(&search.seen_used).complement();
+        let me = self.me;
         match free.first() {
             Some(ch) => {
                 self.used.insert(ch);
                 ctx.count("acq_search");
+                let borrowed = !self.primary.contains(ch);
+                ctx.trace_with(|| TraceEvent::Acquired {
+                    cell: me,
+                    ch: Some(ch),
+                    via: AcqPath::Search,
+                    borrowed,
+                });
                 ctx.grant(search.req, ch);
             }
             None => {
                 ctx.count("acq_failed");
+                ctx.trace_with(|| TraceEvent::Acquired {
+                    cell: me,
+                    ch: None,
+                    via: AcqPath::Search,
+                    borrowed: false,
+                });
                 ctx.reject(search.req);
             }
         }
@@ -224,6 +251,11 @@ impl BasicSearchNode {
     /// Answers deferred requesters (with the post-acquisition Use set,
     /// which is what makes the deferral safe) and starts the next call.
     fn finish_and_drain(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+        let drained = self.deferred.len() as u32;
+        if drained > 0 {
+            let me = self.me;
+            ctx.trace_with(|| TraceEvent::DeferDrain { cell: me, drained });
+        }
         while let Some((j, ts)) = self.deferred.pop_front() {
             self.send(
                 ctx,
@@ -255,9 +287,16 @@ impl Protocol for BasicSearchNode {
         self.try_start_next(ctx);
     }
 
-    fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
+        let me = self.me;
+        let borrowed = !self.primary.contains(ch);
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed,
+        });
     }
 
     fn on_message(&mut self, from: CellId, msg: BasicSearchMsg, ctx: &mut Ctx<'_, Self::Msg>) {
@@ -275,6 +314,12 @@ impl Protocol for BasicSearchNode {
                     } else {
                         ctx.count("deferred_search_reqs");
                         self.deferred.push_back((from, ts));
+                        let me = self.me;
+                        ctx.trace_with(|| TraceEvent::Defer {
+                            cell: me,
+                            requester: from,
+                            kind: RoundKind::Search,
+                        });
                     }
                     if self.cfg.retry_ticks.is_some() {
                         self.send(ctx, from, BasicSearchMsg::Busy { ts });

@@ -15,6 +15,7 @@
 
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
 use std::collections::BTreeSet;
 
@@ -107,8 +108,12 @@ struct Attempt {
 /// A mobile service station running basic update.
 #[derive(Debug, Clone)]
 pub struct BasicUpdateNode {
+    me: CellId,
     cfg: BasicUpdateConfig,
     spectrum: Spectrum,
+    /// Nominal primary allotment — unused by the scheme's logic, kept so
+    /// trace events can flag borrowed (non-primary) channels.
+    primary: ChannelSet,
     region: Vec<CellId>,
     used: ChannelSet,
     view: NeighborView,
@@ -127,8 +132,10 @@ impl BasicUpdateNode {
     pub fn new(cell: CellId, topo: &Topology, cfg: BasicUpdateConfig) -> Self {
         let region = topo.region(cell).to_vec();
         BasicUpdateNode {
+            me: cell,
             cfg,
             spectrum: topo.spectrum(),
+            primary: topo.primary(cell).clone(),
             used: topo.spectrum().empty_set(),
             view: NeighborView::new(topo.spectrum(), &region),
             clock: LamportClock::new(cell),
@@ -207,6 +214,11 @@ impl BasicUpdateNode {
             attempts_so_far: attempts_so_far + 1,
             retries: 0,
         });
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::RoundStart {
+            cell: me,
+            kind: RoundKind::Update,
+        });
         self.arm(ctx);
     }
 
@@ -223,6 +235,16 @@ impl BasicUpdateNode {
         self.armed = None;
         if let Some(started) = self.serving_since.take() {
             ctx.sample("attempt_ticks", ctx.now().saturating_since(started) as f64);
+        }
+        let me = self.me;
+        {
+            let borrowed = ch.map(|r| !self.primary.contains(r)).unwrap_or(false);
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch,
+                via: AcqPath::Update,
+                borrowed,
+            });
         }
         match ch {
             Some(ch) => {
@@ -312,6 +334,13 @@ impl Protocol for BasicUpdateNode {
     fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
+        let me = self.me;
+        let borrowed = !self.primary.contains(ch);
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed,
+        });
         for idx in 0..self.region.len() {
             let j = self.region[idx];
             self.send(ctx, j, BasicUpdateMsg::Release { ch });

@@ -8,11 +8,13 @@
 //! region".
 
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
+use adca_simkit::trace::{AcqPath, TraceEvent};
 use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
 
 /// A mobile service station running fixed allocation.
 #[derive(Debug, Clone)]
 pub struct FixedNode {
+    me: CellId,
     primary: ChannelSet,
     used: ChannelSet,
 }
@@ -21,6 +23,7 @@ impl FixedNode {
     /// Creates the node for `cell`.
     pub fn new(cell: CellId, topo: &Topology) -> Self {
         FixedNode {
+            me: cell,
             primary: topo.primary(cell).clone(),
             used: topo.spectrum().empty_set(),
         }
@@ -42,23 +45,42 @@ impl Protocol for FixedNode {
     }
 
     fn on_acquire(&mut self, req: RequestId, _kind: RequestKind, ctx: &mut Ctx<'_, ()>) {
+        let me = self.me;
         match self.primary.difference(&self.used).first() {
             Some(ch) => {
                 self.used.insert(ch);
                 ctx.count("acq_local");
                 ctx.sample("attempt_ticks", 0.0);
+                ctx.trace_with(|| TraceEvent::Acquired {
+                    cell: me,
+                    ch: Some(ch),
+                    via: AcqPath::Local,
+                    borrowed: false,
+                });
                 ctx.grant(req, ch);
             }
             None => {
                 ctx.count("acq_failed");
+                ctx.trace_with(|| TraceEvent::Acquired {
+                    cell: me,
+                    ch: None,
+                    via: AcqPath::Local,
+                    borrowed: false,
+                });
                 ctx.reject(req);
             }
         }
     }
 
-    fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, ()>) {
+    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, ()>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed: false,
+        });
     }
 
     fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {

@@ -47,6 +47,7 @@ use crate::nfc::NfcWindow;
 use crate::queue::CallQueue;
 use crate::view::NeighborView;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind, SimTime};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -72,6 +73,16 @@ impl Mode {
     /// Whether the node is in any borrowing mode (`mode_i ≠ 0`).
     pub fn is_borrowing(self) -> bool {
         self != Mode::Local
+    }
+
+    /// The paper's numeric mode (`0`–`3`), as carried by trace events.
+    pub fn index(self) -> u8 {
+        match self {
+            Mode::Local => 0,
+            Mode::Borrowing => 1,
+            Mode::BorrowUpdate => 2,
+            Mode::BorrowSearch => 3,
+        }
     }
 }
 
@@ -544,6 +555,17 @@ impl AdaptiveNode {
         if self.mode == Mode::Local && next < self.cfg.theta_l {
             self.mode = Mode::Borrowing;
             ctx.count("mode_to_borrowing");
+            let me = self.me;
+            ctx.trace_with(|| TraceEvent::ModeTransition {
+                cell: me,
+                from_mode: 0,
+                to_mode: 1,
+                cause: "nfc_below_theta_l",
+            });
+            ctx.trace_with(|| TraceEvent::ChangeModeAnnounce {
+                cell: me,
+                borrowing: true,
+            });
             for idx in 0..self.region.len() {
                 let j = self.region[idx];
                 self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: true });
@@ -551,6 +573,17 @@ impl AdaptiveNode {
         } else if self.mode == Mode::Borrowing && next >= self.cfg.theta_h {
             self.mode = Mode::Local;
             ctx.count("mode_to_local");
+            let me = self.me;
+            ctx.trace_with(|| TraceEvent::ModeTransition {
+                cell: me,
+                from_mode: 1,
+                to_mode: 0,
+                cause: "nfc_above_theta_h",
+            });
+            ctx.trace_with(|| TraceEvent::ChangeModeAnnounce {
+                cell: me,
+                borrowing: false,
+            });
             for idx in 0..self.region.len() {
                 let j = self.region[idx];
                 self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: false });
@@ -673,6 +706,17 @@ impl AdaptiveNode {
                 // forced search.
                 self.mode = Mode::Borrowing;
                 ctx.count("forced_borrowing");
+                let me = self.me;
+                ctx.trace_with(|| TraceEvent::ModeTransition {
+                    cell: me,
+                    from_mode: 0,
+                    to_mode: 1,
+                    cause: "forced_resync",
+                });
+                ctx.trace_with(|| TraceEvent::ChangeModeAnnounce {
+                    cell: me,
+                    borrowing: true,
+                });
                 for idx in 0..self.region.len() {
                     let j = self.region[idx];
                     self.send(ctx, j, AdaptiveMsg::ChangeMode { borrowing: true });
@@ -715,11 +759,29 @@ impl AdaptiveNode {
             }
             self.rounds += 1;
             if self.rounds <= self.cfg.alpha {
-                if let Some((_lender, ch)) = self.best() {
+                if let Some((lender, ch)) = self.best() {
                     // Borrowing-update round: ask the whole region for
                     // permission to use `ch`.
                     self.mode = Mode::BorrowUpdate;
                     ctx.count("update_rounds_started");
+                    let me = self.me;
+                    let attempt_no = self.rounds;
+                    ctx.trace_with(|| TraceEvent::ModeTransition {
+                        cell: me,
+                        from_mode: 1,
+                        to_mode: 2,
+                        cause: "update_round",
+                    });
+                    ctx.trace_with(|| TraceEvent::BorrowAttempt {
+                        cell: me,
+                        lender,
+                        ch,
+                        attempt: attempt_no,
+                    });
+                    ctx.trace_with(|| TraceEvent::RoundStart {
+                        cell: me,
+                        kind: RoundKind::Update,
+                    });
                     let (ts, round) = {
                         let a = self.attempt.as_mut().expect("attempt set");
                         a.round_seq += 1;
@@ -750,6 +812,13 @@ impl AdaptiveNode {
                     return;
                 }
             }
+            // No lender (or α exhausted): fall back to a search round.
+            let me = self.me;
+            let attempts = self.rounds.saturating_sub(1);
+            ctx.trace_with(|| TraceEvent::SearchFallback {
+                cell: me,
+                after_attempts: attempts,
+            });
         } else {
             ctx.count("forced_search_rounds");
         }
@@ -760,8 +829,20 @@ impl AdaptiveNode {
     /// (extracted from `request_channel` so timeout recovery can enter
     /// it directly).
     fn start_search_round(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+        let me = self.me;
+        let from_mode = self.mode.index();
         self.mode = Mode::BorrowSearch;
         ctx.count("search_rounds_started");
+        ctx.trace_with(|| TraceEvent::ModeTransition {
+            cell: me,
+            from_mode,
+            to_mode: 3,
+            cause: "search_round",
+        });
+        ctx.trace_with(|| TraceEvent::RoundStart {
+            cell: me,
+            kind: RoundKind::Search,
+        });
         let (ts, round) = {
             let a = self.attempt.as_mut().expect("attempt set");
             a.round_seq += 1;
@@ -840,6 +921,13 @@ impl AdaptiveNode {
                 // Granters already learned of the acquisition when they
                 // granted; no broadcast (Figure 3, case 2).
                 self.mode = Mode::Borrowing;
+                let me = self.me;
+                ctx.trace_with(|| TraceEvent::ModeTransition {
+                    cell: me,
+                    from_mode: 2,
+                    to_mode: 1,
+                    cause: "round_done",
+                });
             }
             Mode::BorrowSearch => {
                 // ACQUISITION(1, i, r) to the whole region — including the
@@ -850,9 +938,21 @@ impl AdaptiveNode {
                     self.send(ctx, j, AdaptiveMsg::Acquisition { search: true, ch });
                 }
                 self.mode = Mode::Borrowing;
+                let me = self.me;
+                ctx.trace_with(|| TraceEvent::ModeTransition {
+                    cell: me,
+                    from_mode: 3,
+                    to_mode: 1,
+                    cause: "round_done",
+                });
             }
         }
         // Drain DeferQ_i.
+        let drained = self.defer_q.len() as u32;
+        if drained > 0 {
+            let me = self.me;
+            ctx.trace_with(|| TraceEvent::DeferDrain { cell: me, drained });
+        }
         while let Some(d) = self.defer_q.pop_front() {
             match d {
                 Deferred::Update {
@@ -891,6 +991,21 @@ impl AdaptiveNode {
             "attempt_ticks",
             ctx.now().saturating_since(attempt.started) as f64,
         );
+        {
+            let me = self.me;
+            let borrowed = ch.map(|r| !self.pr.contains(r)).unwrap_or(false);
+            let path = match via {
+                Via::Local => AcqPath::Local,
+                Via::Update => AcqPath::Update,
+                Via::Search => AcqPath::Search,
+            };
+            ctx.trace_with(|| TraceEvent::Acquired {
+                cell: me,
+                ch,
+                via: path,
+                borrowed,
+            });
+        }
         match ch {
             Some(r) => {
                 match via {
@@ -931,6 +1046,13 @@ impl AdaptiveNode {
         }
         ctx.count("update_rounds_failed");
         self.mode = Mode::Borrowing;
+        let me = self.me;
+        ctx.trace_with(|| TraceEvent::ModeTransition {
+            cell: me,
+            from_mode: 2,
+            to_mode: 1,
+            cause: "update_rejected",
+        });
         if self.cfg.retry_ticks.is_some() {
             // Hardened: a Grant sent to us may have been lost in flight,
             // leaving a pledge (`U_i ∋ ch`) at a granter not in our
@@ -1016,6 +1138,12 @@ impl AdaptiveNode {
                         ctx.count("duplicate_deferred_reqs");
                     } else {
                         ctx.count("deferred_update_reqs");
+                        let me = self.me;
+                        ctx.trace_with(|| TraceEvent::Defer {
+                            cell: me,
+                            requester: from,
+                            kind: RoundKind::Update,
+                        });
                     }
                     if self.cfg.retry_ticks.is_some() {
                         self.send(ctx, from, AdaptiveMsg::Busy { ts, round });
@@ -1061,6 +1189,12 @@ impl AdaptiveNode {
                 ctx.count("duplicate_deferred_reqs");
             } else {
                 ctx.count("deferred_search_reqs");
+                let me = self.me;
+                ctx.trace_with(|| TraceEvent::Defer {
+                    cell: me,
+                    requester: from,
+                    kind: RoundKind::Search,
+                });
             }
             if self.cfg.retry_ticks.is_some() {
                 self.send(ctx, from, AdaptiveMsg::Busy { ts, round });
@@ -1404,6 +1538,14 @@ impl Protocol for AdaptiveNode {
         self.used = self.spectrum.empty_set();
         self.view = NeighborView::new(self.spectrum, &self.region);
         self.nfc = NfcWindow::new(self.cfg.window);
+        let me = self.me;
+        let from_mode = self.mode.index();
+        ctx.trace_with(|| TraceEvent::ModeTransition {
+            cell: me,
+            from_mode,
+            to_mode: 0,
+            cause: "restart",
+        });
         self.mode = Mode::Local;
         self.update_subs.clear();
         self.defer_q.clear();
@@ -1425,6 +1567,13 @@ impl Protocol for AdaptiveNode {
         // Figure 9: Deallocate(r).
         let was_used = self.used.remove(ch);
         debug_assert!(was_used, "released channel {ch} not in Use_i");
+        let me = self.me;
+        let borrowed = !self.pr.contains(ch);
+        ctx.trace_with(|| TraceEvent::Released {
+            cell: me,
+            ch,
+            borrowed,
+        });
         if self.mode == Mode::Local {
             let subs: Vec<CellId> = self.update_subs.iter().copied().collect();
             for j in subs {

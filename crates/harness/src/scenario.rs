@@ -7,7 +7,8 @@ use adca_baselines::{
 };
 use adca_core::{AdaptiveConfig, AdaptiveNode};
 use adca_hexgrid::Topology;
-use adca_simkit::engine::run_protocol;
+use adca_simkit::engine::{run_protocol, run_traced};
+use adca_simkit::trace::TraceSink;
 use adca_simkit::{Arrival, AuditMode, FaultPlan, LatencyModel, SimConfig};
 use adca_traffic::WorkloadSpec;
 use std::sync::Arc;
@@ -290,6 +291,66 @@ impl Scenario {
             }
         };
         RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed())
+    }
+
+    /// Runs one scheme with a [`TraceSink`] attached, returning the
+    /// summary together with the sink (ring buffer, JSONL writer, …).
+    ///
+    /// Sinks are pure observers: the returned [`RunSummary`]'s report is
+    /// identical to what [`Scenario::run_with`] produces for the same
+    /// inputs (pinned by the `trace_determinism` integration tests).
+    pub fn run_with_sink<S: TraceSink>(
+        &self,
+        kind: SchemeKind,
+        topo: Arc<Topology>,
+        arrivals: Vec<Arrival>,
+        sink: S,
+    ) -> (RunSummary, S) {
+        let cfg = self.sim_config();
+        let started = std::time::Instant::now();
+        let (report, sink) = match kind {
+            SchemeKind::Fixed => run_traced(topo, cfg, FixedNode::new, arrivals, sink),
+            SchemeKind::BasicSearch => {
+                let bs = self.basic_search.clone();
+                run_traced(
+                    topo,
+                    cfg,
+                    move |c, t| BasicSearchNode::with_config(c, t, bs.clone()),
+                    arrivals,
+                    sink,
+                )
+            }
+            SchemeKind::BasicUpdate => {
+                let bu = self.basic_update.clone();
+                run_traced(
+                    topo,
+                    cfg,
+                    move |c, t| BasicUpdateNode::new(c, t, bu.clone()),
+                    arrivals,
+                    sink,
+                )
+            }
+            SchemeKind::AdvancedUpdate => {
+                run_traced(topo, cfg, AdvancedUpdateNode::new, arrivals, sink)
+            }
+            SchemeKind::AdvancedSearch => {
+                run_traced(topo, cfg, AdvancedSearchNode::new, arrivals, sink)
+            }
+            SchemeKind::Adaptive => {
+                let ac = self.adaptive.clone();
+                run_traced(
+                    topo,
+                    cfg,
+                    move |c, t| AdaptiveNode::new(c, t, ac.clone()),
+                    arrivals,
+                    sink,
+                )
+            }
+        };
+        (
+            RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed()),
+            sink,
+        )
     }
 
     /// Runs every scheme in `kinds` on the *same* workload.

@@ -1,0 +1,76 @@
+//! Trace-layer invariants, pinned end to end:
+//!
+//! 1. **Sinks are pure observers.** A run with any sink attached produces
+//!    a [`SimReport`] equal (full `PartialEq`, every counter and sample
+//!    series) to the same run with the no-op sink — for every scheme.
+//!    This is the guarantee that lets experiment binaries stay
+//!    bit-identical whether or not anyone is watching.
+//! 2. **Traces are deterministic.** Same topology + workload + seed ⇒
+//!    identical event streams, record for record.
+//! 3. **Traces reconcile with the engine's own accounting** (sends,
+//!    grants) — the cross-checks `e13_observability` audits at runtime.
+
+use adca_harness::{Scenario, SchemeKind};
+use adca_simkit::trace::{RingSink, TraceEvent, TraceRecord};
+
+fn scenario() -> Scenario {
+    Scenario::uniform(0.9, 30_000).with_grid(6, 6)
+}
+
+fn traced_run(kind: SchemeKind) -> (adca_simkit::SimReport, Vec<TraceRecord>) {
+    let sc = scenario();
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let (summary, sink) = sc.run_with_sink(kind, topo, arrivals, RingSink::new(1 << 20));
+    (summary.report, sink.into_vec())
+}
+
+#[test]
+fn trace_on_and_trace_off_reports_are_equal_for_every_scheme() {
+    let sc = scenario();
+    for kind in SchemeKind::ALL {
+        let topo = sc.topology();
+        let arrivals = sc.arrivals(&topo);
+        let plain = sc.run_with(kind, topo, arrivals).report;
+        let (traced, records) = traced_run(kind);
+        plain.assert_clean();
+        assert_eq!(plain, traced, "{kind}: attaching a sink changed the report");
+        // Message-bearing schemes must actually have produced events —
+        // an empty trace would make the equality above vacuous.
+        if plain.messages_total > 0 {
+            assert!(!records.is_empty(), "{kind}: no events traced");
+        }
+    }
+}
+
+#[test]
+fn same_seed_produces_identical_event_streams() {
+    for kind in [SchemeKind::Adaptive, SchemeKind::BasicSearch] {
+        let (r1, t1) = traced_run(kind);
+        let (r2, t2) = traced_run(kind);
+        assert_eq!(r1, r2, "{kind}: reports diverge");
+        assert_eq!(t1.len(), t2.len(), "{kind}: event counts diverge");
+        for (i, (a, b)) in t1.iter().zip(&t2).enumerate() {
+            assert_eq!(a, b, "{kind}: event {i} diverges");
+        }
+    }
+}
+
+#[test]
+fn traced_events_reconcile_with_engine_counters() {
+    let (report, records) = traced_run(SchemeKind::Adaptive);
+    let sends = records
+        .iter()
+        .filter(|r| matches!(r.ev, TraceEvent::MsgSend { .. }))
+        .count() as u64;
+    assert_eq!(sends, report.messages_total, "MsgSend events vs counter");
+    let grants = records
+        .iter()
+        .filter(|r| matches!(r.ev, TraceEvent::Granted { .. }))
+        .count() as u64;
+    assert_eq!(grants, report.granted, "Granted events vs counter");
+    // Timestamps are monotone: the sink records in event order.
+    for w in records.windows(2) {
+        assert!(w[0].at <= w[1].at, "trace timestamps went backwards");
+    }
+}

@@ -325,6 +325,21 @@ impl ChannelSet {
     /// The lowest channel in `self − a − b`, without materializing the
     /// difference. This is the protocols' "pick the first free channel"
     /// rule fused into one word-at-a-time pass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Channel, ChannelSet};
+    ///
+    /// let free = ChannelSet::from_iter_sized(8, [0, 1, 4, 6].map(Channel));
+    /// let in_use = ChannelSet::from_iter_sized(8, [0, 4].map(Channel));
+    /// let locked = ChannelSet::from_iter_sized(8, [1].map(Channel));
+    ///
+    /// // Equivalent to free.difference(&in_use).difference(&locked).first(),
+    /// // with no intermediate sets.
+    /// assert_eq!(free.first_excluding(&in_use, &locked), Some(Channel(6)));
+    /// assert_eq!(free.first_excluding(&free, &locked), None);
+    /// ```
     #[inline]
     pub fn first_excluding(&self, a: &ChannelSet, b: &ChannelSet) -> Option<Channel> {
         debug_assert_eq!(self.nbits, a.nbits);
@@ -346,6 +361,19 @@ impl ChannelSet {
     }
 
     /// `|self − a − b|`, without materializing the difference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Channel, ChannelSet};
+    ///
+    /// let free = ChannelSet::from_iter_sized(8, [0, 1, 4, 6].map(Channel));
+    /// let in_use = ChannelSet::from_iter_sized(8, [0, 4].map(Channel));
+    /// let locked = ChannelSet::from_iter_sized(8, [1].map(Channel));
+    ///
+    /// assert_eq!(free.count_excluding(&in_use, &locked), 1); // only ch6
+    /// assert_eq!(free.count_excluding(&free, &locked), 0);
+    /// ```
     #[inline]
     pub fn count_excluding(&self, a: &ChannelSet, b: &ChannelSet) -> usize {
         debug_assert_eq!(self.nbits, a.nbits);
@@ -361,6 +389,20 @@ impl ChannelSet {
     /// The lowest channel of the spectrum in **neither** `self` nor
     /// `other` — `(self ∪ other).complement().first()` without the two
     /// allocations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Channel, ChannelSet, Spectrum};
+    ///
+    /// let used = ChannelSet::from_iter_sized(6, [0, 1].map(Channel));
+    /// let interfered = ChannelSet::from_iter_sized(6, [2].map(Channel));
+    /// assert_eq!(used.first_absent(&interfered), Some(Channel(3)));
+    ///
+    /// // A fully occupied spectrum has no absent channel.
+    /// let full = Spectrum::new(6).full_set();
+    /// assert_eq!(full.first_absent(&used), None);
+    /// ```
     #[inline]
     pub fn first_absent(&self, other: &ChannelSet) -> Option<Channel> {
         debug_assert_eq!(self.nbits, other.nbits);
@@ -381,6 +423,17 @@ impl ChannelSet {
 
     /// Iterates over `self − other` in increasing id order without
     /// materializing the difference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Channel, ChannelSet};
+    ///
+    /// let mine = ChannelSet::from_iter_sized(8, [1, 3, 5, 7].map(Channel));
+    /// let taken = ChannelSet::from_iter_sized(8, [3, 7].map(Channel));
+    /// let rest: Vec<Channel> = mine.iter_difference(&taken).collect();
+    /// assert_eq!(rest, vec![Channel(1), Channel(5)]);
+    /// ```
     pub fn iter_difference<'a>(
         &'a self,
         other: &'a ChannelSet,
@@ -404,6 +457,17 @@ impl ChannelSet {
     }
 
     /// Overwrites `self` with `other`'s contents, reusing the allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Channel, ChannelSet};
+    ///
+    /// let src = ChannelSet::from_iter_sized(8, [2, 4].map(Channel));
+    /// let mut scratch = ChannelSet::from_iter_sized(8, [0].map(Channel));
+    /// scratch.copy_from(&src); // clobbers prior contents, no realloc
+    /// assert_eq!(scratch, src);
+    /// ```
     #[inline]
     pub fn copy_from(&mut self, other: &ChannelSet) {
         debug_assert_eq!(self.nbits, other.nbits);

@@ -86,6 +86,17 @@ impl Axial {
 
     /// Hex (grid) distance to `other`: the minimum number of single-hex
     /// steps between the two cells.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::Axial;
+    ///
+    /// let a = Axial::new(0, 0);
+    /// assert_eq!(a.distance(Axial::new(1, 0)), 1);  // direct neighbor
+    /// assert_eq!(a.distance(Axial::new(2, -2)), 2); // along a diagonal
+    /// assert_eq!(a.distance(a), 0);
+    /// ```
     #[inline]
     pub fn distance(self, other: Axial) -> u32 {
         self.sub(other).norm()
@@ -111,6 +122,17 @@ impl Axial {
     /// Iterates over every coordinate within hex distance `radius` of
     /// `self`, **including** `self`, in deterministic (row-major over `r`,
     /// then `q`) order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::Axial;
+    ///
+    /// // |disk(r)| = 1 + 3·r·(r+1): the interference region of a cell
+    /// // with reuse distance 2 covers itself plus two rings.
+    /// assert_eq!(Axial::new(0, 0).disk(2).count(), 19);
+    /// assert!(Axial::new(4, -1).disk(2).all(|c| Axial::new(4, -1).distance(c) <= 2));
+    /// ```
     pub fn disk(self, radius: u32) -> impl Iterator<Item = Axial> {
         let radius = radius as i32;
         (-radius..=radius).flat_map(move |dr| {
@@ -159,6 +181,18 @@ impl Cube {
     }
 
     /// Hex distance to `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adca_hexgrid::{Axial, Cube};
+    ///
+    /// let a = Cube::new(1, -1, 0);
+    /// let b = Cube::new(-2, 1, 1);
+    /// // Agrees with the axial-space distance of the same two cells.
+    /// assert_eq!(a.distance(b), a.to_axial().distance(b.to_axial()));
+    /// assert_eq!(a.distance(b), 3);
+    /// ```
     #[inline]
     pub fn distance(self, other: Cube) -> u32 {
         let dx = (self.x - other.x).unsigned_abs();
@@ -171,6 +205,19 @@ impl Cube {
 /// Converts odd-r offset coordinates `(col, row)` — the natural layout of a
 /// rectangular field of hexes where odd rows are shoved right by half a
 /// cell — to axial coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use adca_hexgrid::coords::{axial_to_offset, offset_to_axial};
+///
+/// // Horizontally adjacent cells of a rectangular grid are hex neighbors.
+/// let a = offset_to_axial(3, 3);
+/// let b = offset_to_axial(4, 3);
+/// assert_eq!(a.distance(b), 1);
+/// // The conversion round-trips.
+/// assert_eq!(axial_to_offset(a), (3, 3));
+/// ```
 #[inline]
 pub fn offset_to_axial(col: i32, row: i32) -> Axial {
     Axial {

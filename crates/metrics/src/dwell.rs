@@ -1,0 +1,144 @@
+//! Time-in-state accumulation over a discrete state machine.
+//!
+//! Built for per-cell *mode-occupancy* observability: the paper's MSSs
+//! walk a mode ladder (`0` local, `1` borrowing, `2` borrow-update, `3`
+//! borrow-search), and the fraction of wall time a cell spends outside
+//! mode 0 is what the analytic model's `N_borrow` (average neighbors in
+//! borrowing mode) averages over a region. The accumulator is generic:
+//! any `usize`-indexed state machine with monotone timestamps works.
+
+/// Accumulates how long a subject dwells in each of a fixed set of
+/// states, fed by `(timestamp, new state)` transitions.
+///
+/// Starts in state `0` at time `0`; call [`StateDwell::transition`] for
+/// every state change (timestamps must be monotone non-decreasing) and
+/// [`StateDwell::finish`] once at the end of the observation window.
+///
+/// ```
+/// use adca_metrics::StateDwell;
+///
+/// let mut d = StateDwell::new(4);
+/// d.transition(25, 1);     // state 0 for [0, 25)
+/// d.transition(75, 0);     // state 1 for [25, 75)
+/// d.finish(100);           // state 0 again for [75, 100)
+/// assert_eq!(d.total(), 100);
+/// assert!((d.fraction(0) - 0.5).abs() < 1e-12);
+/// assert!((d.fraction(1) - 0.5).abs() < 1e-12);
+/// assert_eq!(d.fraction(2), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateDwell {
+    /// Accumulated ticks per state.
+    ticks: Vec<u64>,
+    /// Current state (index into `ticks`).
+    state: usize,
+    /// When the current state was entered.
+    since: u64,
+    /// Total observed ticks (set by `finish`).
+    total: u64,
+    /// Number of transitions observed.
+    transitions: u64,
+}
+
+impl StateDwell {
+    /// An accumulator over `num_states` states, starting in state 0 at
+    /// time 0.
+    pub fn new(num_states: usize) -> Self {
+        StateDwell {
+            ticks: vec![0; num_states.max(1)],
+            state: 0,
+            since: 0,
+            total: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Records a transition into `state` at time `now`. Out-of-range
+    /// states are clamped to the last state; `now` earlier than the last
+    /// event is clamped forward (dwell is never negative).
+    pub fn transition(&mut self, now: u64, state: usize) {
+        let now = now.max(self.since);
+        self.ticks[self.state] += now - self.since;
+        self.state = state.min(self.ticks.len() - 1);
+        self.since = now;
+        self.transitions += 1;
+    }
+
+    /// Closes the observation window at `end`, attributing the remaining
+    /// time to the current state. Further transitions extend the window.
+    pub fn finish(&mut self, end: u64) {
+        let end = end.max(self.since);
+        self.ticks[self.state] += end - self.since;
+        self.since = end;
+        self.total = self.ticks.iter().sum();
+    }
+
+    /// Ticks spent in `state` (after [`StateDwell::finish`]).
+    pub fn ticks_in(&self, state: usize) -> u64 {
+        self.ticks.get(state).copied().unwrap_or(0)
+    }
+
+    /// Total ticks observed (after [`StateDwell::finish`]).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of the observed window spent in `state`; 0 for an empty
+    /// window or unknown state.
+    pub fn fraction(&self, state: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.ticks_in(state) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of transitions recorded (mode-thrash indicator).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_state_zero() {
+        let mut d = StateDwell::new(3);
+        d.finish(50);
+        assert_eq!(d.ticks_in(0), 50);
+        assert_eq!(d.fraction(0), 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let mut d = StateDwell::new(2);
+        d.finish(0);
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_state_and_backwards_time() {
+        let mut d = StateDwell::new(2);
+        d.transition(10, 99); // clamped to state 1
+        d.transition(5, 0); // clamped to now = 10
+        d.finish(20);
+        assert_eq!(d.ticks_in(0), 20);
+        assert_eq!(d.ticks_in(1), 0);
+        assert_eq!(d.transitions(), 2);
+    }
+
+    #[test]
+    fn finish_is_extendable() {
+        let mut d = StateDwell::new(2);
+        d.transition(10, 1);
+        d.finish(20);
+        assert_eq!(d.ticks_in(1), 10);
+        d.transition(30, 0);
+        d.finish(40);
+        assert_eq!(d.ticks_in(1), 20);
+        assert_eq!(d.ticks_in(0), 20);
+    }
+}

@@ -9,18 +9,21 @@
 //! * [`CounterMap`] — named event counters (message taxonomy, mode
 //!   transitions, acquisition outcomes),
 //! * [`fairness`] — Jain's fairness index over per-cell outcomes,
-//! * [`TimeSeries`] — `(t, value)` sequences with window reductions.
+//! * [`TimeSeries`] — `(t, value)` sequences with window reductions,
+//! * [`StateDwell`] — time-in-state fractions (per-cell mode occupancy).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod counters;
+pub mod dwell;
 pub mod fairness;
 pub mod histogram;
 pub mod series;
 pub mod stats;
 
 pub use counters::CounterMap;
+pub use dwell::StateDwell;
 pub use histogram::Histogram;
 pub use series::{SampleSeries, TimeSeries};
 pub use stats::StreamingStats;

@@ -13,6 +13,7 @@
 use crate::protocol::RequestId;
 use crate::report::DropCause;
 use crate::time::SimTime;
+use crate::trace::TraceEvent;
 use adca_hexgrid::{CellId, Channel, Topology};
 
 /// The operations a protocol node may perform on its environment.
@@ -41,6 +42,19 @@ pub trait CtxBackend<M> {
     /// Ground-truth check for tests: is `ch` truly unused in this cell's
     /// interference region right now?
     fn truly_free_here(&self, ch: Channel) -> bool;
+    /// Whether a trace sink is attached and recording. Protocols consult
+    /// this (through [`Ctx::trace_with`]) before constructing an event;
+    /// the default — used by backends without a trace layer, like the
+    /// `adca-threadnet` driver — is permanently `false`.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+    /// Records a protocol-level trace event at the current time. Only
+    /// called after [`CtxBackend::trace_enabled`] returned `true`; the
+    /// default discards the event.
+    fn trace(&mut self, ev: TraceEvent) {
+        let _ = ev;
+    }
 }
 
 /// The handle protocol nodes use to act on the world. A thin, inlined
@@ -138,5 +152,19 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn truly_free_here(&self, ch: Channel) -> bool {
         self.inner.truly_free_here(ch)
+    }
+
+    /// Records a protocol-level trace event, building it lazily: `f` runs
+    /// only when the backend has an enabled trace sink attached. Under
+    /// the default [`crate::trace::NoopSink`] engine this is one
+    /// always-false branch — the event is never constructed — so trace
+    /// points cost nothing measurable on untraced runs and can never
+    /// perturb results (sinks are pure observers).
+    #[inline]
+    pub fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.inner.trace_enabled() {
+            let ev = f();
+            self.inner.trace(ev);
+        }
     }
 }

@@ -8,6 +8,7 @@ use crate::protocol::{Protocol, RequestId, RequestKind};
 use crate::report::{AuditMode, DropCause, MsgTrace, SimReport, Violation};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
+use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use crate::workload::Arrival;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
 use adca_metrics::{CounterMap, SampleSeries};
@@ -260,7 +261,10 @@ impl SlotSamples {
 }
 
 /// Engine state shared with protocol nodes through [`Ctx`].
-pub struct Shared<M> {
+///
+/// Generic over the attached [`TraceSink`]; the default [`NoopSink`]
+/// monomorphizes every trace branch to dead code.
+pub struct Shared<M, S: TraceSink = NoopSink> {
     topo: Arc<Topology>,
     cfg: SimConfig,
     now: SimTime,
@@ -288,12 +292,25 @@ pub struct Shared<M> {
     custom: SlotCounters,
     custom_samples: SlotSamples,
     report: SimReport,
+    /// Structured trace destination (observes; never influences).
+    sink: S,
 }
 
-impl<M> Shared<M> {
+impl<M, S: TraceSink> Shared<M, S> {
     #[inline]
     fn push(&mut self, at: SimTime, ev: Ev<M>) {
         self.queue.push(at, ev);
+    }
+
+    /// Records a trace event at the current virtual time, constructing
+    /// it only if the sink is enabled. With `S = NoopSink` the whole
+    /// call — check, closure, record — compiles away.
+    #[inline]
+    fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.sink.enabled() {
+            let ev = f();
+            self.sink.record(self.now, ev);
+        }
     }
 
     fn violation(&mut self, v: Violation) {
@@ -346,6 +363,10 @@ impl<M> Shared<M> {
         let Some((call, cell, kind, _latency)) = self.finish_request(req) else {
             return;
         };
+        self.trace_with(|| TraceEvent::Rejected {
+            cell,
+            cause: cause.label(),
+        });
         self.calls[call as usize].state = CallState::Done;
         self.report.per_cell_drops[cell.index()] += 1;
         self.count_drop_cause(cause);
@@ -357,12 +378,12 @@ impl<M> Shared<M> {
 }
 
 /// The deterministic-engine backend behind [`Ctx`].
-struct DesCtx<'a, M> {
-    sh: &'a mut Shared<M>,
+struct DesCtx<'a, M, S: TraceSink> {
+    sh: &'a mut Shared<M, S>,
     me: CellId,
 }
 
-impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
+impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
     #[inline]
     fn me(&self) -> CellId {
         self.me
@@ -396,6 +417,12 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
         self.sh.msg_kinds.incr(kind);
         self.sh.report.per_cell_msgs[self.me.index()] += 1;
         let from = self.me;
+        self.sh.trace_with(|| TraceEvent::MsgSend {
+            from,
+            to,
+            kind,
+            deliver_at: at,
+        });
         if self.sh.faults_on {
             // A down cell sends nothing (its handlers should not run at
             // all; this is a defensive backstop for drained sends).
@@ -407,6 +434,8 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
                 && self.sh.fault_rng.next_f64() < self.sh.cfg.faults.loss
             {
                 self.sh.report.messages_lost += 1;
+                self.sh
+                    .trace_with(|| TraceEvent::MsgLost { from, to, kind });
                 return;
             }
         }
@@ -426,6 +455,7 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
             // The copy lands at the same tick; seq order puts it right
             // after the original, preserving per-link FIFO.
             self.sh.report.messages_duplicated += 1;
+            self.sh.trace_with(|| TraceEvent::MsgDup { from, to, kind });
             let copy = msg.clone();
             self.sh.push(at, Ev::Deliver { from, to, msg });
             self.sh.push(
@@ -447,6 +477,8 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
             panic!("request {req:?} resolved twice");
         };
         debug_assert_eq!(cell, self.me, "grant from the wrong node");
+        self.sh
+            .trace_with(|| TraceEvent::Granted { cell, ch, latency });
         if let Some(bound) = self.sh.cfg.watchdog_ticks {
             if latency > bound {
                 self.sh.violation(Violation::Watchdog {
@@ -512,6 +544,10 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
             panic!("request {req:?} resolved twice");
         };
         debug_assert_eq!(cell, self.me, "reject from the wrong node");
+        self.sh.trace_with(|| TraceEvent::Rejected {
+            cell,
+            cause: cause.label(),
+        });
         // The liveness contract bounds *resolution*, not just grants: a
         // reject that took longer than the watchdog is as much a wedged
         // request as a slow grant.
@@ -565,19 +601,55 @@ impl<M: Clone> CtxBackend<M> for DesCtx<'_, M> {
                 .iter()
                 .all(|j| !self.sh.usage[j.index()].contains(ch))
     }
+
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        self.sh.sink.enabled()
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        let now = self.sh.now;
+        self.sh.sink.record(now, ev);
+    }
 }
 
 /// The deterministic discrete-event simulation engine, generic over the
-/// protocol under test.
-pub struct Engine<P: Protocol> {
+/// protocol under test and the attached [`TraceSink`].
+///
+/// The sink is a type parameter so the untraced default costs nothing:
+/// `Engine<P>` is `Engine<P, NoopSink>`, whose `enabled()` is a constant
+/// `false` that deletes every trace branch at monomorphization. Attach a
+/// recording sink with [`Engine::with_sink`] and recover it afterwards
+/// with [`Engine::into_sink`]; sinks are pure observers, so traced and
+/// untraced runs produce equal [`SimReport`]s.
+pub struct Engine<P: Protocol, S: TraceSink = NoopSink> {
     nodes: Vec<P>,
-    sh: Shared<P::Msg>,
+    sh: Shared<P::Msg, S>,
 }
 
 impl<P: Protocol> Engine<P> {
     /// Builds an engine over `topo` running one `P` per cell (constructed
-    /// by `factory`) against the given workload.
+    /// by `factory`) against the given workload, with tracing compiled
+    /// out ([`NoopSink`]).
     pub fn new<F>(topo: Arc<Topology>, cfg: SimConfig, factory: F, arrivals: Vec<Arrival>) -> Self
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        Engine::with_sink(topo, cfg, factory, arrivals, NoopSink)
+    }
+}
+
+impl<P: Protocol, S: TraceSink> Engine<P, S> {
+    /// Builds an engine like [`Engine::new`], recording structured trace
+    /// events into `sink`.
+    pub fn with_sink<F>(
+        topo: Arc<Topology>,
+        cfg: SimConfig,
+        factory: F,
+        arrivals: Vec<Arrival>,
+        sink: S,
+    ) -> Self
     where
         F: FnMut(CellId, &Topology) -> P,
     {
@@ -617,6 +689,7 @@ impl<P: Protocol> Engine<P> {
             custom: SlotCounters::default(),
             custom_samples: SlotSamples::default(),
             report,
+            sink,
         };
         // Crash windows are scheduled before arrivals so that, at a tied
         // tick, the crash takes effect first (push order is the same-tick
@@ -668,6 +741,16 @@ impl<P: Protocol> Engine<P> {
         &self.sh.report
     }
 
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sh.sink
+    }
+
+    /// Consumes the engine and returns the trace sink (run first).
+    pub fn into_sink(self) -> S {
+        self.sh.sink
+    }
+
     /// Runs to quiescence and returns the report.
     pub fn run(&mut self) -> SimReport {
         // Start hooks.
@@ -694,8 +777,18 @@ impl<P: Protocol> Engine<P> {
                     if self.sh.down[to.index()] {
                         // A down cell receives nothing.
                         self.sh.report.messages_crash_dropped += 1;
+                        self.sh.trace_with(|| TraceEvent::MsgLost {
+                            from,
+                            to,
+                            kind: P::msg_kind(&msg),
+                        });
                         continue;
                     }
+                    self.sh.trace_with(|| TraceEvent::MsgRecv {
+                        from,
+                        to,
+                        kind: P::msg_kind(&msg),
+                    });
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: to,
@@ -819,6 +912,7 @@ impl<P: Protocol> Engine<P> {
                     }
                     self.sh.down[node.index()] = true;
                     self.sh.report.crashes += 1;
+                    self.sh.trace_with(|| TraceEvent::Crash { cell: node });
                     // Kill the cell's active calls (their channels go
                     // silent with the transmitter) and force-reject its
                     // in-flight requests.
@@ -845,6 +939,7 @@ impl<P: Protocol> Engine<P> {
                     }
                     self.sh.down[node.index()] = false;
                     self.sh.report.restarts += 1;
+                    self.sh.trace_with(|| TraceEvent::Recover { cell: node });
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
                         me: node,
@@ -889,6 +984,23 @@ where
     F: FnMut(CellId, &Topology) -> P,
 {
     Engine::new(topo, cfg, factory, arrivals).run()
+}
+
+/// Like [`run_protocol`], but recording into `sink`; returns the report
+/// together with the (filled) sink.
+pub fn run_traced<P: Protocol, S: TraceSink, F>(
+    topo: Arc<Topology>,
+    cfg: SimConfig,
+    factory: F,
+    arrivals: Vec<Arrival>,
+    sink: S,
+) -> (SimReport, S)
+where
+    F: FnMut(CellId, &Topology) -> P,
+{
+    let mut engine = Engine::with_sink(topo, cfg, factory, arrivals, sink);
+    let report = engine.run();
+    (report, engine.into_sink())
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! times), which is exactly the access pattern calendar queues exploit:
 //!
 //! * Virtual time is partitioned into fixed-width *days* of
-//!   `2^DAY_SHIFT` ticks; a ring of [`NUM_BUCKETS`] day buckets covers
+//!   `2^DAY_SHIFT` ticks; a ring of `NUM_BUCKETS` day buckets covers
 //!   the near future (`DAY_TICKS × NUM_BUCKETS` ticks ahead).
 //! * A push lands in its day's bucket as an unsorted append — `O(1)`.
 //! * When the serving cursor enters a day, that one bucket is put in

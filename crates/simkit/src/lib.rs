@@ -19,7 +19,11 @@
 //!   interference within the reuse distance) as an executable invariant on
 //!   every grant, and a liveness check corresponding to Theorem 2: the
 //!   run fails if any request is still pending when the event queue
-//!   drains ([`report`]).
+//!   drains ([`report`]),
+//! * a zero-cost-when-disabled structured trace layer ([`trace`]):
+//!   typed per-message / per-mode-transition / per-borrow events into a
+//!   pluggable [`trace::TraceSink`] (no-op, bounded ring, or JSONL),
+//!   plus per-cell mode-occupancy timelines ([`trace::CellTimeline`]).
 //!
 //! Determinism: two runs with the same topology, workload, seed and
 //! configuration produce identical event interleavings and identical
@@ -38,6 +42,7 @@ pub mod report;
 pub mod rng;
 pub mod testing;
 pub mod time;
+pub mod trace;
 pub mod workload;
 
 pub use backend::{Ctx, CtxBackend};
@@ -47,4 +52,8 @@ pub use latency::LatencyModel;
 pub use protocol::{Protocol, RequestId, RequestKind};
 pub use report::{AuditMode, DropCause, SimReport, Violation};
 pub use time::SimTime;
+pub use trace::{
+    AcqPath, CellTimeline, JsonlSink, NoopSink, RingSink, RoundKind, TraceEvent, TraceRecord,
+    TraceSink,
+};
 pub use workload::Arrival;

@@ -108,6 +108,17 @@ pub enum DropCause {
     Crashed,
 }
 
+impl DropCause {
+    /// Stable snake_case label (used by the trace layer's JSONL output).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Blocked => "blocked",
+            DropCause::RetryExhausted => "retry_exhausted",
+            DropCause::Crashed => "crashed",
+        }
+    }
+}
+
 /// One traced message (when tracing is enabled).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgTrace {

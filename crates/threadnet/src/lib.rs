@@ -252,6 +252,19 @@ impl<M: Send + 'static> CtxBackend<M> for ThreadBackend<M> {
         // driver only validates safety/liveness.
     }
 
+    fn trace_enabled(&self) -> bool {
+        // Tracing is a deterministic-engine feature: wall-clock timestamps
+        // would make event streams non-reproducible, and the threaded
+        // driver exists only to cross-validate safety/liveness. Protocols'
+        // `trace_with` closures are therefore never even built here.
+        false
+    }
+
+    fn trace(&mut self, _ev: adca_simkit::trace::TraceEvent) {
+        // Unreachable in practice (`trace_enabled` is false); kept as an
+        // explicit no-op so the intent survives refactors.
+    }
+
     fn truly_free_here(&self, ch: Channel) -> bool {
         let g = self.ground.lock();
         !g.usage[self.me.index()].contains(ch)

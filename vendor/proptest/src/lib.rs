@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so this vendored
 //! crate reimplements the subset of proptest this workspace uses: the
-//! [`Strategy`] trait with `prop_map`, range/tuple/collection
-//! strategies, `prop_oneof!`, and the [`proptest!`] test macro. Cases
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! range/tuple/collection strategies, `prop_oneof!`, and the
+//! [`proptest!`] test macro. Cases
 //! are generated deterministically (seeded per test name, overridable
 //! case count via `PROPTEST_CASES`); there is no shrinking — the macro
 //! prints the failing inputs instead.
