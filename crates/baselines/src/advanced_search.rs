@@ -20,10 +20,13 @@
 //! `Use ⊆ Allocated` at every cell and region-disjointness of allocated
 //! sets, which transfers and claims preserve.
 
+use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{
+    Ctx, DecodeError, Protocol, ProtocolState, Reader, RequestId, RequestKind, Writer,
+};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Wire messages of the advanced search scheme.
@@ -560,6 +563,223 @@ impl Protocol for AdvancedSearchNode {
             AdvancedSearchMsg::Agree { ch } => self.on_transfer_reply(from, ch, false, ctx),
             AdvancedSearchMsg::Keep { ch } => self.on_transfer_reply(from, ch, true, ctx),
         }
+    }
+}
+
+impl ProtocolState for AdvancedSearchNode {
+    const STATE_ID: &'static str = "advanced-search/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("asearch.sets");
+        w.put_channel_set(&self.allocated);
+        w.put_channel_set(&self.used);
+        w.put_channel_set(&self.lent);
+        w.put_u64(self.clock.counter());
+        codec::put_call_queue(w, &self.call_q);
+        w.mark("asearch.search");
+        match &self.search {
+            None => w.put_bool(false),
+            Some(s) => {
+                w.put_bool(true);
+                w.put_u64(s.req.0);
+                codec::put_timestamp(w, s.ts);
+                w.put_time(s.started);
+                match &s.phase {
+                    SearchPhase::Collect {
+                        remaining,
+                        alloc_union,
+                        used_union,
+                        idle_by_owner,
+                    } => {
+                        w.put_u8(0);
+                        w.put_len(remaining.len());
+                        for &j in remaining {
+                            w.put_cell(j);
+                        }
+                        w.put_channel_set(alloc_union);
+                        w.put_channel_set(used_union);
+                        w.put_len(idle_by_owner.len());
+                        for (owner, idle) in idle_by_owner {
+                            w.put_cell(*owner);
+                            w.put_channel_set(idle);
+                        }
+                    }
+                    SearchPhase::Transfer {
+                        ch,
+                        remaining,
+                        agreed,
+                        kept,
+                        candidates,
+                    } => {
+                        w.put_u8(1);
+                        w.put_channel(*ch);
+                        w.put_len(remaining.len());
+                        for &j in remaining {
+                            w.put_cell(j);
+                        }
+                        w.put_len(agreed.len());
+                        for &j in agreed {
+                            w.put_cell(j);
+                        }
+                        w.put_bool(*kept);
+                        w.put_len(candidates.len());
+                        for (c, owners) in candidates {
+                            w.put_channel(*c);
+                            w.put_len(owners.len());
+                            for &j in owners {
+                                w.put_cell(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        w.mark("asearch.deferred");
+        w.put_len(self.deferred.len());
+        for &j in &self.deferred {
+            w.put_cell(j);
+        }
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.allocated = r.get_channel_set()?;
+        self.used = r.get_channel_set()?;
+        self.lent = r.get_channel_set()?;
+        self.clock = LamportClock::restore(self.me, r.get_u64()?);
+        self.call_q = codec::get_call_queue(r)?;
+        self.search = if r.get_bool()? {
+            let req = RequestId(r.get_u64()?);
+            let ts = codec::get_timestamp(r)?;
+            let started = r.get_time()?;
+            let phase = match r.get_u8()? {
+                0 => {
+                    let n = r.get_len()?;
+                    let mut remaining = BTreeSet::new();
+                    for _ in 0..n {
+                        remaining.insert(r.get_cell()?);
+                    }
+                    let alloc_union = r.get_channel_set()?;
+                    let used_union = r.get_channel_set()?;
+                    let k = r.get_len()?;
+                    let mut idle_by_owner = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        let owner = r.get_cell()?;
+                        let idle = r.get_channel_set()?;
+                        idle_by_owner.push((owner, idle));
+                    }
+                    SearchPhase::Collect {
+                        remaining,
+                        alloc_union,
+                        used_union,
+                        idle_by_owner,
+                    }
+                }
+                1 => {
+                    let ch = r.get_channel()?;
+                    let n = r.get_len()?;
+                    let mut remaining = BTreeSet::new();
+                    for _ in 0..n {
+                        remaining.insert(r.get_cell()?);
+                    }
+                    let g = r.get_len()?;
+                    let mut agreed = Vec::with_capacity(g);
+                    for _ in 0..g {
+                        agreed.push(r.get_cell()?);
+                    }
+                    let kept = r.get_bool()?;
+                    let c = r.get_len()?;
+                    let mut candidates = VecDeque::with_capacity(c);
+                    for _ in 0..c {
+                        let cand = r.get_channel()?;
+                        let o = r.get_len()?;
+                        let mut owners = Vec::with_capacity(o);
+                        for _ in 0..o {
+                            owners.push(r.get_cell()?);
+                        }
+                        candidates.push_back((cand, owners));
+                    }
+                    SearchPhase::Transfer {
+                        ch,
+                        remaining,
+                        agreed,
+                        kept,
+                        candidates,
+                    }
+                }
+                _ => return Err(DecodeError::Corrupt("advanced-search phase tag")),
+            };
+            Some(Search {
+                req,
+                ts,
+                started,
+                phase,
+            })
+        } else {
+            None
+        };
+        let n = r.get_len()?;
+        self.deferred = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            self.deferred.push_back(r.get_cell()?);
+        }
+        Ok(())
+    }
+
+    fn encode_msg(msg: &AdvancedSearchMsg, w: &mut Writer) {
+        match msg {
+            AdvancedSearchMsg::Confirm { ch, take } => {
+                w.put_u8(0);
+                w.put_channel(*ch);
+                w.put_bool(*take);
+            }
+            AdvancedSearchMsg::Request { ts } => {
+                w.put_u8(1);
+                codec::put_timestamp(w, *ts);
+            }
+            AdvancedSearchMsg::Response { allocated, used } => {
+                w.put_u8(2);
+                w.put_channel_set(allocated);
+                w.put_channel_set(used);
+            }
+            AdvancedSearchMsg::Transfer { ch } => {
+                w.put_u8(3);
+                w.put_channel(*ch);
+            }
+            AdvancedSearchMsg::Agree { ch } => {
+                w.put_u8(4);
+                w.put_channel(*ch);
+            }
+            AdvancedSearchMsg::Keep { ch } => {
+                w.put_u8(5);
+                w.put_channel(*ch);
+            }
+        }
+    }
+
+    fn decode_msg(r: &mut Reader<'_>) -> Result<AdvancedSearchMsg, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => AdvancedSearchMsg::Confirm {
+                ch: r.get_channel()?,
+                take: r.get_bool()?,
+            },
+            1 => AdvancedSearchMsg::Request {
+                ts: codec::get_timestamp(r)?,
+            },
+            2 => AdvancedSearchMsg::Response {
+                allocated: r.get_channel_set()?,
+                used: r.get_channel_set()?,
+            },
+            3 => AdvancedSearchMsg::Transfer {
+                ch: r.get_channel()?,
+            },
+            4 => AdvancedSearchMsg::Agree {
+                ch: r.get_channel()?,
+            },
+            5 => AdvancedSearchMsg::Keep {
+                ch: r.get_channel()?,
+            },
+            _ => return Err(DecodeError::Corrupt("advanced-search msg tag")),
+        })
     }
 }
 

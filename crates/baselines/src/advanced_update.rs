@@ -29,10 +29,13 @@
 //! wrap-around geometry; the restriction is the bounded-grid equivalent
 //! and only affects boundary cells.
 
+use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{
+    Ctx, DecodeError, Protocol, ProtocolState, Reader, RequestId, RequestKind, SimTime, Writer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the advanced update scheme.
@@ -444,6 +447,142 @@ impl Protocol for AdvancedUpdateNode {
                 }
             }
         }
+    }
+}
+
+impl ProtocolState for AdvancedUpdateNode {
+    const STATE_ID: &'static str = "advanced-update/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("aupdate.used");
+        w.put_channel_set(&self.used);
+        w.mark("aupdate.view");
+        codec::put_view(w, &self.view);
+        w.put_u64(self.clock.counter());
+        codec::put_call_queue(w, &self.call_q);
+        w.mark("aupdate.attempt");
+        match &self.attempt {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                w.put_u64(a.req.0);
+                w.put_channel(a.ch);
+                w.put_len(a.remaining.len());
+                for &j in &a.remaining {
+                    w.put_cell(j);
+                }
+                w.put_len(a.granted.len());
+                for &j in &a.granted {
+                    w.put_cell(j);
+                }
+                w.put_bool(a.failed);
+                w.put_u32(a.attempts_so_far);
+                w.put_channel_set(&a.tried);
+            }
+        }
+        w.mark("aupdate.pending_grants");
+        w.put_len(self.pending_grants.len());
+        for (&ch, &holder) in &self.pending_grants {
+            w.put_channel(ch);
+            w.put_cell(holder);
+        }
+        w.put_opt_u64(self.serving_since.map(|t| t.ticks()));
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.used = r.get_channel_set()?;
+        codec::get_view(r, &mut self.view)?;
+        self.clock = LamportClock::restore(self.me, r.get_u64()?);
+        self.call_q = codec::get_call_queue(r)?;
+        self.attempt = if r.get_bool()? {
+            let req = RequestId(r.get_u64()?);
+            let ch = r.get_channel()?;
+            let n = r.get_len()?;
+            let mut remaining = BTreeSet::new();
+            for _ in 0..n {
+                remaining.insert(r.get_cell()?);
+            }
+            let g = r.get_len()?;
+            let mut granted = Vec::with_capacity(g);
+            for _ in 0..g {
+                granted.push(r.get_cell()?);
+            }
+            Some(Attempt {
+                req,
+                ch,
+                remaining,
+                granted,
+                failed: r.get_bool()?,
+                attempts_so_far: r.get_u32()?,
+                tried: r.get_channel_set()?,
+            })
+        } else {
+            None
+        };
+        let n = r.get_len()?;
+        self.pending_grants = BTreeMap::new();
+        for _ in 0..n {
+            let ch = r.get_channel()?;
+            let holder = r.get_cell()?;
+            self.pending_grants.insert(ch, holder);
+        }
+        self.serving_since = r.get_opt_u64()?.map(SimTime);
+        Ok(())
+    }
+
+    fn encode_msg(msg: &AdvancedUpdateMsg, w: &mut Writer) {
+        match msg {
+            AdvancedUpdateMsg::Request { ch, ts } => {
+                w.put_u8(0);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+            }
+            AdvancedUpdateMsg::Grant { ch } => {
+                w.put_u8(1);
+                w.put_channel(*ch);
+            }
+            AdvancedUpdateMsg::CondGrant { ch } => {
+                w.put_u8(2);
+                w.put_channel(*ch);
+            }
+            AdvancedUpdateMsg::Reject { ch } => {
+                w.put_u8(3);
+                w.put_channel(*ch);
+            }
+            AdvancedUpdateMsg::Acquisition { ch } => {
+                w.put_u8(4);
+                w.put_channel(*ch);
+            }
+            AdvancedUpdateMsg::Release { ch } => {
+                w.put_u8(5);
+                w.put_channel(*ch);
+            }
+        }
+    }
+
+    fn decode_msg(r: &mut Reader<'_>) -> Result<AdvancedUpdateMsg, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => AdvancedUpdateMsg::Request {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+            },
+            1 => AdvancedUpdateMsg::Grant {
+                ch: r.get_channel()?,
+            },
+            2 => AdvancedUpdateMsg::CondGrant {
+                ch: r.get_channel()?,
+            },
+            3 => AdvancedUpdateMsg::Reject {
+                ch: r.get_channel()?,
+            },
+            4 => AdvancedUpdateMsg::Acquisition {
+                ch: r.get_channel()?,
+            },
+            5 => AdvancedUpdateMsg::Release {
+                ch: r.get_channel()?,
+            },
+            _ => return Err(DecodeError::Corrupt("advanced-update msg tag")),
+        })
     }
 }
 

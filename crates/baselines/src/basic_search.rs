@@ -14,10 +14,13 @@
 //! Cost per acquisition: `2N` messages, `(N_search + 1)·T` latency
 //! (Table 1).
 
+use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
+use adca_simkit::{
+    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, Writer,
+};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
@@ -422,6 +425,111 @@ impl Protocol for BasicSearchNode {
         self.search = None;
         self.deferred.clear();
         self.armed = None;
+    }
+}
+
+impl ProtocolState for BasicSearchNode {
+    const STATE_ID: &'static str = "basic-search/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("bsearch.used");
+        w.put_channel_set(&self.used);
+        w.put_u64(self.clock.counter());
+        codec::put_call_queue(w, &self.call_q);
+        w.mark("bsearch.search");
+        match &self.search {
+            None => w.put_bool(false),
+            Some(s) => {
+                w.put_bool(true);
+                w.put_u64(s.req.0);
+                codec::put_timestamp(w, s.ts);
+                w.put_time(s.started);
+                w.put_len(s.remaining.len());
+                for &j in &s.remaining {
+                    w.put_cell(j);
+                }
+                w.put_channel_set(&s.seen_used);
+                w.put_u32(s.retries);
+            }
+        }
+        w.mark("bsearch.deferred");
+        w.put_len(self.deferred.len());
+        for &(j, ts) in &self.deferred {
+            w.put_cell(j);
+            codec::put_timestamp(w, ts);
+        }
+        w.put_u64(self.timer_epoch);
+        w.put_opt_u64(self.armed);
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.used = r.get_channel_set()?;
+        self.clock = LamportClock::restore(self.me, r.get_u64()?);
+        self.call_q = codec::get_call_queue(r)?;
+        self.search = if r.get_bool()? {
+            let req = RequestId(r.get_u64()?);
+            let ts = codec::get_timestamp(r)?;
+            let started = r.get_time()?;
+            let n = r.get_len()?;
+            let mut remaining = BTreeSet::new();
+            for _ in 0..n {
+                remaining.insert(r.get_cell()?);
+            }
+            Some(Search {
+                req,
+                ts,
+                started,
+                remaining,
+                seen_used: r.get_channel_set()?,
+                retries: r.get_u32()?,
+            })
+        } else {
+            None
+        };
+        let n = r.get_len()?;
+        self.deferred = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let j = r.get_cell()?;
+            let ts = codec::get_timestamp(r)?;
+            self.deferred.push_back((j, ts));
+        }
+        self.timer_epoch = r.get_u64()?;
+        self.armed = r.get_opt_u64()?;
+        Ok(())
+    }
+
+    fn encode_msg(msg: &BasicSearchMsg, w: &mut Writer) {
+        match msg {
+            BasicSearchMsg::Request { ts } => {
+                w.put_u8(0);
+                codec::put_timestamp(w, *ts);
+            }
+            BasicSearchMsg::Response { used, ts } => {
+                w.put_u8(1);
+                w.put_channel_set(used);
+                codec::put_timestamp(w, *ts);
+            }
+            BasicSearchMsg::Busy { ts } => {
+                w.put_u8(2);
+                codec::put_timestamp(w, *ts);
+            }
+        }
+    }
+
+    fn decode_msg(r: &mut Reader<'_>) -> Result<BasicSearchMsg, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => BasicSearchMsg::Request {
+                ts: codec::get_timestamp(r)?,
+            },
+            1 => BasicSearchMsg::Response {
+                used: r.get_channel_set()?,
+                ts: codec::get_timestamp(r)?,
+            },
+            2 => BasicSearchMsg::Busy {
+                ts: codec::get_timestamp(r)?,
+            },
+            _ => return Err(DecodeError::Corrupt("basic-search msg tag")),
+        })
     }
 }
 

@@ -13,10 +13,14 @@
 //! latency, with an *unbounded* number of attempts `m` under contention —
 //! the starvation the adaptive scheme's `α` bound eliminates.
 
+use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind};
+use adca_simkit::{
+    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, SimTime,
+    Writer,
+};
 use std::collections::BTreeSet;
 
 /// Configuration of the basic update baseline.
@@ -492,6 +496,135 @@ impl Protocol for BasicUpdateNode {
         self.attempt = None;
         self.serving_since = None;
         self.armed = None;
+    }
+}
+
+impl ProtocolState for BasicUpdateNode {
+    const STATE_ID: &'static str = "basic-update/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("bupdate.used");
+        w.put_channel_set(&self.used);
+        w.mark("bupdate.view");
+        codec::put_view(w, &self.view);
+        w.put_u64(self.clock.counter());
+        codec::put_call_queue(w, &self.call_q);
+        w.mark("bupdate.attempt");
+        match &self.attempt {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                w.put_u64(a.req.0);
+                codec::put_timestamp(w, a.ts);
+                w.put_channel(a.ch);
+                w.put_len(a.remaining.len());
+                for &j in &a.remaining {
+                    w.put_cell(j);
+                }
+                w.put_len(a.granted.len());
+                for &j in &a.granted {
+                    w.put_cell(j);
+                }
+                w.put_bool(a.rejected);
+                w.put_bool(a.aborted);
+                w.put_u32(a.attempts_so_far);
+                w.put_u32(a.retries);
+            }
+        }
+        w.put_opt_u64(self.serving_since.map(|t| t.ticks()));
+        w.put_u64(self.timer_epoch);
+        w.put_opt_u64(self.armed);
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.used = r.get_channel_set()?;
+        codec::get_view(r, &mut self.view)?;
+        self.clock = LamportClock::restore(self.me, r.get_u64()?);
+        self.call_q = codec::get_call_queue(r)?;
+        self.attempt = if r.get_bool()? {
+            let req = RequestId(r.get_u64()?);
+            let ts = codec::get_timestamp(r)?;
+            let ch = r.get_channel()?;
+            let n = r.get_len()?;
+            let mut remaining = BTreeSet::new();
+            for _ in 0..n {
+                remaining.insert(r.get_cell()?);
+            }
+            let g = r.get_len()?;
+            let mut granted = Vec::with_capacity(g);
+            for _ in 0..g {
+                granted.push(r.get_cell()?);
+            }
+            Some(Attempt {
+                req,
+                ts,
+                ch,
+                remaining,
+                granted,
+                rejected: r.get_bool()?,
+                aborted: r.get_bool()?,
+                attempts_so_far: r.get_u32()?,
+                retries: r.get_u32()?,
+            })
+        } else {
+            None
+        };
+        self.serving_since = r.get_opt_u64()?.map(SimTime);
+        self.timer_epoch = r.get_u64()?;
+        self.armed = r.get_opt_u64()?;
+        Ok(())
+    }
+
+    fn encode_msg(msg: &BasicUpdateMsg, w: &mut Writer) {
+        match msg {
+            BasicUpdateMsg::Request { ch, ts } => {
+                w.put_u8(0);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+            }
+            BasicUpdateMsg::Grant { ch, ts } => {
+                w.put_u8(1);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+            }
+            BasicUpdateMsg::Reject { ch, ts } => {
+                w.put_u8(2);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+            }
+            BasicUpdateMsg::Acquisition { ch } => {
+                w.put_u8(3);
+                w.put_channel(*ch);
+            }
+            BasicUpdateMsg::Release { ch } => {
+                w.put_u8(4);
+                w.put_channel(*ch);
+            }
+        }
+    }
+
+    fn decode_msg(r: &mut Reader<'_>) -> Result<BasicUpdateMsg, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => BasicUpdateMsg::Request {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+            },
+            1 => BasicUpdateMsg::Grant {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+            },
+            2 => BasicUpdateMsg::Reject {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+            },
+            3 => BasicUpdateMsg::Acquisition {
+                ch: r.get_channel()?,
+            },
+            4 => BasicUpdateMsg::Release {
+                ch: r.get_channel()?,
+            },
+            _ => return Err(DecodeError::Corrupt("basic-update msg tag")),
+        })
     }
 }
 

@@ -9,7 +9,9 @@
 
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
 use adca_simkit::trace::{AcqPath, TraceEvent};
-use adca_simkit::{Ctx, Protocol, RequestId, RequestKind};
+use adca_simkit::{
+    Ctx, DecodeError, Protocol, ProtocolState, Reader, RequestId, RequestKind, Writer,
+};
 
 /// A mobile service station running fixed allocation.
 #[derive(Debug, Clone)]
@@ -85,6 +87,26 @@ impl Protocol for FixedNode {
 
     fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {
         unreachable!("fixed allocation exchanges no messages");
+    }
+}
+
+impl ProtocolState for FixedNode {
+    const STATE_ID: &'static str = "fixed/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("fixed.used");
+        w.put_channel_set(&self.used);
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.used = r.get_channel_set()?;
+        Ok(())
+    }
+
+    fn encode_msg(_msg: &(), _w: &mut Writer) {}
+
+    fn decode_msg(_r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        Ok(())
     }
 }
 

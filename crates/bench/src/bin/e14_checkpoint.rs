@@ -1,0 +1,230 @@
+//! `e14_checkpoint` — the snapshot subsystem's perf and correctness
+//! baseline (`BENCH_snapshot.json`).
+//!
+//! Over the `e9_scalability` grid sweep, for every scheme:
+//!
+//! * run cold to the horizon, then re-run to the midpoint, snapshot,
+//!   restore, and finish — asserting whole-report **resume identity**
+//!   at every system size while timing `snapshot()`/`restore()` and
+//!   recording the snapshot size;
+//! * time a seeded replication sweep cold
+//!   ([`SweepRunner::run_replicated`]) against the same sweep
+//!   **warm-started** off one midpoint snapshot per scheme
+//!   ([`SweepRunner::run_replicated_warm`]), recording the wall-clock
+//!   speedup branching buys.
+//!
+//! ```text
+//! cargo run --release -p adca-bench --bin e14_checkpoint -- \
+//!     [--smoke] [--seeds N] [--out PATH]
+//! ```
+//!
+//! * `--smoke` restricts the sweep to the two smallest grids (CI).
+//! * `--seeds N` replicates the warm-start comparison over N seeds
+//!   (default 4; more seeds amortize the shared warmup further).
+//! * `--out` overrides the output path (default `BENCH_snapshot.json`).
+
+use adca_harness::{Scenario, SchemeKind, SweepRunner};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const HORIZON: u64 = 100_000;
+const RHO: f64 = 0.9;
+const GRIDS: [(u32, u32); 6] = [(6, 6), (9, 9), (12, 12), (16, 16), (20, 20), (24, 24)];
+
+struct SnapRow {
+    scheme: String,
+    grid: String,
+    cells: u64,
+    snapshot_bytes: usize,
+    save_ms: f64,
+    restore_ms: f64,
+    cold_wall_s: f64,
+    resume_wall_s: f64,
+}
+
+struct WarmRow {
+    grid: String,
+    seeds: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seeds: usize = 4;
+    let mut out_path = "BENCH_snapshot.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds needs a positive integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    assert!(seeds >= 1, "--seeds needs a positive integer");
+    let grids: &[(u32, u32)] = if smoke { &GRIDS[..2] } else { &GRIDS[..] };
+    let seed_list: Vec<u64> = (1..=seeds as u64).collect();
+    let ckpt_at = HORIZON / 2;
+
+    println!(
+        "e14_checkpoint: e9 workload (rho={RHO}, horizon={HORIZON}), \
+         checkpoint at {ckpt_at}, {seeds} warm-start seeds"
+    );
+    let runner = SweepRunner::new();
+    let mut rows: Vec<SnapRow> = Vec::new();
+    let mut warm_rows: Vec<WarmRow> = Vec::new();
+    for &(r, c) in grids {
+        let sc = Scenario::uniform(RHO, HORIZON).with_grid(r, c);
+        let grid = format!("{r}x{c}");
+        let topo = sc.topology();
+        let arrivals = sc.arrivals(&topo);
+        for kind in SchemeKind::ALL {
+            let cold = sc.run_with(kind, topo.clone(), arrivals.clone());
+            cold.report.assert_clean();
+            let probe = sc.checkpoint_probe(kind, ckpt_at);
+            assert_eq!(
+                cold.report, probe.resumed.report,
+                "{kind} on {grid}: snapshot/restore at the midpoint diverged \
+                 from the cold run"
+            );
+            let row = SnapRow {
+                scheme: kind.name().to_string(),
+                grid: grid.clone(),
+                cells: (r * c) as u64,
+                snapshot_bytes: probe.snapshot_len,
+                save_ms: probe.save.as_secs_f64() * 1e3,
+                restore_ms: probe.restore.as_secs_f64() * 1e3,
+                cold_wall_s: cold.wall.as_secs_f64(),
+                resume_wall_s: probe.resumed.wall.as_secs_f64(),
+            };
+            println!(
+                "  {:<16} {:>6}  snapshot={:>9}B  save={:>7.3}ms  restore={:>7.3}ms  resume=identical",
+                row.scheme, row.grid, row.snapshot_bytes, row.save_ms, row.restore_ms,
+            );
+            rows.push(row);
+        }
+        // Warm-start speedup: shared warmup + branches vs cold replicas.
+        let t_cold = Instant::now();
+        let cold_reps = runner.run_replicated(&sc, &SchemeKind::ALL, &seed_list);
+        let cold_wall = t_cold.elapsed().as_secs_f64();
+        let t_warm = Instant::now();
+        let warm_reps = runner.run_replicated_warm(&sc, &SchemeKind::ALL, &seed_list, ckpt_at);
+        let warm_wall = t_warm.elapsed().as_secs_f64();
+        assert_eq!(cold_reps.len(), warm_reps.len());
+        for (cold_rep, warm_rep) in cold_reps.iter().zip(&warm_reps) {
+            assert_eq!(cold_rep.scheme, warm_rep.scheme);
+            assert_eq!(warm_rep.replications(), seed_list.len());
+            for run in &warm_rep.runs {
+                assert!(
+                    run.report.offered_calls > 0,
+                    "{}: a branched run must see post-branch arrivals",
+                    warm_rep.scheme
+                );
+            }
+        }
+        let row = WarmRow {
+            grid: grid.clone(),
+            seeds: seed_list.len(),
+            cold_wall_s: cold_wall,
+            warm_wall_s: warm_wall,
+            speedup: cold_wall / warm_wall,
+        };
+        println!(
+            "  {:<16} {:>6}  cold_sweep={:>7.3}s  warm_sweep={:>7.3}s  speedup={:.2}x",
+            "warm-start", row.grid, row.cold_wall_s, row.warm_wall_s, row.speedup,
+        );
+        warm_rows.push(row);
+    }
+    // Periodic on-disk checkpointing at the `ADCA_CKPT_EVERY` cadence:
+    // the writes must not disturb the run, and the file left behind must
+    // resume to the bit-identical report.
+    let every = adca_harness::ckpt_every();
+    let sc = Scenario::uniform(RHO, HORIZON).with_grid(6, 6);
+    let path = std::env::temp_dir().join("e14_adaptive.ckpt");
+    let cold = sc.run(SchemeKind::Adaptive);
+    let ckpt = sc
+        .run_checkpointed(SchemeKind::Adaptive, &path, every)
+        .expect("checkpoint file is writable");
+    assert_eq!(
+        cold.report, ckpt.report,
+        "checkpoint writes disturbed the run"
+    );
+    let resumed = sc
+        .resume_from(SchemeKind::Adaptive, &path)
+        .expect("own checkpoint file restores");
+    assert_eq!(
+        cold.report, resumed.report,
+        "resume_from diverged from cold"
+    );
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "  periodic checkpointing every {every} ticks: run undisturbed, file resumes identical"
+    );
+
+    write_json(&out_path, smoke, seeds, ckpt_at, &rows, &warm_rows)
+        .unwrap_or_else(|e| panic!("cannot write `{out_path}`: {e}"));
+    println!(
+        "wrote {out_path} ({} snapshot rows, {} warm-start rows)",
+        rows.len(),
+        warm_rows.len()
+    );
+}
+
+/// `BENCH_engine.json`-style hand-rolled JSON (no serde in the
+/// workspace): one row per line so `jq`/grep tooling stays trivial.
+fn write_json(
+    path: &str,
+    smoke: bool,
+    seeds: usize,
+    ckpt_at: u64,
+    rows: &[SnapRow],
+    warm: &[WarmRow],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"e14_checkpoint\",\n");
+    s.push_str("  \"workload\": \"e9_scalability grid sweep\",\n");
+    let _ = writeln!(s, "  \"rho\": {RHO},");
+    let _ = writeln!(s, "  \"horizon_ticks\": {HORIZON},");
+    let _ = writeln!(s, "  \"checkpoint_at_ticks\": {ckpt_at},");
+    let _ = writeln!(s, "  \"warm_start_seeds\": {seeds},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"grid\": \"{}\", \"cells\": {}, \
+             \"snapshot_bytes\": {}, \"save_ms\": {:.3}, \"restore_ms\": {:.3}, \
+             \"cold_wall_s\": {:.6}, \"resume_wall_s\": {:.6}, \"resume_identical\": true}}",
+            r.scheme,
+            r.grid,
+            r.cells,
+            r.snapshot_bytes,
+            r.save_ms,
+            r.restore_ms,
+            r.cold_wall_s,
+            r.resume_wall_s,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"warm_start\": [\n");
+    for (i, r) in warm.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"grid\": \"{}\", \"seeds\": {}, \"cold_wall_s\": {:.6}, \
+             \"warm_wall_s\": {:.6}, \"speedup\": {:.3}}}",
+            r.grid, r.seeds, r.cold_wall_s, r.warm_wall_s, r.speedup,
+        );
+        s.push_str(if i + 1 < warm.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}

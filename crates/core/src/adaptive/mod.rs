@@ -41,6 +41,7 @@
 //!    ambiguous; running it unconditionally can only make mode switches
 //!    timelier and does not change the protocol's messages otherwise).
 
+use crate::codec;
 use crate::config::AdaptiveConfig;
 use crate::lamport::{LamportClock, Timestamp};
 use crate::nfc::NfcWindow;
@@ -48,7 +49,10 @@ use crate::queue::CallQueue;
 use crate::view::NeighborView;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{Ctx, DropCause, Protocol, RequestId, RequestKind, SimTime};
+use adca_simkit::{
+    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, SimTime,
+    Writer,
+};
 use std::collections::{BTreeSet, VecDeque};
 
 #[cfg(test)]
@@ -1690,5 +1694,314 @@ impl Protocol for AdaptiveNode {
                 self.on_response(from, msg, ctx);
             }
         }
+    }
+}
+
+fn put_phase(w: &mut Writer, phase: &Phase) {
+    match phase {
+        Phase::WaitQuiet => w.put_u8(0),
+        Phase::AwaitStatus { remaining } => {
+            w.put_u8(1);
+            w.put_u64(remaining.0);
+        }
+        Phase::Update {
+            ch,
+            remaining,
+            granted,
+            rejected,
+        } => {
+            w.put_u8(2);
+            w.put_channel(*ch);
+            w.put_u64(remaining.0);
+            w.put_len(granted.len());
+            for &j in granted {
+                w.put_cell(j);
+            }
+            w.put_bool(*rejected);
+        }
+        Phase::Search { remaining } => {
+            w.put_u8(3);
+            w.put_u64(remaining.0);
+        }
+    }
+}
+
+fn get_phase(r: &mut Reader<'_>, region_len: usize) -> Result<Phase, DecodeError> {
+    let get_mask = |r: &mut Reader<'_>| -> Result<RegionMask, DecodeError> {
+        let bits = r.get_u64()?;
+        if bits & !RegionMask::full(region_len).0 != 0 {
+            return Err(DecodeError::Corrupt("region mask out of range"));
+        }
+        Ok(RegionMask(bits))
+    };
+    Ok(match r.get_u8()? {
+        0 => Phase::WaitQuiet,
+        1 => Phase::AwaitStatus {
+            remaining: get_mask(r)?,
+        },
+        2 => {
+            let ch = r.get_channel()?;
+            let remaining = get_mask(r)?;
+            let n = r.get_len()?;
+            let mut granted = Vec::with_capacity(n);
+            for _ in 0..n {
+                granted.push(r.get_cell()?);
+            }
+            Phase::Update {
+                ch,
+                remaining,
+                granted,
+                rejected: r.get_bool()?,
+            }
+        }
+        3 => Phase::Search {
+            remaining: get_mask(r)?,
+        },
+        _ => return Err(DecodeError::Corrupt("adaptive phase tag")),
+    })
+}
+
+fn put_opt_channel(w: &mut Writer, ch: Option<Channel>) {
+    match ch {
+        None => w.put_bool(false),
+        Some(c) => {
+            w.put_bool(true);
+            w.put_channel(c);
+        }
+    }
+}
+
+fn get_opt_channel(r: &mut Reader<'_>) -> Result<Option<Channel>, DecodeError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_channel()?)
+    } else {
+        None
+    })
+}
+
+impl ProtocolState for AdaptiveNode {
+    const STATE_ID: &'static str = "adaptive/v1";
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.mark("adaptive.used");
+        w.put_channel_set(&self.used);
+        w.mark("adaptive.view");
+        codec::put_view(w, &self.view);
+        w.mark("adaptive.nfc");
+        codec::put_nfc(w, &self.nfc);
+        w.mark("adaptive.mode");
+        w.put_u8(self.mode.index());
+        w.put_len(self.update_subs.len());
+        for &j in &self.update_subs {
+            w.put_cell(j);
+        }
+        w.mark("adaptive.defer_q");
+        w.put_len(self.defer_q.len());
+        for d in &self.defer_q {
+            match d {
+                Deferred::Update {
+                    from,
+                    ch,
+                    ts,
+                    round,
+                } => {
+                    w.put_u8(0);
+                    w.put_cell(*from);
+                    w.put_channel(*ch);
+                    codec::put_timestamp(w, *ts);
+                    w.put_u32(*round);
+                }
+                Deferred::Search { from, ts, round } => {
+                    w.put_u8(1);
+                    w.put_cell(*from);
+                    codec::put_timestamp(w, *ts);
+                    w.put_u32(*round);
+                }
+            }
+        }
+        w.mark("adaptive.owed");
+        w.put_len(self.owed.len());
+        for &(j, ts, at) in &self.owed {
+            w.put_cell(j);
+            codec::put_timestamp(w, ts);
+            w.put_time(at);
+        }
+        w.put_u32(self.rounds);
+        w.put_u64(self.clock.counter());
+        codec::put_call_queue(w, &self.call_q);
+        w.mark("adaptive.attempt");
+        match &self.attempt {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                w.put_u64(a.req.0);
+                codec::put_timestamp(w, a.ts);
+                w.put_time(a.started);
+                put_phase(w, &a.phase);
+                w.put_u32(a.retries);
+                w.put_u32(a.round_seq);
+            }
+        }
+        w.put_bool(self.force_search);
+        w.put_u64(self.timer_epoch);
+        w.put_opt_u64(self.armed);
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.used = r.get_channel_set()?;
+        codec::get_view(r, &mut self.view)?;
+        self.nfc = codec::get_nfc(r, self.cfg.window)?;
+        self.mode = match r.get_u8()? {
+            0 => Mode::Local,
+            1 => Mode::Borrowing,
+            2 => Mode::BorrowUpdate,
+            3 => Mode::BorrowSearch,
+            _ => return Err(DecodeError::Corrupt("adaptive mode tag")),
+        };
+        let n = r.get_len()?;
+        self.update_subs = BTreeSet::new();
+        for _ in 0..n {
+            self.update_subs.insert(r.get_cell()?);
+        }
+        let n = r.get_len()?;
+        self.defer_q = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let d = match r.get_u8()? {
+                0 => Deferred::Update {
+                    from: r.get_cell()?,
+                    ch: r.get_channel()?,
+                    ts: codec::get_timestamp(r)?,
+                    round: r.get_u32()?,
+                },
+                1 => Deferred::Search {
+                    from: r.get_cell()?,
+                    ts: codec::get_timestamp(r)?,
+                    round: r.get_u32()?,
+                },
+                _ => return Err(DecodeError::Corrupt("adaptive deferred tag")),
+            };
+            self.defer_q.push_back(d);
+        }
+        let n = r.get_len()?;
+        self.owed = Vec::with_capacity(n);
+        for _ in 0..n {
+            let j = r.get_cell()?;
+            let ts = codec::get_timestamp(r)?;
+            let at = r.get_time()?;
+            self.owed.push((j, ts, at));
+        }
+        self.rounds = r.get_u32()?;
+        self.clock = LamportClock::restore(self.me, r.get_u64()?);
+        self.call_q = codec::get_call_queue(r)?;
+        self.attempt = if r.get_bool()? {
+            Some(Attempt {
+                req: RequestId(r.get_u64()?),
+                ts: codec::get_timestamp(r)?,
+                started: r.get_time()?,
+                phase: get_phase(r, self.region.len())?,
+                retries: r.get_u32()?,
+                round_seq: r.get_u32()?,
+            })
+        } else {
+            None
+        };
+        self.force_search = r.get_bool()?;
+        self.timer_epoch = r.get_u64()?;
+        self.armed = r.get_opt_u64()?;
+        Ok(())
+    }
+
+    fn encode_msg(msg: &AdaptiveMsg, w: &mut Writer) {
+        match msg {
+            AdaptiveMsg::Request { update, ts, round } => {
+                w.put_u8(0);
+                put_opt_channel(w, *update);
+                codec::put_timestamp(w, *ts);
+                w.put_u32(*round);
+            }
+            AdaptiveMsg::Reject { ch, ts, round } => {
+                w.put_u8(1);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+                w.put_u32(*round);
+            }
+            AdaptiveMsg::Grant { ch, ts, round } => {
+                w.put_u8(2);
+                w.put_channel(*ch);
+                codec::put_timestamp(w, *ts);
+                w.put_u32(*round);
+            }
+            AdaptiveMsg::SearchUse { used, ts, round } => {
+                w.put_u8(3);
+                w.put_channel_set(used);
+                codec::put_timestamp(w, *ts);
+                w.put_u32(*round);
+            }
+            AdaptiveMsg::Status { used } => {
+                w.put_u8(4);
+                w.put_channel_set(used);
+            }
+            AdaptiveMsg::Busy { ts, round } => {
+                w.put_u8(5);
+                codec::put_timestamp(w, *ts);
+                w.put_u32(*round);
+            }
+            AdaptiveMsg::ChangeMode { borrowing } => {
+                w.put_u8(6);
+                w.put_bool(*borrowing);
+            }
+            AdaptiveMsg::Release { ch } => {
+                w.put_u8(7);
+                w.put_channel(*ch);
+            }
+            AdaptiveMsg::Acquisition { search, ch } => {
+                w.put_u8(8);
+                w.put_bool(*search);
+                put_opt_channel(w, *ch);
+            }
+        }
+    }
+
+    fn decode_msg(r: &mut Reader<'_>) -> Result<AdaptiveMsg, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => AdaptiveMsg::Request {
+                update: get_opt_channel(r)?,
+                ts: codec::get_timestamp(r)?,
+                round: r.get_u32()?,
+            },
+            1 => AdaptiveMsg::Reject {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+                round: r.get_u32()?,
+            },
+            2 => AdaptiveMsg::Grant {
+                ch: r.get_channel()?,
+                ts: codec::get_timestamp(r)?,
+                round: r.get_u32()?,
+            },
+            3 => AdaptiveMsg::SearchUse {
+                used: r.get_channel_set()?,
+                ts: codec::get_timestamp(r)?,
+                round: r.get_u32()?,
+            },
+            4 => AdaptiveMsg::Status {
+                used: r.get_channel_set()?,
+            },
+            5 => AdaptiveMsg::Busy {
+                ts: codec::get_timestamp(r)?,
+                round: r.get_u32()?,
+            },
+            6 => AdaptiveMsg::ChangeMode {
+                borrowing: r.get_bool()?,
+            },
+            7 => AdaptiveMsg::Release {
+                ch: r.get_channel()?,
+            },
+            8 => AdaptiveMsg::Acquisition {
+                search: r.get_bool()?,
+                ch: get_opt_channel(r)?,
+            },
+            _ => return Err(DecodeError::Corrupt("adaptive msg tag")),
+        })
     }
 }

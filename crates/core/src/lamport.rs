@@ -60,6 +60,16 @@ impl LamportClock {
     pub fn counter(&self) -> u64 {
         self.counter
     }
+
+    /// Reconstructs a clock at an exact counter position (checkpoint
+    /// restore). Equivalent to `new` followed by the same tick/observe
+    /// history.
+    pub fn restore(node: CellId, counter: u64) -> Self {
+        LamportClock {
+            counter,
+            node: node.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod codec;
 pub mod config;
 pub mod lamport;
 pub mod nfc;

@@ -104,6 +104,19 @@ impl NfcWindow {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The retained `(t, s)` entries, oldest first (checkpoint encode).
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Appends an entry verbatim, bypassing coalescing and pruning
+    /// (checkpoint restore). Entries must be replayed oldest first,
+    /// exactly as yielded by [`NfcWindow::entries`].
+    pub fn restore_entry(&mut self, t: SimTime, s: u32) {
+        debug_assert!(self.entries.back().is_none_or(|&(lt, _)| lt <= t));
+        self.entries.push_back((t, s));
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,12 @@ impl CallQueue {
     pub fn is_empty(&self) -> bool {
         self.q.is_empty()
     }
+
+    /// Iterates over queued requests head-first (checkpoint encode; the
+    /// restore side replays them through [`CallQueue::push`]).
+    pub fn iter(&self) -> impl Iterator<Item = (RequestId, RequestKind)> + '_ {
+        self.q.iter().copied()
+    }
 }
 
 #[cfg(test)]

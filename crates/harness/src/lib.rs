@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod scenario;
 pub mod summary;
 pub mod sweep;
 
-pub use scenario::{Scenario, SchemeKind};
+pub use checkpoint::{ckpt_every, CheckpointError, CKPT_EVERY_ENV, DEFAULT_CKPT_EVERY};
+pub use scenario::{CheckpointProbe, Scenario, SchemeKind};
 pub use summary::RunSummary;
 pub use sweep::{run_jobs, run_jobs_on, Replicated, SweepRunner, THREADS_ENV};

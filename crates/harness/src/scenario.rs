@@ -1,5 +1,6 @@
 //! Scenario description and scheme dispatch.
 
+use crate::checkpoint::CheckpointError;
 use crate::summary::RunSummary;
 use adca_baselines::{
     AdvancedSearchNode, AdvancedUpdateNode, BasicSearchConfig, BasicSearchNode, BasicUpdateConfig,
@@ -7,11 +8,52 @@ use adca_baselines::{
 };
 use adca_core::{AdaptiveConfig, AdaptiveNode};
 use adca_hexgrid::Topology;
-use adca_simkit::engine::{run_protocol, run_traced};
-use adca_simkit::trace::TraceSink;
-use adca_simkit::{Arrival, AuditMode, FaultPlan, LatencyModel, SimConfig};
+use adca_simkit::engine::{run_protocol, run_traced, Engine};
+use adca_simkit::trace::{NoopSink, TraceSink};
+use adca_simkit::{Arrival, AuditMode, DecodeError, FaultPlan, LatencyModel, SimConfig, SimTime};
 use adca_traffic::WorkloadSpec;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Expands `$body` once per scheme with `$factory` bound to that
+/// scheme's node factory (a `Clone` closure/fn suitable for
+/// `Engine::new` *and* `Engine::restore*`), so run, trace, snapshot,
+/// and restore entry points all dispatch through one definition instead
+/// of six hand-copied match arms each.
+macro_rules! dispatch_scheme {
+    ($sc:expr, $kind:expr, $factory:ident => $body:expr) => {{
+        match $kind {
+            SchemeKind::Fixed => {
+                let $factory = FixedNode::new;
+                $body
+            }
+            SchemeKind::BasicSearch => {
+                let bs = $sc.basic_search.clone();
+                let $factory = move |c, t: &_| BasicSearchNode::with_config(c, t, bs.clone());
+                $body
+            }
+            SchemeKind::BasicUpdate => {
+                let bu = $sc.basic_update.clone();
+                let $factory = move |c, t: &_| BasicUpdateNode::new(c, t, bu.clone());
+                $body
+            }
+            SchemeKind::AdvancedUpdate => {
+                let $factory = AdvancedUpdateNode::new;
+                $body
+            }
+            SchemeKind::AdvancedSearch => {
+                let $factory = AdvancedSearchNode::new;
+                $body
+            }
+            SchemeKind::Adaptive => {
+                let ac = $sc.adaptive.clone();
+                let $factory = move |c, t: &_| AdaptiveNode::new(c, t, ac.clone());
+                $body
+            }
+        }
+    }};
+}
 
 /// The six channel-allocation schemes under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,6 +164,9 @@ pub struct Scenario {
     pub sim_seed: u64,
     /// Audit behavior.
     pub audit: AuditMode,
+    /// Record a full message trace in every report (off by default —
+    /// traces grow with the horizon).
+    pub trace: bool,
     /// Wrap the grid onto a torus (no boundary effects; requires
     /// pattern-compatible dimensions, e.g. 14×14 for the 7-cell cluster).
     pub wrap: bool,
@@ -150,6 +195,7 @@ impl Scenario {
             watchdog_ticks: SimConfig::default().watchdog_ticks,
             sim_seed: 0xADCA,
             audit: AuditMode::Panic,
+            trace: false,
             wrap: false,
         }
     }
@@ -188,6 +234,12 @@ impl Scenario {
     /// Overrides the liveness watchdog bound (`None` disables it).
     pub fn with_watchdog(mut self, ticks: Option<u64>) -> Self {
         self.watchdog_ticks = ticks;
+        self
+    }
+
+    /// Turns full message tracing on or off (reports carry the trace).
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -233,6 +285,7 @@ impl Scenario {
             audit: self.audit,
             faults: self.faults.clone(),
             watchdog_ticks: self.watchdog_ticks,
+            trace: self.trace,
             ..Default::default()
         }
     }
@@ -253,43 +306,9 @@ impl Scenario {
         arrivals: Vec<Arrival>,
     ) -> RunSummary {
         let cfg = self.sim_config();
-        let started = std::time::Instant::now();
-        let report = match kind {
-            SchemeKind::Fixed => run_protocol(topo, cfg, FixedNode::new, arrivals),
-            SchemeKind::BasicSearch => {
-                let bs = self.basic_search.clone();
-                run_protocol(
-                    topo,
-                    cfg,
-                    move |c, t| BasicSearchNode::with_config(c, t, bs.clone()),
-                    arrivals,
-                )
-            }
-            SchemeKind::BasicUpdate => {
-                let bu = self.basic_update.clone();
-                run_protocol(
-                    topo,
-                    cfg,
-                    move |c, t| BasicUpdateNode::new(c, t, bu.clone()),
-                    arrivals,
-                )
-            }
-            SchemeKind::AdvancedUpdate => {
-                run_protocol(topo, cfg, AdvancedUpdateNode::new, arrivals)
-            }
-            SchemeKind::AdvancedSearch => {
-                run_protocol(topo, cfg, AdvancedSearchNode::new, arrivals)
-            }
-            SchemeKind::Adaptive => {
-                let ac = self.adaptive.clone();
-                run_protocol(
-                    topo,
-                    cfg,
-                    move |c, t| AdaptiveNode::new(c, t, ac.clone()),
-                    arrivals,
-                )
-            }
-        };
+        let started = Instant::now();
+        let report =
+            dispatch_scheme!(self, kind, factory => run_protocol(topo, cfg, factory, arrivals));
         RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed())
     }
 
@@ -307,46 +326,10 @@ impl Scenario {
         sink: S,
     ) -> (RunSummary, S) {
         let cfg = self.sim_config();
-        let started = std::time::Instant::now();
-        let (report, sink) = match kind {
-            SchemeKind::Fixed => run_traced(topo, cfg, FixedNode::new, arrivals, sink),
-            SchemeKind::BasicSearch => {
-                let bs = self.basic_search.clone();
-                run_traced(
-                    topo,
-                    cfg,
-                    move |c, t| BasicSearchNode::with_config(c, t, bs.clone()),
-                    arrivals,
-                    sink,
-                )
-            }
-            SchemeKind::BasicUpdate => {
-                let bu = self.basic_update.clone();
-                run_traced(
-                    topo,
-                    cfg,
-                    move |c, t| BasicUpdateNode::new(c, t, bu.clone()),
-                    arrivals,
-                    sink,
-                )
-            }
-            SchemeKind::AdvancedUpdate => {
-                run_traced(topo, cfg, AdvancedUpdateNode::new, arrivals, sink)
-            }
-            SchemeKind::AdvancedSearch => {
-                run_traced(topo, cfg, AdvancedSearchNode::new, arrivals, sink)
-            }
-            SchemeKind::Adaptive => {
-                let ac = self.adaptive.clone();
-                run_traced(
-                    topo,
-                    cfg,
-                    move |c, t| AdaptiveNode::new(c, t, ac.clone()),
-                    arrivals,
-                    sink,
-                )
-            }
-        };
+        let started = Instant::now();
+        let (report, sink) = dispatch_scheme!(self, kind, factory => {
+            run_traced(topo, cfg, factory, arrivals, sink)
+        });
         (
             RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed()),
             sink,
@@ -362,6 +345,165 @@ impl Scenario {
             .map(|&k| self.run_with(k, topo.clone(), arrivals.clone()))
             .collect()
     }
+
+    /// Runs `kind` up to tick `warmup` (inclusive) and returns the
+    /// engine snapshot — the warm-start primitive sweeps branch off.
+    pub fn warmup_snapshot(&self, kind: SchemeKind, warmup: u64) -> Vec<u8> {
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        self.warmup_snapshot_with(kind, topo, arrivals, warmup)
+    }
+
+    /// [`Scenario::warmup_snapshot`] over a pre-built topology and
+    /// workload.
+    pub fn warmup_snapshot_with(
+        &self,
+        kind: SchemeKind,
+        topo: Arc<Topology>,
+        arrivals: Vec<Arrival>,
+        warmup: u64,
+    ) -> Vec<u8> {
+        let cfg = self.sim_config();
+        dispatch_scheme!(self, kind, factory => {
+            let mut engine = Engine::new(topo, cfg, factory, arrivals);
+            engine.run_until(SimTime(warmup));
+            engine.snapshot()
+        })
+    }
+
+    /// Restores exact-checkpoint bytes (as produced by
+    /// [`Scenario::warmup_snapshot`] or [`Scenario::run_checkpointed`])
+    /// and runs to completion. The scenario must match the one the
+    /// snapshot was taken under — including seeds — or the restore
+    /// reports a [`DecodeError::Mismatch`] naming the differing field.
+    pub fn resume_bytes(&self, kind: SchemeKind, snap: &[u8]) -> Result<RunSummary, DecodeError> {
+        let topo = self.topology();
+        let cfg = self.sim_config();
+        let started = Instant::now();
+        let report = dispatch_scheme!(self, kind, factory => {
+            Engine::restore(topo, cfg, factory, snap)?.run()
+        });
+        Ok(RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed()))
+    }
+
+    /// Reads a checkpoint file and resumes it to completion.
+    pub fn resume_from(
+        &self,
+        kind: SchemeKind,
+        path: &Path,
+    ) -> Result<RunSummary, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Ok(self.resume_bytes(kind, &bytes)?)
+    }
+
+    /// *Branches* warm-start snapshot bytes into **this** scenario: the
+    /// live state (calls up, channels held, messages in flight) carries
+    /// over, while the RNG streams are reseeded from this scenario's
+    /// seeds and this scenario's post-`warmup` arrivals replace the
+    /// warmup workload's future. Core config (grid, latency, audit, …)
+    /// must still match the snapshot.
+    ///
+    /// The summary's report covers exactly the post-branch window; see
+    /// [`Engine::restore_branched`] for the precise semantics.
+    pub fn run_branched(&self, kind: SchemeKind, snap: &[u8]) -> Result<RunSummary, DecodeError> {
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        let cfg = self.sim_config();
+        let started = Instant::now();
+        let report = dispatch_scheme!(self, kind, factory => {
+            Engine::restore_branched(topo, cfg, factory, snap, arrivals, NoopSink)?.run()
+        });
+        Ok(RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed()))
+    }
+
+    /// Runs `kind` to completion while writing a snapshot of the full
+    /// engine state to `path` every `every` ticks (pass
+    /// [`crate::checkpoint::ckpt_every`]`()` to honor `ADCA_CKPT_EVERY`),
+    /// plus once at quiescence. A killed run resumes from the last
+    /// written checkpoint via [`Scenario::resume_from`] and finishes
+    /// with a report bit-identical to the uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn run_checkpointed(
+        &self,
+        kind: SchemeKind,
+        path: &Path,
+        every: u64,
+    ) -> std::io::Result<RunSummary> {
+        assert!(every >= 1, "checkpoint interval must be positive");
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        let cfg = self.sim_config();
+        let started = Instant::now();
+        let report = dispatch_scheme!(self, kind, factory => {
+            let mut engine = Engine::new(topo, cfg, factory, arrivals);
+            let mut until = every;
+            while engine.run_until(SimTime(until)) {
+                std::fs::write(path, engine.snapshot())?;
+                until = until.saturating_add(every);
+            }
+            std::fs::write(path, engine.snapshot())?;
+            engine.run()
+        });
+        Ok(RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed()))
+    }
+
+    /// Test helper: runs to tick `at`, snapshots, restores the snapshot
+    /// into a fresh engine, and finishes there — one full
+    /// checkpoint/restore round trip. The resume-identity contract says
+    /// the result equals [`Scenario::run`]'s, bit for bit.
+    pub fn run_split(&self, kind: SchemeKind, at: u64) -> RunSummary {
+        let snap = self.warmup_snapshot(kind, at);
+        self.resume_bytes(kind, &snap)
+            .expect("an engine's own snapshot restores under the same scenario")
+    }
+
+    /// Timing probe behind the `e14_checkpoint` bench: runs to tick
+    /// `at`, times `snapshot()` and `restore()`, then runs the restored
+    /// engine to completion.
+    pub fn checkpoint_probe(&self, kind: SchemeKind, at: u64) -> CheckpointProbe {
+        let topo = self.topology();
+        let arrivals = self.arrivals(&topo);
+        let cfg = self.sim_config();
+        dispatch_scheme!(self, kind, factory => {
+            // Some arms bind `Copy` fn items, others `Clone`-only
+            // closures; `clone()` is the one spelling that covers both.
+            #[allow(clippy::clone_on_copy)]
+            let restore_factory = factory.clone();
+            let mut engine = Engine::new(topo.clone(), cfg.clone(), factory, arrivals);
+            engine.run_until(SimTime(at));
+            let t_save = Instant::now();
+            let snap = engine.snapshot();
+            let save = t_save.elapsed();
+            let t_restore = Instant::now();
+            let mut resumed = Engine::restore(topo, cfg, restore_factory, &snap)
+                .expect("an engine's own snapshot restores under the same scenario");
+            let restore = t_restore.elapsed();
+            let t_run = Instant::now();
+            let report = resumed.run();
+            CheckpointProbe {
+                snapshot_len: snap.len(),
+                save,
+                restore,
+                resumed: RunSummary::new(kind, report, self.t_ticks).with_wall(t_run.elapsed()),
+            }
+        })
+    }
+}
+
+/// What [`Scenario::checkpoint_probe`] measured.
+#[derive(Debug)]
+pub struct CheckpointProbe {
+    /// Snapshot size in bytes.
+    pub snapshot_len: usize,
+    /// Wall-clock time `Engine::snapshot` took.
+    pub save: Duration,
+    /// Wall-clock time `Engine::restore` took.
+    pub restore: Duration,
+    /// The run finished from the restored engine (its `wall` covers only
+    /// the post-restore portion).
+    pub resumed: RunSummary,
 }
 
 #[cfg(test)]

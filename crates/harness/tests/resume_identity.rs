@@ -1,0 +1,185 @@
+//! Checkpoint/restore identity suite — the snapshot subsystem's
+//! acceptance gate at the harness level.
+//!
+//! Three pins:
+//! 1. **Resume identity** — for every scheme × {faults off/on} ×
+//!    {tracing off/on}, running to the horizon in one go and running
+//!    to the midpoint, snapshotting, restoring, and finishing produce
+//!    whole-[`SimReport`] equality (every counter, sample series,
+//!    per-cell vector, and — with tracing on — every trace record).
+//! 2. **Snapshot determinism** — snapshotting the same paused engine
+//!    state twice yields byte-identical snapshots, and a restored
+//!    engine re-snapshots to the original bytes (pinned at the engine
+//!    level in `adca-simkit`; here the end-to-end scenario path).
+//! 3. **Hostile bytes never panic** — truncations, bit flips, garbage,
+//!    and wrong-scheme snapshots must all surface as `Err`, never as a
+//!    panic or a silently wrong engine.
+
+use adca_harness::{Scenario, SchemeKind};
+use adca_hexgrid::CellId;
+use adca_simkit::{AuditMode, DecodeError, FaultPlan};
+
+const HORIZON: u64 = 24_000;
+
+/// e1-shaped scenario (6×6 grid to keep 24 cells × 2 runs fast). The
+/// fault mode matches each scheme's tolerance, as `e12` does: the three
+/// retry-capable schemes get hardening and run clean under loss +
+/// duplication + crashes; the unhardened ones can legitimately strand a
+/// request under the same plan, so they record violations instead of
+/// panicking — the identity contract then covers the violation log too.
+fn base(kind: SchemeKind, faults: bool, trace: bool) -> Scenario {
+    let mut sc = Scenario::uniform(0.9, HORIZON)
+        .with_grid(6, 6)
+        .with_trace(trace);
+    if faults {
+        sc = sc.with_faults(
+            FaultPlan::none()
+                .with_loss(0.02)
+                .with_duplication(0.01)
+                .with_seed(0xFA17)
+                .with_crash(CellId(7), 6_000, 2_500)
+                .with_crash(CellId(20), 15_000, 1_500),
+        );
+        let hardened = matches!(
+            kind,
+            SchemeKind::BasicSearch | SchemeKind::BasicUpdate | SchemeKind::Adaptive
+        );
+        if hardened {
+            sc = sc.with_hardening(400);
+        } else {
+            sc.audit = AuditMode::Record;
+            sc = sc.with_watchdog(None);
+        }
+    }
+    sc
+}
+
+#[test]
+fn resume_is_bit_identical_for_every_scheme_and_mode() {
+    // 6 schemes × 2 fault modes × 2 trace modes, each compared cold vs
+    // split-at-midpoint. Fan the 24 cells out over the sweep pool.
+    type Job = Box<dyn FnOnce() -> (SchemeKind, bool, bool) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
+    for kind in SchemeKind::ALL {
+        for faults in [false, true] {
+            for trace in [false, true] {
+                jobs.push(Box::new(move || {
+                    let sc = base(kind, faults, trace);
+                    let cold = sc.run(kind);
+                    let split = sc.run_split(kind, HORIZON / 2);
+                    assert_eq!(
+                        cold.report, split.report,
+                        "{kind} (faults={faults}, trace={trace}): \
+                         snapshot/restore at T/2 diverged from the cold run"
+                    );
+                    // Fixed is message-free; every other scheme must
+                    // actually have recorded a trace for the equality
+                    // above to mean anything.
+                    if trace && kind != SchemeKind::Fixed {
+                        assert!(
+                            !cold.report.trace.is_empty(),
+                            "{kind}: trace mode produced no trace"
+                        );
+                    }
+                    (kind, faults, trace)
+                }));
+            }
+        }
+    }
+    let done = adca_harness::run_jobs(jobs);
+    assert_eq!(done.len(), 24);
+}
+
+#[test]
+fn resume_after_periodic_checkpoints_is_bit_identical() {
+    let dir = std::env::temp_dir().join("adca_resume_identity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("adaptive.ckpt");
+    let sc = base(SchemeKind::Adaptive, false, false);
+    let cold = sc.run(SchemeKind::Adaptive);
+    // The checkpointed run itself is undisturbed by the writes…
+    let ckpt = sc
+        .run_checkpointed(SchemeKind::Adaptive, &path, 5_000)
+        .unwrap();
+    assert_eq!(
+        cold.report, ckpt.report,
+        "checkpoint writes disturbed the run"
+    );
+    // …and the file left behind (written at quiescence) resumes to the
+    // same report.
+    let resumed = sc.resume_from(SchemeKind::Adaptive, &path).unwrap();
+    assert_eq!(cold.report, resumed.report, "resume_from diverged");
+}
+
+#[test]
+fn restore_under_wrong_scheme_is_a_mismatch() {
+    let sc = base(SchemeKind::Adaptive, false, false);
+    let snap = sc.warmup_snapshot(SchemeKind::Fixed, HORIZON / 2);
+    match sc.resume_bytes(SchemeKind::Adaptive, &snap) {
+        Err(DecodeError::Mismatch(msg)) => {
+            assert!(msg.contains("scheme"), "unhelpful mismatch: {msg}")
+        }
+        other => panic!("wrong-scheme restore must be a Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn restore_under_wrong_seed_is_a_mismatch() {
+    let sc = base(SchemeKind::Adaptive, false, false);
+    let snap = sc.warmup_snapshot(SchemeKind::BasicUpdate, HORIZON / 2);
+    let other = sc.clone().with_seed(12345);
+    match other.resume_bytes(SchemeKind::BasicUpdate, &snap) {
+        Err(DecodeError::Mismatch(msg)) => {
+            assert!(msg.contains("config."), "unhelpful mismatch: {msg}")
+        }
+        other => panic!("wrong-seed restore must be a Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_and_truncated_snapshots_error_never_panic() {
+    let sc = base(SchemeKind::Adaptive, false, false);
+    let snap = sc.warmup_snapshot(SchemeKind::Adaptive, HORIZON / 2);
+
+    // Empty and sub-envelope inputs.
+    for len in [0usize, 1, 7, 8, 11, 19] {
+        let res = sc.resume_bytes(SchemeKind::Adaptive, &snap[..len.min(snap.len())]);
+        assert!(res.is_err(), "truncation to {len} bytes must error");
+    }
+    // Every truncation on a coarse grid plus the last few bytes.
+    let mut cuts: Vec<usize> = (0..snap.len()).step_by(997).collect();
+    cuts.extend(snap.len().saturating_sub(9)..snap.len());
+    for cut in cuts {
+        let res = sc.resume_bytes(SchemeKind::Adaptive, &snap[..cut]);
+        assert!(
+            res.is_err(),
+            "truncation to {cut}/{} bytes must error",
+            snap.len()
+        );
+    }
+    // Single-bit flips across the whole snapshot (coarse stride keeps
+    // this fast; the checksum must catch every one of them).
+    for pos in (0..snap.len()).step_by(131) {
+        let mut bad = snap.clone();
+        bad[pos] ^= 1 << (pos % 8);
+        let res = sc.resume_bytes(SchemeKind::Adaptive, &bad);
+        assert!(res.is_err(), "bit flip at byte {pos} must error");
+    }
+    // Garbage of plausible length.
+    let garbage: Vec<u8> = (0..snap.len()).map(|i| (i * 31 + 7) as u8).collect();
+    assert!(sc.resume_bytes(SchemeKind::Adaptive, &garbage).is_err());
+    // The untouched original still restores — corruption checks must
+    // not depend on ambient state.
+    assert!(sc.resume_bytes(SchemeKind::Adaptive, &snap).is_ok());
+}
+
+#[test]
+fn missing_checkpoint_file_is_an_io_error() {
+    let sc = base(SchemeKind::Adaptive, false, false);
+    let missing = std::env::temp_dir().join("adca_resume_identity_nonexistent.ckpt");
+    let _ = std::fs::remove_file(&missing);
+    match sc.resume_from(SchemeKind::Adaptive, &missing) {
+        Err(adca_harness::CheckpointError::Io(_)) => {}
+        other => panic!("missing file must be CheckpointError::Io, got {other:?}"),
+    }
+}

@@ -1,18 +1,19 @@
 //! The deterministic discrete-event engine.
 
 use crate::backend::{Ctx, CtxBackend};
-use crate::equeue::EventQueue;
-use crate::faults::FaultPlan;
+use crate::equeue::{EqEntry, EventQueue};
+use crate::faults::{Crash, FaultPlan};
 use crate::latency::{LatencyModel, MsgMeta};
 use crate::protocol::{Protocol, RequestId, RequestKind};
 use crate::report::{AuditMode, DropCause, MsgTrace, SimReport, Violation};
 use crate::rng::SplitMix64;
+use crate::snapshot::{fnv1a, DecodeError, ProtocolState, Reader, Writer, FNV_OFFSET};
 use crate::time::SimTime;
 use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use crate::workload::Arrival;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
 use adca_metrics::{CounterMap, SampleSeries};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -287,6 +288,14 @@ pub struct Shared<M, S: TraceSink = NoopSink> {
     calls: Vec<CallRecord>,
     reqs: Vec<ReqRecord>,
     pending_reqs: u64,
+    /// Whether the `on_start` hooks have fired (exactly once per engine
+    /// lifetime; a restored engine skips them).
+    started: bool,
+    /// Whether the event-budget guard tripped; pumping never resumes.
+    halted: bool,
+    /// Events processed so far (across `run_until` calls and, via
+    /// snapshots, across engine lifetimes).
+    events_processed: u64,
     /// Per-event counters, folded into `report` at the end of the run.
     msg_kinds: SlotCounters,
     custom: SlotCounters,
@@ -685,6 +694,9 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
             calls: Vec::with_capacity(arrivals.len()),
             reqs: Vec::with_capacity(arrivals.len() + total_hops),
             pending_reqs: 0,
+            started: false,
+            halted: false,
+            events_processed: 0,
             msg_kinds: SlotCounters::default(),
             custom: SlotCounters::default(),
             custom_samples: SlotSamples::default(),
@@ -751,9 +763,19 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
         self.sh.sink
     }
 
-    /// Runs to quiescence and returns the report.
-    pub fn run(&mut self) -> SimReport {
-        // Start hooks.
+    /// The current virtual time (advances as events are processed).
+    pub fn now(&self) -> SimTime {
+        self.sh.now
+    }
+
+    /// Fires the `on_start` hooks exactly once per engine *lifetime* — a
+    /// restored engine skips them, because they already ran before the
+    /// snapshot was taken (their effects are part of the captured state).
+    fn ensure_started(&mut self) {
+        if self.sh.started {
+            return;
+        }
+        self.sh.started = true;
         for i in 0..self.nodes.len() {
             let me = CellId(i as u32);
             let mut backend = DesCtx {
@@ -763,16 +785,48 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
             let mut ctx = Ctx::new(&mut backend);
             self.nodes[i].on_start(&mut ctx);
         }
-        let mut processed: u64 = 0;
-        while let Some(entry) = self.sh.queue.pop() {
-            processed += 1;
-            if processed > self.sh.cfg.max_events {
+    }
+
+    /// Processes every event with `at <= until`, leaving later events
+    /// queued. Returns `true` if events remain (the run is unfinished).
+    ///
+    /// Pausing is invisible to the simulation: `run_until(t)` then
+    /// `run()` processes the exact event sequence `run()` alone would.
+    /// This is the checkpoint hook — pause, [`Engine::snapshot`], resume.
+    pub fn run_until(&mut self, until: SimTime) -> bool {
+        self.ensure_started();
+        while !self.sh.halted {
+            let Some((at, _seq)) = self.sh.queue.peek_key() else {
+                return false;
+            };
+            if at > until {
+                return true;
+            }
+            let entry = self.sh.queue.pop().expect("peeked entry");
+            self.sh.events_processed += 1;
+            if self.sh.events_processed > self.sh.cfg.max_events {
+                let processed = self.sh.events_processed;
                 self.sh.violation(Violation::EventBudget { processed });
-                break;
+                self.sh.halted = true;
+                return false;
             }
             debug_assert!(entry.at >= self.sh.now, "event queue went backwards");
             self.sh.now = entry.at;
-            match entry.item {
+            self.dispatch(entry.item);
+        }
+        false
+    }
+
+    /// Runs to quiescence and returns the report.
+    pub fn run(&mut self) -> SimReport {
+        self.run_until(SimTime(u64::MAX));
+        self.finalize()
+    }
+
+    /// Handles one event. `self.sh.now` is already the event's time.
+    fn dispatch(&mut self, item: Ev<P::Msg>) {
+        {
+            match item {
                 Ev::Deliver { from, to, msg, .. } => {
                     if self.sh.down[to.index()] {
                         // A down cell receives nothing.
@@ -782,7 +836,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                             to,
                             kind: P::msg_kind(&msg),
                         });
-                        continue;
+                        return;
                     }
                     self.sh.trace_with(|| TraceEvent::MsgRecv {
                         from,
@@ -804,7 +858,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                     if self.sh.down[cell.index()] {
                         // The serving MSS is crashed: the call is lost.
                         self.sh.force_reject(req, DropCause::Crashed);
-                        continue;
+                        return;
                     }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
@@ -844,7 +898,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                         CallState::Active(ch) => {
                             let old = rec.cell;
                             if target == old {
-                                continue;
+                                return;
                             }
                             // Free the old channel first (the paper's
                             // handoff: relinquish in the old cell, acquire
@@ -861,7 +915,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                                 // Handoff into a crashed cell: the call is
                                 // forcibly terminated.
                                 self.sh.force_reject(req, DropCause::Crashed);
-                                continue;
+                                return;
                             }
                             let mut backend = DesCtx {
                                 sh: &mut self.sh,
@@ -884,7 +938,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                         // Timers die with the cell; restart re-arms what
                         // it needs via `on_restart`.
                         self.sh.custom.incr("crash_dropped_timers");
-                        continue;
+                        return;
                     }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
@@ -897,7 +951,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                     if self.sh.down[node.index()] {
                         // The node's bookkeeping is wiped on restart
                         // anyway; nothing to free.
-                        continue;
+                        return;
                     }
                     let mut backend = DesCtx {
                         sh: &mut self.sh,
@@ -908,7 +962,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                 }
                 Ev::CrashDown { node } => {
                     if self.sh.down[node.index()] {
-                        continue; // overlapping windows: already down
+                        return; // overlapping windows: already down
                     }
                     self.sh.down[node.index()] = true;
                     self.sh.report.crashes += 1;
@@ -935,7 +989,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                 }
                 Ev::CrashUp { node } => {
                     if !self.sh.down[node.index()] {
-                        continue;
+                        return;
                     }
                     self.sh.down[node.index()] = false;
                     self.sh.report.restarts += 1;
@@ -949,6 +1003,10 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                 }
             }
         }
+    }
+
+    /// Seals the run: liveness audit, slot-counter folds, final totals.
+    fn finalize(&mut self) -> SimReport {
         if self.sh.pending_reqs > 0 {
             let pending = self.sh.pending_reqs;
             self.sh.violation(Violation::Liveness { pending });
@@ -968,8 +1026,1050 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
                 .merge(&series);
         }
         self.sh.report.end_time = self.sh.now;
-        self.sh.report.events_processed = processed;
+        self.sh.report.events_processed = self.sh.events_processed;
         self.sh.report.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore. Wire format in `crate::snapshot`; the engine-side
+// layout (section order, tags) is part of `snapshot::FORMAT_VERSION`.
+// ---------------------------------------------------------------------------
+
+/// `(tag, param, param)` summary of a latency model for the config
+/// fingerprint. `Custom` closures cannot be compared, so only the kind is
+/// pinned — restoring under a *different* custom model is on the caller.
+fn latency_fingerprint(l: &LatencyModel) -> (u8, u64, u64) {
+    match l {
+        LatencyModel::Fixed(t) => (0, *t, 0),
+        LatencyModel::Jitter { min, max } => (1, *min, *max),
+        LatencyModel::Custom(_) => (2, 0, 0),
+    }
+}
+
+fn audit_fingerprint(a: &AuditMode) -> u8 {
+    match a {
+        AuditMode::Panic => 0,
+        AuditMode::Record => 1,
+    }
+}
+
+/// Digest of the topology's interference structure (region membership per
+/// cell). Cheap, and catches restoring onto a different grid or wrap mode
+/// even when cell/spectrum counts happen to match.
+fn topo_fingerprint(topo: &Topology) -> u64 {
+    let mut h = FNV_OFFSET;
+    for cell in topo.cells() {
+        for j in topo.region(cell) {
+            h = fnv1a(h, &j.0.to_le_bytes());
+        }
+        h = fnv1a(h, &[0xFF]);
+    }
+    h
+}
+
+fn check_field<T: PartialEq + std::fmt::Debug>(
+    got: T,
+    want: T,
+    what: &str,
+) -> Result<(), DecodeError> {
+    if got != want {
+        return Err(DecodeError::Mismatch(format!(
+            "{what}: snapshot has {got:?}, engine has {want:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Sample series travel as their raw sample list; rebuilding by replaying
+/// `push` reproduces the Welford accumulator (and internal flags) exactly,
+/// because the engine never reorders a live series mid-run.
+fn put_series(w: &mut Writer, s: &SampleSeries) {
+    let samples = s.samples();
+    w.put_len(samples.len());
+    for &v in samples {
+        w.put_f64(v);
+    }
+}
+
+fn get_series(r: &mut Reader<'_>) -> Result<SampleSeries, DecodeError> {
+    let n = r.get_len()?;
+    let mut s = SampleSeries::new();
+    for _ in 0..n {
+        s.push(r.get_f64()?);
+    }
+    Ok(s)
+}
+
+fn put_counter_map(w: &mut Writer, m: &CounterMap) {
+    w.put_len(m.len());
+    for (k, v) in m.iter() {
+        w.put_str(k);
+        w.put_u64(v);
+    }
+}
+
+fn get_counter_map(r: &mut Reader<'_>) -> Result<CounterMap, DecodeError> {
+    let n = r.get_len()?;
+    let mut m = CounterMap::new();
+    for _ in 0..n {
+        let k = r.get_label()?;
+        m.add(k, r.get_u64()?);
+    }
+    Ok(m)
+}
+
+fn put_u64_vec(w: &mut Writer, v: &[u64]) {
+    w.put_len(v.len());
+    for &x in v {
+        w.put_u64(x);
+    }
+}
+
+fn get_u64_vec(
+    r: &mut Reader<'_>,
+    want_len: usize,
+    what: &'static str,
+) -> Result<Vec<u64>, DecodeError> {
+    let n = r.get_len()?;
+    if n != want_len {
+        return Err(DecodeError::Corrupt(what));
+    }
+    (0..n).map(|_| r.get_u64()).collect()
+}
+
+fn put_violation(w: &mut Writer, v: &Violation) {
+    match v {
+        Violation::Interference {
+            at,
+            cell,
+            conflicting,
+            channel,
+        } => {
+            w.put_u8(0);
+            w.put_time(*at);
+            w.put_cell(*cell);
+            w.put_cell(*conflicting);
+            w.put_channel(*channel);
+        }
+        Violation::DoubleAssign { at, cell, channel } => {
+            w.put_u8(1);
+            w.put_time(*at);
+            w.put_cell(*cell);
+            w.put_channel(*channel);
+        }
+        Violation::Liveness { pending } => {
+            w.put_u8(2);
+            w.put_u64(*pending);
+        }
+        Violation::Watchdog {
+            cell,
+            latency,
+            bound,
+        } => {
+            w.put_u8(3);
+            w.put_cell(*cell);
+            w.put_u64(*latency);
+            w.put_u64(*bound);
+        }
+        Violation::EventBudget { processed } => {
+            w.put_u8(4);
+            w.put_u64(*processed);
+        }
+    }
+}
+
+fn get_violation(r: &mut Reader<'_>) -> Result<Violation, DecodeError> {
+    Ok(match r.get_u8()? {
+        0 => Violation::Interference {
+            at: r.get_time()?,
+            cell: r.get_cell()?,
+            conflicting: r.get_cell()?,
+            channel: r.get_channel()?,
+        },
+        1 => Violation::DoubleAssign {
+            at: r.get_time()?,
+            cell: r.get_cell()?,
+            channel: r.get_channel()?,
+        },
+        2 => Violation::Liveness {
+            pending: r.get_u64()?,
+        },
+        3 => Violation::Watchdog {
+            cell: r.get_cell()?,
+            latency: r.get_u64()?,
+            bound: r.get_u64()?,
+        },
+        4 => Violation::EventBudget {
+            processed: r.get_u64()?,
+        },
+        _ => return Err(DecodeError::Corrupt("violation tag")),
+    })
+}
+
+fn put_report(w: &mut Writer, rep: &SimReport) {
+    w.put_time(rep.end_time);
+    w.put_u64(rep.events_processed);
+    w.put_u64(rep.offered_calls);
+    w.put_u64(rep.completed_calls);
+    w.put_u64(rep.dropped_new);
+    w.put_u64(rep.dropped_handoff);
+    w.put_u64(rep.granted);
+    put_series(w, &rep.acq_latency);
+    w.put_u64(rep.messages_total);
+    put_counter_map(w, &rep.msg_kinds);
+    put_u64_vec(w, &rep.per_cell_msgs);
+    put_u64_vec(w, &rep.per_cell_arrivals);
+    put_u64_vec(w, &rep.per_cell_drops);
+    w.put_u64(rep.drops_blocked);
+    w.put_u64(rep.drops_retry_exhausted);
+    w.put_u64(rep.drops_crashed);
+    w.put_u64(rep.messages_lost);
+    w.put_u64(rep.messages_duplicated);
+    w.put_u64(rep.messages_crash_dropped);
+    w.put_u64(rep.crashes);
+    w.put_u64(rep.restarts);
+    put_u64_vec(w, &rep.per_cell_grants);
+    put_counter_map(w, &rep.custom);
+    w.put_len(rep.custom_samples.len());
+    for (name, series) in &rep.custom_samples {
+        w.put_str(name);
+        put_series(w, series);
+    }
+    w.put_len(rep.violations.len());
+    for v in &rep.violations {
+        put_violation(w, v);
+    }
+    w.put_len(rep.trace.len());
+    for t in &rep.trace {
+        w.put_time(t.sent_at);
+        w.put_time(t.recv_at);
+        w.put_cell(t.from);
+        w.put_cell(t.to);
+        w.put_str(t.kind);
+    }
+}
+
+fn get_report(r: &mut Reader<'_>, n: usize) -> Result<SimReport, DecodeError> {
+    let end_time = r.get_time()?;
+    let events_processed = r.get_u64()?;
+    let offered_calls = r.get_u64()?;
+    let completed_calls = r.get_u64()?;
+    let dropped_new = r.get_u64()?;
+    let dropped_handoff = r.get_u64()?;
+    let granted = r.get_u64()?;
+    let acq_latency = get_series(r)?;
+    let messages_total = r.get_u64()?;
+    let msg_kinds = get_counter_map(r)?;
+    let per_cell_msgs = get_u64_vec(r, n, "per_cell_msgs length")?;
+    let per_cell_arrivals = get_u64_vec(r, n, "per_cell_arrivals length")?;
+    let per_cell_drops = get_u64_vec(r, n, "per_cell_drops length")?;
+    let drops_blocked = r.get_u64()?;
+    let drops_retry_exhausted = r.get_u64()?;
+    let drops_crashed = r.get_u64()?;
+    let messages_lost = r.get_u64()?;
+    let messages_duplicated = r.get_u64()?;
+    let messages_crash_dropped = r.get_u64()?;
+    let crashes = r.get_u64()?;
+    let restarts = r.get_u64()?;
+    let per_cell_grants = get_u64_vec(r, n, "per_cell_grants length")?;
+    let custom = get_counter_map(r)?;
+    let mut custom_samples = BTreeMap::new();
+    for _ in 0..r.get_len()? {
+        let name = r.get_label()?;
+        custom_samples.insert(name, get_series(r)?);
+    }
+    let mut violations = Vec::new();
+    for _ in 0..r.get_len()? {
+        violations.push(get_violation(r)?);
+    }
+    let mut trace = Vec::new();
+    for _ in 0..r.get_len()? {
+        trace.push(MsgTrace {
+            sent_at: r.get_time()?,
+            recv_at: r.get_time()?,
+            from: r.get_cell()?,
+            to: r.get_cell()?,
+            kind: r.get_label()?,
+        });
+    }
+    Ok(SimReport {
+        end_time,
+        events_processed,
+        offered_calls,
+        completed_calls,
+        dropped_new,
+        dropped_handoff,
+        granted,
+        acq_latency,
+        messages_total,
+        msg_kinds,
+        per_cell_msgs,
+        per_cell_arrivals,
+        per_cell_drops,
+        drops_blocked,
+        drops_retry_exhausted,
+        drops_crashed,
+        messages_lost,
+        messages_duplicated,
+        messages_crash_dropped,
+        crashes,
+        restarts,
+        per_cell_grants,
+        custom,
+        custom_samples,
+        violations,
+        trace,
+    })
+}
+
+/// Link horizons serialize sparsely (non-zero slots only); the region
+/// spill map — the one `HashMap` in engine state — is sorted first so
+/// snapshot bytes are deterministic.
+fn put_links(w: &mut Writer, lh: &LinkHorizons) {
+    let put_nonzero = |w: &mut Writer, slots: &[SimTime]| {
+        let nonzero: Vec<(usize, SimTime)> = slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != SimTime::ZERO)
+            .map(|(i, &t)| (i, t))
+            .collect();
+        w.put_len(nonzero.len());
+        for (i, t) in nonzero {
+            w.put_u64(i as u64);
+            w.put_time(t);
+        }
+    };
+    match lh {
+        LinkHorizons::Dense { slots, .. } => {
+            w.put_u8(0);
+            put_nonzero(w, slots);
+        }
+        LinkHorizons::Region { slots, spill, .. } => {
+            w.put_u8(1);
+            put_nonzero(w, slots);
+            let mut entries: Vec<((CellId, CellId), SimTime)> =
+                spill.iter().map(|(&k, &v)| (k, v)).collect();
+            entries.sort();
+            w.put_len(entries.len());
+            for ((a, b), t) in entries {
+                w.put_cell(a);
+                w.put_cell(b);
+                w.put_time(t);
+            }
+        }
+    }
+}
+
+fn get_links(r: &mut Reader<'_>, topo: &Topology, n: usize) -> Result<LinkHorizons, DecodeError> {
+    let mut lh = LinkHorizons::new(topo);
+    let tag = r.get_u8()?;
+    let get_nonzero = |r: &mut Reader<'_>, slots: &mut [SimTime]| -> Result<(), DecodeError> {
+        for _ in 0..r.get_len()? {
+            let i = r.get_u64()? as usize;
+            let t = r.get_time()?;
+            *slots
+                .get_mut(i)
+                .ok_or(DecodeError::Corrupt("link slot index out of range"))? = t;
+        }
+        Ok(())
+    };
+    match (&mut lh, tag) {
+        (LinkHorizons::Dense { slots, .. }, 0) => get_nonzero(r, slots)?,
+        (LinkHorizons::Region { slots, spill, .. }, 1) => {
+            get_nonzero(r, slots)?;
+            for _ in 0..r.get_len()? {
+                let a = r.get_cell()?;
+                let b = r.get_cell()?;
+                if a.index() >= n || b.index() >= n {
+                    return Err(DecodeError::Corrupt("spill link cell out of range"));
+                }
+                let t = r.get_time()?;
+                spill.insert((a, b), t);
+            }
+        }
+        _ => {
+            return Err(DecodeError::Mismatch(
+                "link-horizon layout differs between snapshot and topology".into(),
+            ))
+        }
+    }
+    Ok(lh)
+}
+
+fn put_ev<P: ProtocolState>(w: &mut Writer, ev: &Ev<P::Msg>) {
+    match ev {
+        Ev::Deliver { from, to, msg } => {
+            w.put_u8(0);
+            w.put_cell(*from);
+            w.put_cell(*to);
+            P::encode_msg(msg, w);
+        }
+        Ev::Arrive { call } => {
+            w.put_u8(1);
+            w.put_u32(*call);
+        }
+        Ev::End { call } => {
+            w.put_u8(2);
+            w.put_u32(*call);
+        }
+        Ev::Hop { call, idx } => {
+            w.put_u8(3);
+            w.put_u32(*call);
+            w.put_u32(*idx);
+        }
+        Ev::Timer { node, tag } => {
+            w.put_u8(4);
+            w.put_cell(*node);
+            w.put_u64(*tag);
+        }
+        Ev::AutoRelease { node, ch } => {
+            w.put_u8(5);
+            w.put_cell(*node);
+            w.put_channel(*ch);
+        }
+        Ev::CrashDown { node } => {
+            w.put_u8(6);
+            w.put_cell(*node);
+        }
+        Ev::CrashUp { node } => {
+            w.put_u8(7);
+            w.put_cell(*node);
+        }
+    }
+}
+
+fn get_ev<P: ProtocolState>(
+    r: &mut Reader<'_>,
+    calls: &[CallRecord],
+    n_cells: usize,
+    spectrum_bits: u16,
+) -> Result<Ev<P::Msg>, DecodeError> {
+    let check_cell = |c: CellId| {
+        if c.index() >= n_cells {
+            Err(DecodeError::Corrupt("event cell out of range"))
+        } else {
+            Ok(c)
+        }
+    };
+    let check_call = |call: u32| {
+        if call as usize >= calls.len() {
+            Err(DecodeError::Corrupt("event call out of range"))
+        } else {
+            Ok(call)
+        }
+    };
+    Ok(match r.get_u8()? {
+        0 => {
+            let from = check_cell(r.get_cell()?)?;
+            let to = check_cell(r.get_cell()?)?;
+            let msg = P::decode_msg(r)?;
+            Ev::Deliver { from, to, msg }
+        }
+        1 => Ev::Arrive {
+            call: check_call(r.get_u32()?)?,
+        },
+        2 => Ev::End {
+            call: check_call(r.get_u32()?)?,
+        },
+        3 => {
+            let call = check_call(r.get_u32()?)?;
+            let idx = r.get_u32()?;
+            if idx as usize >= calls[call as usize].hops.len() {
+                return Err(DecodeError::Corrupt("hop index out of range"));
+            }
+            Ev::Hop { call, idx }
+        }
+        4 => Ev::Timer {
+            node: check_cell(r.get_cell()?)?,
+            tag: r.get_u64()?,
+        },
+        5 => {
+            let node = check_cell(r.get_cell()?)?;
+            let ch = r.get_channel()?;
+            if ch.0 >= spectrum_bits {
+                return Err(DecodeError::Corrupt("event channel out of range"));
+            }
+            Ev::AutoRelease { node, ch }
+        }
+        6 => Ev::CrashDown {
+            node: check_cell(r.get_cell()?)?,
+        },
+        7 => Ev::CrashUp {
+            node: check_cell(r.get_cell()?)?,
+        },
+        _ => return Err(DecodeError::Corrupt("event tag")),
+    })
+}
+
+impl<P: ProtocolState> Engine<P> {
+    /// Restores an engine from [`Engine::snapshot`] bytes, with tracing
+    /// compiled out. `topo`, `cfg`, and `factory` must be the ones the
+    /// snapshotted engine was built with — the embedded config fingerprint
+    /// is verified and any difference is a [`DecodeError::Mismatch`].
+    pub fn restore<F>(
+        topo: Arc<Topology>,
+        cfg: SimConfig,
+        factory: F,
+        bytes: &[u8],
+    ) -> Result<Self, DecodeError>
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        Engine::restore_with_sink(topo, cfg, factory, bytes, NoopSink)
+    }
+}
+
+impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
+    /// Serializes the complete engine state: clock, RNG streams, event
+    /// calendar (with in-flight messages), call/request tables, fault
+    /// state, link horizons, partial report, and — via [`ProtocolState`] —
+    /// every node's protocol state.
+    ///
+    /// The contract is bit-identical resume: `run()` on the original and
+    /// `restore(...)` + `run()` on the snapshot produce equal
+    /// [`SimReport`]s. Trace sinks are pure observers and are *not*
+    /// captured; attach a fresh one on restore if needed.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let sh = &self.sh;
+        let mut w = Writer::new();
+        w.mark("scheme");
+        w.put_str(P::STATE_ID);
+        w.mark("config.core");
+        let (lt, lp0, lp1) = latency_fingerprint(&sh.cfg.latency);
+        w.put_u8(lt);
+        w.put_u64(lp0);
+        w.put_u64(lp1);
+        w.put_u8(audit_fingerprint(&sh.cfg.audit));
+        w.put_opt_u64(sh.cfg.watchdog_ticks);
+        w.put_bool(sh.cfg.trace);
+        w.put_u64(sh.cfg.max_events);
+        w.put_u64(sh.topo.num_cells() as u64);
+        w.put_u16(sh.topo.spectrum().empty_set().capacity());
+        w.put_u64(topo_fingerprint(&sh.topo));
+        w.mark("config.streams");
+        w.put_u64(sh.cfg.seed);
+        w.put_u64(sh.cfg.faults.loss.to_bits());
+        w.put_u64(sh.cfg.faults.duplicate.to_bits());
+        w.put_u64(sh.cfg.faults.seed);
+        w.put_len(sh.cfg.faults.crashes.len());
+        for c in &sh.cfg.faults.crashes {
+            w.put_cell(c.cell);
+            w.put_u64(c.at);
+            w.put_u64(c.down_for);
+        }
+        w.mark("clock");
+        w.put_time(sh.now);
+        w.put_u64(sh.msg_seq);
+        w.put_u64(sh.events_processed);
+        w.put_bool(sh.started);
+        w.put_bool(sh.halted);
+        w.put_u64(sh.pending_reqs);
+        w.mark("rng");
+        w.put_u64(sh.rng.state());
+        w.put_u64(sh.fault_rng.state());
+        w.mark("down");
+        w.put_len(sh.down.len());
+        for &d in &sh.down {
+            w.put_bool(d);
+        }
+        w.mark("usage");
+        w.put_len(sh.usage.len());
+        for set in &sh.usage {
+            w.put_channel_set(set);
+        }
+        w.mark("links");
+        put_links(&mut w, &sh.link_horizon);
+        w.mark("calls");
+        w.put_len(sh.calls.len());
+        for c in &sh.calls {
+            w.put_cell(c.cell);
+            w.put_u64(c.duration);
+            match c.state {
+                CallState::Done => w.put_u8(0),
+                CallState::Waiting(req) => {
+                    w.put_u8(1);
+                    w.put_u64(req.0);
+                }
+                CallState::Active(ch) => {
+                    w.put_u8(2);
+                    w.put_channel(ch);
+                }
+            }
+            match c.end_at {
+                Some(t) => {
+                    w.put_bool(true);
+                    w.put_time(t);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_len(c.hops.len());
+            for &(at, tgt) in &c.hops {
+                w.put_time(at);
+                w.put_cell(tgt);
+            }
+        }
+        w.mark("reqs");
+        w.put_len(sh.reqs.len());
+        for rq in &sh.reqs {
+            w.put_u32(rq.call);
+            w.put_cell(rq.cell);
+            w.put_time(rq.issued);
+            w.put_u8(match rq.kind {
+                RequestKind::NewCall => 0,
+                RequestKind::Handoff => 1,
+            });
+            w.put_bool(rq.state == ReqState::Done);
+        }
+        w.mark("slots");
+        w.put_len(sh.msg_kinds.0.len());
+        for &(k, v) in &sh.msg_kinds.0 {
+            w.put_str(k);
+            w.put_u64(v);
+        }
+        w.put_len(sh.custom.0.len());
+        for &(k, v) in &sh.custom.0 {
+            w.put_str(k);
+            w.put_u64(v);
+        }
+        w.put_len(sh.custom_samples.0.len());
+        for (k, s) in &sh.custom_samples.0 {
+            w.put_str(k);
+            put_series(&mut w, s);
+        }
+        w.mark("report");
+        put_report(&mut w, &sh.report);
+        w.mark("queue");
+        w.put_u64(sh.queue.next_seq());
+        let mut entries: Vec<&EqEntry<Ev<P::Msg>>> = sh.queue.iter_entries().collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        w.put_len(entries.len());
+        for e in entries {
+            w.put_time(e.at);
+            w.put_u64(e.seq);
+            put_ev::<P>(&mut w, &e.item);
+        }
+        w.mark("nodes");
+        for node in &self.nodes {
+            node.encode_state(&mut w);
+        }
+        w.finish()
+    }
+
+    /// [`Engine::restore`] with a trace sink attached (fresh — sinks are
+    /// not part of snapshots).
+    pub fn restore_with_sink<F>(
+        topo: Arc<Topology>,
+        cfg: SimConfig,
+        factory: F,
+        bytes: &[u8],
+        sink: S,
+    ) -> Result<Self, DecodeError>
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        Self::restore_inner(topo, cfg, factory, bytes, sink, None)
+    }
+
+    /// Restores a snapshot as the starting point of a *branched* run: the
+    /// warm-start primitive. Unlike [`Engine::restore`], the branch keeps
+    /// the simulation state (channels in use, in-flight messages and
+    /// requests, protocol state) but swaps the randomness and the future:
+    ///
+    /// * RNG streams are reseeded from `cfg` (`cfg.seed`,
+    ///   `cfg.faults.seed`), which may differ from the snapshot's;
+    /// * the not-yet-arrived remainder of the snapshot's workload is
+    ///   dropped and `arrivals` (only entries at or after the branch
+    ///   point) is scheduled instead;
+    /// * crash windows of the snapshot's plan are dropped and `cfg`'s
+    ///   plan is scheduled (windows opening before the branch point are
+    ///   ignored; cells down at the branch recover on their old schedule);
+    /// * measurement state (report, counters, samples) is reset, so the
+    ///   branched report covers exactly the post-branch window. Requests
+    ///   in flight at the branch resolve into that window.
+    ///
+    /// A branched run is deliberately *not* bit-identical to any cold
+    /// run; it is a steady-state continuation. Core config (latency,
+    /// audit, topology, …) must still match the snapshot exactly.
+    pub fn restore_branched<F>(
+        topo: Arc<Topology>,
+        cfg: SimConfig,
+        factory: F,
+        bytes: &[u8],
+        arrivals: Vec<Arrival>,
+        sink: S,
+    ) -> Result<Self, DecodeError>
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        Self::restore_inner(topo, cfg, factory, bytes, sink, Some(arrivals))
+    }
+
+    fn restore_inner<F>(
+        topo: Arc<Topology>,
+        cfg: SimConfig,
+        mut factory: F,
+        bytes: &[u8],
+        sink: S,
+        branch: Option<Vec<Arrival>>,
+    ) -> Result<Self, DecodeError>
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        let mut r = Reader::new(bytes)?;
+        let n = topo.num_cells();
+        let spectrum_bits = topo.spectrum().empty_set().capacity();
+
+        let scheme = r.get_str()?;
+        if scheme != P::STATE_ID {
+            return Err(DecodeError::Mismatch(format!(
+                "scheme: snapshot is {scheme:?}, engine is {:?}",
+                P::STATE_ID
+            )));
+        }
+        let (lt, lp0, lp1) = latency_fingerprint(&cfg.latency);
+        check_field(r.get_u8()?, lt, "config.latency.kind")?;
+        check_field(r.get_u64()?, lp0, "config.latency.param0")?;
+        check_field(r.get_u64()?, lp1, "config.latency.param1")?;
+        check_field(r.get_u8()?, audit_fingerprint(&cfg.audit), "config.audit")?;
+        check_field(
+            r.get_opt_u64()?,
+            cfg.watchdog_ticks,
+            "config.watchdog_ticks",
+        )?;
+        check_field(r.get_bool()?, cfg.trace, "config.trace")?;
+        check_field(r.get_u64()?, cfg.max_events, "config.max_events")?;
+        check_field(r.get_u64()?, n as u64, "topology.num_cells")?;
+        check_field(r.get_u16()?, spectrum_bits, "topology.spectrum")?;
+        check_field(r.get_u64()?, topo_fingerprint(&topo), "topology.regions")?;
+        // Stream config: an exact restore requires identical streams; a
+        // branched restore reseeds them, so it only decodes and ignores.
+        let snap_seed = r.get_u64()?;
+        let snap_loss = r.get_u64()?;
+        let snap_dup = r.get_u64()?;
+        let snap_fseed = r.get_u64()?;
+        let ncrash = r.get_len()?;
+        let mut snap_crashes = Vec::with_capacity(ncrash);
+        for _ in 0..ncrash {
+            snap_crashes.push(Crash {
+                cell: r.get_cell()?,
+                at: r.get_u64()?,
+                down_for: r.get_u64()?,
+            });
+        }
+        if branch.is_none() {
+            check_field(snap_seed, cfg.seed, "config.seed")?;
+            check_field(snap_loss, cfg.faults.loss.to_bits(), "config.faults.loss")?;
+            check_field(
+                snap_dup,
+                cfg.faults.duplicate.to_bits(),
+                "config.faults.duplicate",
+            )?;
+            check_field(snap_fseed, cfg.faults.seed, "config.faults.seed")?;
+            if snap_crashes != cfg.faults.crashes {
+                return Err(DecodeError::Mismatch("config.faults.crashes differ".into()));
+            }
+        }
+
+        let now = r.get_time()?;
+        let msg_seq = r.get_u64()?;
+        let events_processed = r.get_u64()?;
+        let started = r.get_bool()?;
+        let halted = r.get_bool()?;
+        let pending_reqs = r.get_u64()?;
+        let rng_state = r.get_u64()?;
+        let fault_rng_state = r.get_u64()?;
+
+        if r.get_len()? != n {
+            return Err(DecodeError::Corrupt("down vector length"));
+        }
+        let mut down = Vec::with_capacity(n);
+        for _ in 0..n {
+            down.push(r.get_bool()?);
+        }
+        if r.get_len()? != n {
+            return Err(DecodeError::Corrupt("usage vector length"));
+        }
+        let mut usage = Vec::with_capacity(n);
+        for _ in 0..n {
+            let set = r.get_channel_set()?;
+            if set.capacity() != spectrum_bits {
+                return Err(DecodeError::Corrupt("usage set capacity"));
+            }
+            usage.push(set);
+        }
+        let link_horizon = get_links(&mut r, &topo, n)?;
+
+        let ncalls = r.get_len()?;
+        let mut calls = Vec::with_capacity(ncalls);
+        for _ in 0..ncalls {
+            let cell = r.get_cell()?;
+            if cell.index() >= n {
+                return Err(DecodeError::Corrupt("call cell out of range"));
+            }
+            let duration = r.get_u64()?;
+            let state = match r.get_u8()? {
+                0 => CallState::Done,
+                1 => CallState::Waiting(RequestId(r.get_u64()?)),
+                2 => {
+                    let ch = r.get_channel()?;
+                    if ch.0 >= spectrum_bits {
+                        return Err(DecodeError::Corrupt("call channel out of range"));
+                    }
+                    CallState::Active(ch)
+                }
+                _ => return Err(DecodeError::Corrupt("call state tag")),
+            };
+            let end_at = if r.get_bool()? {
+                Some(r.get_time()?)
+            } else {
+                None
+            };
+            let nh = r.get_len()?;
+            let mut hops = Vec::with_capacity(nh);
+            for _ in 0..nh {
+                let at = r.get_time()?;
+                let tgt = r.get_cell()?;
+                if tgt.index() >= n {
+                    return Err(DecodeError::Corrupt("hop target out of range"));
+                }
+                hops.push((at, tgt));
+            }
+            calls.push(CallRecord {
+                cell,
+                duration,
+                state,
+                end_at,
+                hops,
+            });
+        }
+
+        let nreqs = r.get_len()?;
+        let mut reqs = Vec::with_capacity(nreqs);
+        let mut pending_count = 0u64;
+        for _ in 0..nreqs {
+            let call = r.get_u32()?;
+            if call as usize >= ncalls {
+                return Err(DecodeError::Corrupt("request call out of range"));
+            }
+            let cell = r.get_cell()?;
+            if cell.index() >= n {
+                return Err(DecodeError::Corrupt("request cell out of range"));
+            }
+            let issued = r.get_time()?;
+            let kind = match r.get_u8()? {
+                0 => RequestKind::NewCall,
+                1 => RequestKind::Handoff,
+                _ => return Err(DecodeError::Corrupt("request kind tag")),
+            };
+            let state = if r.get_bool()? {
+                ReqState::Done
+            } else {
+                pending_count += 1;
+                ReqState::Pending
+            };
+            reqs.push(ReqRecord {
+                call,
+                cell,
+                issued,
+                kind,
+                state,
+            });
+        }
+        if pending_count != pending_reqs {
+            return Err(DecodeError::Corrupt("pending request count"));
+        }
+        for c in &calls {
+            if let CallState::Waiting(req) = c.state {
+                if req.0 as usize >= reqs.len() {
+                    return Err(DecodeError::Corrupt("waiting call request out of range"));
+                }
+            }
+        }
+
+        let mut msg_kinds = SlotCounters::default();
+        for _ in 0..r.get_len()? {
+            let k = r.get_label()?;
+            msg_kinds.0.push((k, r.get_u64()?));
+        }
+        let mut custom = SlotCounters::default();
+        for _ in 0..r.get_len()? {
+            let k = r.get_label()?;
+            custom.0.push((k, r.get_u64()?));
+        }
+        let mut custom_samples = SlotSamples::default();
+        for _ in 0..r.get_len()? {
+            let k = r.get_label()?;
+            custom_samples.0.push((k, get_series(&mut r)?));
+        }
+        let report = get_report(&mut r, n)?;
+
+        let queue_seq = r.get_u64()?;
+        let nentries = r.get_len()?;
+        let mut entries: Vec<(SimTime, u64, Ev<P::Msg>)> = Vec::with_capacity(nentries);
+        let mut prev_key: Option<(SimTime, u64)> = None;
+        for _ in 0..nentries {
+            let at = r.get_time()?;
+            let seq = r.get_u64()?;
+            if at < now {
+                return Err(DecodeError::Corrupt("queued event before now"));
+            }
+            if seq >= queue_seq {
+                return Err(DecodeError::Corrupt("queued event seq beyond counter"));
+            }
+            if let Some(prev) = prev_key {
+                if (at, seq) <= prev {
+                    return Err(DecodeError::Corrupt("queue entries out of order"));
+                }
+            }
+            prev_key = Some((at, seq));
+            let ev = get_ev::<P>(&mut r, &calls, n, spectrum_bits)?;
+            entries.push((at, seq, ev));
+        }
+
+        let mut nodes: Vec<P> = topo.cells().map(|c| factory(c, &topo)).collect();
+        for node in &mut nodes {
+            node.decode_state(&mut r)?;
+        }
+        if r.remaining() != 0 {
+            return Err(DecodeError::Corrupt("trailing payload bytes"));
+        }
+
+        let faults_on = cfg.faults.is_active();
+        if faults_on {
+            cfg.faults.validate();
+        }
+        let branching = branch.is_some();
+        if branching {
+            // Branch point: the not-yet-arrived remainder of the warmup
+            // workload goes away (Arrive events and their hops — hops of
+            // calls that *did* arrive stay, preserving straggler-hop
+            // semantics), as do the old plan's pending crash windows.
+            // CrashUp events stay: cells down at the branch recover on
+            // the snapshot's schedule.
+            let pending_arrivals: BTreeSet<u32> = entries
+                .iter()
+                .filter_map(|(_, _, ev)| match ev {
+                    Ev::Arrive { call } => Some(*call),
+                    _ => None,
+                })
+                .collect();
+            entries.retain(|(_, _, ev)| match ev {
+                Ev::Arrive { .. } => false,
+                Ev::Hop { call, .. } => !pending_arrivals.contains(call),
+                Ev::CrashDown { .. } => false,
+                _ => true,
+            });
+        }
+
+        let mut queue: EventQueue<Ev<P::Msg>> = EventQueue::with_capacity(entries.len());
+        queue.restore_cursor(now, queue_seq);
+        for (at, seq, ev) in entries {
+            queue.push_with_seq(at, seq, ev);
+        }
+
+        let (rng, fault_rng) = if branching {
+            (SplitMix64::new(cfg.seed), SplitMix64::new(cfg.faults.seed))
+        } else {
+            (SplitMix64::new(rng_state), SplitMix64::new(fault_rng_state))
+        };
+        let report = if branching {
+            SimReport {
+                per_cell_msgs: vec![0; n],
+                per_cell_arrivals: vec![0; n],
+                per_cell_drops: vec![0; n],
+                per_cell_grants: vec![0; n],
+                ..Default::default()
+            }
+        } else {
+            report
+        };
+
+        let mut sh = Shared {
+            topo: topo.clone(),
+            cfg,
+            now,
+            msg_seq,
+            queue,
+            rng,
+            fault_rng,
+            faults_on,
+            down,
+            usage,
+            link_horizon,
+            calls,
+            reqs,
+            pending_reqs,
+            msg_kinds: if branching {
+                SlotCounters::default()
+            } else {
+                msg_kinds
+            },
+            custom: if branching {
+                SlotCounters::default()
+            } else {
+                custom
+            },
+            custom_samples: if branching {
+                SlotSamples::default()
+            } else {
+                custom_samples
+            },
+            report,
+            sink,
+            started,
+            halted,
+            events_processed: if branching { 0 } else { events_processed },
+        };
+
+        if let Some(arrivals) = branch {
+            // The branch plan's crash windows go in before its arrivals,
+            // keeping the cold-build same-tick discipline.
+            if sh.faults_on {
+                let crashes = sh.cfg.faults.crashes.clone();
+                for c in &crashes {
+                    assert!(c.cell.index() < n, "{}: crash outside topology", c.cell);
+                    if c.at < now.ticks() {
+                        continue;
+                    }
+                    sh.push(SimTime(c.at), Ev::CrashDown { node: c.cell });
+                    sh.push(SimTime(c.at + c.down_for), Ev::CrashUp { node: c.cell });
+                }
+            }
+            for arr in arrivals {
+                if arr.at < now.ticks() {
+                    // Pre-branch arrivals belong to the warmup the branch
+                    // replaces; the caller usually filters them already.
+                    continue;
+                }
+                let call = sh.calls.len() as u32;
+                let at = SimTime(arr.at);
+                let hops: Vec<(SimTime, CellId)> = arr
+                    .hops
+                    .iter()
+                    .map(|&(off, tgt)| (SimTime(arr.at + off), tgt))
+                    .collect();
+                for (idx, &(hop_at, _)) in hops.iter().enumerate() {
+                    sh.push(
+                        hop_at,
+                        Ev::Hop {
+                            call,
+                            idx: idx as u32,
+                        },
+                    );
+                }
+                sh.calls.push(CallRecord {
+                    cell: arr.cell,
+                    duration: arr.duration,
+                    state: CallState::Done, // becomes Waiting at arrival
+                    end_at: None,
+                    hops,
+                });
+                sh.push(at, Ev::Arrive { call });
+            }
+        }
+
+        Ok(Engine { nodes, sh })
     }
 }
 
@@ -1048,6 +2148,26 @@ mod tests {
 
         fn on_message(&mut self, _from: CellId, _msg: (), _ctx: &mut Ctx<'_, ()>) {
             unreachable!("LocalOnly never sends");
+        }
+    }
+
+    impl ProtocolState for LocalOnly {
+        const STATE_ID: &'static str = "test-local-only/v1";
+
+        fn encode_state(&self, w: &mut Writer) {
+            w.mark("local.used");
+            w.put_channel_set(&self.used);
+        }
+
+        fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+            self.used = r.get_channel_set()?;
+            Ok(())
+        }
+
+        fn encode_msg(_msg: &(), _w: &mut Writer) {}
+
+        fn decode_msg(_r: &mut Reader<'_>) -> Result<(), DecodeError> {
+            Ok(())
         }
     }
 
@@ -1239,6 +2359,65 @@ mod tests {
         assert!(matches!(
             report.violations.as_slice(),
             [Violation::Liveness { pending: 1 }]
+        ));
+    }
+
+    fn busy_arrivals() -> Vec<Arrival> {
+        (0..200)
+            .map(|i| {
+                let arr = Arrival::new(i * 37 % 4000, CellId((i % 36) as u32), 300 + i * 11);
+                if i % 5 == 0 {
+                    arr.with_hop(150, CellId(((i + 1) % 36) as u32))
+                } else {
+                    arr
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let t = topo();
+        let cfg = SimConfig {
+            latency: LatencyModel::Jitter { min: 50, max: 150 },
+            ..Default::default()
+        };
+        let cold = run_protocol(t.clone(), cfg.clone(), LocalOnly::new, busy_arrivals());
+
+        let mut first = Engine::new(t.clone(), cfg.clone(), LocalOnly::new, busy_arrivals());
+        let more = first.run_until(SimTime(2000));
+        assert!(more, "events must remain at the midpoint");
+        let snap = first.snapshot();
+        let mut resumed = Engine::restore(t.clone(), cfg.clone(), LocalOnly::new, &snap)
+            .expect("restore must succeed");
+        // Restoring is lossless: re-snapshotting reproduces the bytes.
+        assert_eq!(resumed.snapshot(), snap, "snapshot → restore → snapshot");
+        let warm = resumed.run();
+        assert_eq!(warm, cold, "resumed report differs from cold run");
+
+        // The paused original must also finish identically.
+        assert_eq!(first.run(), cold);
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch() {
+        let t = topo();
+        let cfg = SimConfig::default();
+        let mut e = Engine::new(t.clone(), cfg.clone(), LocalOnly::new, busy_arrivals());
+        e.run_until(SimTime(1000));
+        let snap = e.snapshot();
+        let other = SimConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg.clone()
+        };
+        match Engine::<LocalOnly>::restore(t.clone(), other, LocalOnly::new, &snap) {
+            Err(DecodeError::Mismatch(what)) => assert!(what.contains("config.seed"), "{what}"),
+            other => panic!("expected seed mismatch, got {:?}", other.err()),
+        }
+        let small = Arc::new(Topology::default_paper(4, 4));
+        assert!(matches!(
+            Engine::<LocalOnly>::restore(small, cfg, LocalOnly::new, &snap),
+            Err(DecodeError::Mismatch(_))
         ));
     }
 

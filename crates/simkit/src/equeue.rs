@@ -202,6 +202,63 @@ impl<T> EventQueue<T> {
         self.ring_len += 1;
     }
 
+    /// The current value of the internal tie-break counter (the `seq` the
+    /// next [`EventQueue::push`] would assign). Captured by checkpoints so
+    /// a restored queue keeps numbering where the original left off.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Iterates over every queued entry in no particular order, without
+    /// disturbing the queue. Snapshot encoding sorts the collected
+    /// entries by `(at, seq)` itself.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &EqEntry<T>> {
+        self.buckets
+            .iter()
+            .flatten()
+            .chain(self.migrating.iter())
+            .chain(self.tick_lists.iter().flatten())
+            .chain(self.overflow.iter().map(|Reverse(e)| e))
+    }
+
+    /// Positions a freshly built queue for a checkpoint restore: the
+    /// serving cursor moves to `now`'s day and the tie-break counter to
+    /// `seq`. Must be called on an empty queue, *before* replaying the
+    /// snapshot's entries (in ascending `(at, seq)` order, via
+    /// [`EventQueue::push_with_seq`]) — replayed pushes land relative to
+    /// this cursor just as the original pushes did, and pop order depends
+    /// only on `(at, seq)`, so the restored queue drains identically.
+    pub fn restore_cursor(&mut self, now: SimTime, seq: u64) {
+        assert!(self.is_empty(), "restore_cursor on a non-empty queue");
+        self.cur_day = day_of(now);
+        self.cur_sorted = false;
+        self.seq = seq;
+    }
+
+    /// The earliest `(at, seq)` key without removing its entry, or `None`
+    /// if the queue is empty. Shares the serving-cursor advance with
+    /// [`EventQueue::pop`], so `peek_key` then `pop` is not extra work.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            if !self.cur_sorted {
+                self.enter_day();
+            }
+            let bucket = &self.buckets[(self.cur_day & DAY_MASK) as usize];
+            if let Some(entry) = bucket.last() {
+                return Some(entry.key());
+            }
+            if self.ring_len > 0 {
+                self.cur_day += 1;
+            } else if let Some(Reverse(head)) = self.overflow.peek() {
+                self.cur_day = day_of(head.at);
+            } else {
+                return None;
+            }
+            self.cur_sorted = false;
+        }
+    }
+
     /// Removes and returns the earliest `(at, seq)` event.
     pub fn pop(&mut self) -> Option<EqEntry<T>> {
         loop {
@@ -363,6 +420,45 @@ mod tests {
         assert_eq!(q.pop().unwrap().item, 1);
         assert_eq!(q.pop().unwrap().item, 2);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(50), 1);
+        q.push(SimTime(10), 2);
+        q.push(SimTime(50), 3);
+        while let Some(key) = q.peek_key() {
+            let e = q.pop().unwrap();
+            assert_eq!((e.at, e.seq), key);
+        }
+        assert!(q.pop().is_none());
+        let empty: Option<(SimTime, u64)> = q.peek_key();
+        assert!(empty.is_none());
+    }
+
+    #[test]
+    fn restore_replay_drains_identically() {
+        // Build a queue, drain it halfway, then rebuild the remainder via
+        // restore_cursor + push_with_seq and check the drains match.
+        let far = (NUM_BUCKETS as u64) << DAY_SHIFT;
+        let mut q = EventQueue::new();
+        for (at, item) in [(5u64, 1u32), (5, 2), (90, 3), (far * 2, 4), (91, 5)] {
+            q.push(SimTime(at), item);
+        }
+        let next_seq = q.next_seq();
+        assert_eq!(q.pop().unwrap().item, 1);
+        assert_eq!(q.pop().unwrap().item, 2);
+        let now = SimTime(5);
+        let mut entries: Vec<_> = q.iter_entries().map(|e| (e.at, e.seq, e.item)).collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        let mut restored = EventQueue::new();
+        restored.restore_cursor(now, next_seq);
+        for (at, seq, item) in entries {
+            restored.push_with_seq(at, seq, item);
+        }
+        assert_eq!(restored.next_seq(), next_seq);
+        assert_eq!(drain(&mut restored), drain(&mut q));
     }
 
     #[test]

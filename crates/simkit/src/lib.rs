@@ -40,6 +40,7 @@ pub mod latency;
 pub mod protocol;
 pub mod report;
 pub mod rng;
+pub mod snapshot;
 pub mod testing;
 pub mod time;
 pub mod trace;
@@ -51,6 +52,7 @@ pub use faults::{Crash, FaultPlan};
 pub use latency::LatencyModel;
 pub use protocol::{Protocol, RequestId, RequestKind};
 pub use report::{AuditMode, DropCause, SimReport, Violation};
+pub use snapshot::{DecodeError, ProtocolState, Reader, Writer};
 pub use time::SimTime;
 pub use trace::{
     AcqPath, CellTimeline, JsonlSink, NoopSink, RingSink, RoundKind, TraceEvent, TraceRecord,

@@ -17,6 +17,14 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. Because `new` installs the seed as the
+    /// state verbatim, `SplitMix64::new(rng.state())` is an exact clone of
+    /// the stream position — this is how checkpoints capture RNG streams.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -1,0 +1,640 @@
+//! Deterministic checkpoint/restore: the snapshot wire format and the
+//! [`ProtocolState`] trait protocols implement to ride along.
+//!
+//! The workspace builds offline (the vendored `serde` is a stub), so the
+//! format is hand-rolled and deliberately simple:
+//!
+//! ```text
+//! ┌─────────┬─────────┬─────────────┬─────────┬────────────┬──────────┐
+//! │ magic 8 │ version │ payload_len │ payload │ marks table│ checksum │
+//! │  bytes  │   u32   │     u64     │  bytes  │            │ FNV-1a64 │
+//! └─────────┴─────────┴─────────────┴─────────┴────────────┴──────────┘
+//! ```
+//!
+//! * All integers are little-endian; `f64` travels as its IEEE-754 bits.
+//! * The **marks table** is a side index of `(name, payload offset)`
+//!   pairs recorded by [`Writer::mark`]. Marks never affect decoding —
+//!   the payload is a pure byte stream — but they let
+//!   [`section_digests`] attribute a per-field digest to every named
+//!   region, so a golden-digest test failure names the drifted field
+//!   instead of "some byte differed".
+//! * The trailing checksum covers everything before it. Any bit flip or
+//!   truncation yields a typed [`DecodeError`]; decoding never panics on
+//!   foreign bytes.
+//!
+//! # Versioning & compatibility policy
+//!
+//! [`FORMAT_VERSION`] identifies the envelope **and** the engine payload
+//! layout. Snapshots are short-lived artifacts (a warmup cache, a crash
+//! restart point), not an archival format: any change to the serialized
+//! engine or protocol state bumps the version, and decoders reject every
+//! version but their own ([`DecodeError::BadVersion`]) rather than
+//! attempt migration. Protocol layouts are additionally pinned by
+//! [`ProtocolState::STATE_ID`] (e.g. `"adaptive/v1"`), checked before any
+//! node state is decoded, so restoring a snapshot under the wrong scheme
+//! fails fast with [`DecodeError::Mismatch`].
+
+use crate::protocol::Protocol;
+use crate::time::SimTime;
+use adca_hexgrid::{CellId, Channel, ChannelSet};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: [u8; 8] = *b"ADCASNAP";
+
+/// Current snapshot format version (see the module docs for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared structure did.
+    Truncated,
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    BadVersion(u32),
+    /// The trailing FNV-1a checksum does not match the bytes.
+    BadChecksum,
+    /// The bytes validated but a field held an impossible value.
+    Corrupt(&'static str),
+    /// The snapshot is valid but does not belong to the engine being
+    /// restored (wrong scheme, topology, or configuration); the message
+    /// names the mismatching field.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            DecodeError::BadVersion(v) => {
+                write!(f, "snapshot format version {v} (expected {FORMAT_VERSION})")
+            }
+            DecodeError::BadChecksum => write!(f, "snapshot checksum mismatch"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            DecodeError::Mismatch(what) => write!(f, "snapshot mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64-bit, folded over `bytes` starting from `state` (use
+/// [`FNV_OFFSET`] for a fresh digest).
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Interns a decoded label into a `&'static str`.
+///
+/// Counter and message-kind labels are `&'static str` in every report
+/// structure; decoding re-materializes them through this leak-once table
+/// so each distinct label costs one allocation per process, ever.
+pub fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut table = table.lock().expect("intern table lock");
+    if let Some(&interned) = table.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.insert(s.to_owned(), leaked);
+    leaked
+}
+
+/// Serializer for the snapshot payload.
+///
+/// Plain little-endian primitives plus helpers for the simulator's common
+/// composite types. Call [`Writer::mark`] before each logical section so
+/// [`section_digests`] can name it.
+#[derive(Default)]
+pub struct Writer {
+    payload: Vec<u8>,
+    marks: Vec<(String, u64)>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Records a named mark at the current payload offset. Repeated names
+    /// are allowed (e.g. one `"adaptive.mode"` per node); their regions
+    /// fold into one digest per name.
+    pub fn mark(&mut self, name: &str) {
+        self.marks
+            .push((name.to_owned(), self.payload.len() as u64));
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.payload.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length prefix (collection sizes).
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.payload.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an `Option<u64>`.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends a [`SimTime`].
+    pub fn put_time(&mut self, t: SimTime) {
+        self.put_u64(t.ticks());
+    }
+
+    /// Appends a [`CellId`].
+    pub fn put_cell(&mut self, c: CellId) {
+        self.put_u32(c.0);
+    }
+
+    /// Appends a [`Channel`].
+    pub fn put_channel(&mut self, ch: Channel) {
+        self.put_u16(ch.0);
+    }
+
+    /// Appends a [`ChannelSet`] as `(capacity, count, member ids…)` —
+    /// sparse, so near-empty sets (the common case) stay tiny.
+    pub fn put_channel_set(&mut self, s: &ChannelSet) {
+        self.put_u16(s.capacity());
+        self.put_u16(s.len() as u16);
+        for ch in s.iter() {
+            self.put_channel(ch);
+        }
+    }
+
+    /// Seals the payload into a full snapshot: envelope, marks table,
+    /// trailing checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&(self.marks.len() as u32).to_le_bytes());
+        for (name, off) in &self.marks {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        let digest = fnv1a(FNV_OFFSET, &out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+}
+
+/// `(name, offset-or-digest)` pairs for the snapshot's named sections.
+type Marks = Vec<(String, u64)>;
+
+/// Validates a snapshot envelope and returns `(payload, marks)`.
+fn open(bytes: &[u8]) -> Result<(&[u8], Marks), DecodeError> {
+    // Envelope head: magic + version + payload_len.
+    if bytes.len() < 8 + 4 + 8 + 4 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    // Checksum before trusting any length field beyond the fixed head.
+    let body_len = bytes.len() - 8;
+    let declared = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    if fnv1a(FNV_OFFSET, &bytes[..body_len]) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let payload_end = 20usize
+        .checked_add(payload_len)
+        .ok_or(DecodeError::Truncated)?;
+    if payload_end + 4 > body_len {
+        return Err(DecodeError::Truncated);
+    }
+    let payload = &bytes[20..payload_end];
+    let mut pos = payload_end;
+    let nmarks = u32::from_le_bytes(
+        bytes[pos..pos + 4]
+            .try_into()
+            .expect("bounds checked above"),
+    ) as usize;
+    pos += 4;
+    let mut marks = Vec::new();
+    for _ in 0..nmarks {
+        if pos + 2 > body_len {
+            return Err(DecodeError::Truncated);
+        }
+        let nlen = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if pos + nlen + 8 > body_len {
+            return Err(DecodeError::Truncated);
+        }
+        let name = std::str::from_utf8(&bytes[pos..pos + nlen])
+            .map_err(|_| DecodeError::Corrupt("mark name is not UTF-8"))?
+            .to_owned();
+        pos += nlen;
+        let off = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        if off as usize > payload.len() {
+            return Err(DecodeError::Corrupt("mark offset beyond payload"));
+        }
+        pos += 8;
+        marks.push((name, off));
+    }
+    if pos != body_len {
+        return Err(DecodeError::Corrupt("trailing bytes after marks table"));
+    }
+    Ok((payload, marks))
+}
+
+/// Per-section digests of a snapshot, in first-appearance order.
+///
+/// Each mark opens a region running to the next mark (of any name) or the
+/// payload end; regions sharing a name — per-node protocol marks — fold
+/// into one FNV-1a digest per name. Golden-digest tests diff this list so
+/// a semantic drift in, say, the predictor window fails CI as
+/// `adaptive.nfc`, not as an opaque byte difference.
+pub fn section_digests(bytes: &[u8]) -> Result<Vec<(String, u64)>, DecodeError> {
+    let (payload, marks) = open(bytes)?;
+    let mut order: Vec<String> = Vec::new();
+    let mut digests: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, (name, off)) in marks.iter().enumerate() {
+        let start = *off as usize;
+        let end = marks
+            .get(i + 1)
+            .map_or(payload.len(), |(_, next)| *next as usize);
+        if end < start {
+            return Err(DecodeError::Corrupt("marks are not in offset order"));
+        }
+        let state = *digests.entry(name.clone()).or_insert_with(|| {
+            order.push(name.clone());
+            FNV_OFFSET
+        });
+        digests.insert(name.clone(), fnv1a(state, &payload[start..end]));
+    }
+    Ok(order
+        .into_iter()
+        .map(|name| {
+            let d = digests[&name];
+            (name, d)
+        })
+        .collect())
+}
+
+/// Deserializer over a validated snapshot payload.
+///
+/// Construction checks the whole envelope (magic, version, checksum,
+/// marks table); every getter bounds-checks, so a hostile or truncated
+/// buffer yields `Err`, never a panic.
+pub struct Reader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Opens a snapshot, validating the envelope.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        let (payload, _marks) = open(bytes)?;
+        Ok(Reader { payload, pos: 0 })
+    }
+
+    /// Bytes left to read in the payload.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.payload[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool (rejecting anything but 0/1).
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Corrupt("bool out of range")),
+        }
+    }
+
+    /// Reads a length prefix, bounded by the bytes actually left (every
+    /// element of a serialized collection costs at least one byte, so a
+    /// larger length is corruption, not a big collection).
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.get_u64()?;
+        if n > self.remaining() as u64 {
+            return Err(DecodeError::Corrupt("length prefix beyond payload"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, DecodeError> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt("string is not UTF-8"))
+    }
+
+    /// Reads a string and interns it into a `&'static str` (counter and
+    /// message-kind labels).
+    pub fn get_label(&mut self) -> Result<&'static str, DecodeError> {
+        Ok(intern(&self.get_str()?))
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn get_opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        Ok(if self.get_bool()? {
+            Some(self.get_u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a [`SimTime`].
+    pub fn get_time(&mut self) -> Result<SimTime, DecodeError> {
+        Ok(SimTime(self.get_u64()?))
+    }
+
+    /// Reads a [`CellId`].
+    pub fn get_cell(&mut self) -> Result<CellId, DecodeError> {
+        Ok(CellId(self.get_u32()?))
+    }
+
+    /// Reads a [`Channel`].
+    pub fn get_channel(&mut self) -> Result<Channel, DecodeError> {
+        Ok(Channel(self.get_u16()?))
+    }
+
+    /// Reads a [`ChannelSet`] written by [`Writer::put_channel_set`],
+    /// validating every member against the embedded capacity.
+    pub fn get_channel_set(&mut self) -> Result<ChannelSet, DecodeError> {
+        let nbits = self.get_u16()?;
+        let count = self.get_u16()?;
+        let mut set = ChannelSet::new(nbits);
+        for _ in 0..count {
+            let ch = self.get_channel()?;
+            if ch.0 >= nbits {
+                return Err(DecodeError::Corrupt("channel beyond set capacity"));
+            }
+            set.insert(ch);
+        }
+        Ok(set)
+    }
+}
+
+/// Checkpointable protocol state: what a scheme must provide for its
+/// per-cell nodes (and in-flight messages) to ride in an engine snapshot.
+///
+/// Implementations serialize **only dynamic state**. Everything the node
+/// factory derives from `(cell, topology, config)` — interference
+/// regions, primary allotments, tunables — is reconstructed at restore
+/// time, not stored; `decode_state` runs on a freshly factory-built node.
+///
+/// The contract is *bit-identical resume*: running a simulation to `T`
+/// must produce the same [`SimReport`](crate::report::SimReport) as
+/// snapshotting at any midpoint, restoring, and running on to `T`.
+pub trait ProtocolState: Protocol {
+    /// Stable identifier of this scheme's serialized layout (bump the
+    /// suffix on any layout change), checked before decoding any state.
+    const STATE_ID: &'static str;
+
+    /// Serializes the node's dynamic state. Use [`Writer::mark`] with
+    /// `"<scheme>.<field>"` names so golden digests can name drift.
+    fn encode_state(&self, w: &mut Writer);
+
+    /// Restores dynamic state into a freshly factory-constructed node.
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError>;
+
+    /// Serializes one in-flight wire message (the payload of a queued
+    /// delivery event).
+    fn encode_msg(msg: &Self::Msg, w: &mut Writer);
+
+    /// Decodes one in-flight wire message.
+    fn decode_msg(r: &mut Reader<'_>) -> Result<Self::Msg, DecodeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::new();
+        w.mark("a");
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-1.5);
+        w.put_bool(true);
+        w.put_str("hello");
+        w.put_opt_u64(None);
+        w.put_opt_u64(Some(9));
+        w.put_time(SimTime(42));
+        w.put_cell(CellId(3));
+        w.put_channel(Channel(11));
+        let set = ChannelSet::from_iter_sized(70, [Channel(0), Channel(64), Channel(69)]);
+        w.put_channel_set(&set);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), -1.5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_opt_u64().unwrap(), None);
+        assert_eq!(r.get_opt_u64().unwrap(), Some(9));
+        assert_eq!(r.get_time().unwrap(), SimTime(42));
+        assert_eq!(r.get_cell().unwrap(), CellId(3));
+        assert_eq!(r.get_channel().unwrap(), Channel(11));
+        assert_eq!(r.get_channel_set().unwrap(), set);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_flips_are_caught() {
+        let mut w = Writer::new();
+        w.mark("sec");
+        for i in 0..32u64 {
+            w.put_u64(i);
+        }
+        let bytes = w.finish();
+        assert!(Reader::new(&bytes).is_ok());
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(Reader::new(&bad).is_err(), "flip at {pos} not caught");
+        }
+    }
+
+    #[test]
+    fn truncations_are_caught() {
+        let mut w = Writer::new();
+        w.mark("sec");
+        w.put_str("payload");
+        let bytes = w.finish();
+        for n in 0..bytes.len() {
+            assert!(Reader::new(&bytes[..n]).is_err(), "truncation to {n}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let bytes = Writer::new().finish();
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        // Re-seal so only the version differs.
+        let body = bad.len() - 8;
+        let sum = fnv1a(FNV_OFFSET, &bad[..body]);
+        bad[body..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Reader::new(&bad).map(|_| ()),
+            Err(DecodeError::BadVersion(99))
+        );
+        assert!(matches!(
+            Reader::new(b"NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn reads_past_payload_fail() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u64(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn section_digests_name_repeated_marks() {
+        let mut w = Writer::new();
+        w.mark("head");
+        w.put_u64(1);
+        for v in [2u64, 3] {
+            w.mark("node");
+            w.put_u64(v);
+        }
+        let a = section_digests(&w.finish()).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].0, "head");
+        assert_eq!(a[1].0, "node");
+
+        // Changing one node's bytes changes only the "node" digest.
+        let mut w = Writer::new();
+        w.mark("head");
+        w.put_u64(1);
+        for v in [2u64, 4] {
+            w.mark("node");
+            w.put_u64(v);
+        }
+        let b = section_digests(&w.finish()).unwrap();
+        assert_eq!(a[0], b[0]);
+        assert_ne!(a[1].1, b[1].1);
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let a = intern("snapshot-test-label");
+        let b = intern(&String::from("snapshot-test-label"));
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn channel_set_member_out_of_range_rejected() {
+        let mut w = Writer::new();
+        w.put_u16(8); // capacity
+        w.put_u16(1); // count
+        w.put_u16(9); // member 9 ≥ capacity 8
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes).unwrap();
+        assert_eq!(
+            r.get_channel_set(),
+            Err(DecodeError::Corrupt("channel beyond set capacity"))
+        );
+    }
+}
