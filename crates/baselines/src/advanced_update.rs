@@ -146,28 +146,38 @@ impl AdvancedUpdateNode {
     /// directly); members with an empty owner set can never borrow `ch`
     /// under the same rule and are no threat.
     fn compute_borrowable(cell: CellId, topo: &Topology) -> ChannelSet {
-        let mut out = topo.spectrum().empty_set();
-        'chan: for ch in topo.spectrum().iter() {
-            if topo.primary(cell).contains(ch) {
-                continue; // primaries are not borrowed
+        // Set-algebraic form of the witness condition, one bitset op per
+        // region pair instead of a per-channel scan with a Vec allocation
+        // per member (which made node construction — and thus restore —
+        // quadratic in region size times spectrum width).
+        //
+        // For any cell y let `U_y = ∪_{p ∈ IN_y} PR_p` (channels with a
+        // primary owner in y's region). A channel is borrowable iff it is
+        // not ours, has an owner in our region, and for every member x
+        // that could also borrow it (ch ∉ PR_x, ch ∈ U_x) some owner is
+        // shared between both regions: ch ∈ ∪_{p ∈ IN_cell ∩ IN_x} PR_p.
+        let region = topo.region(cell);
+        let mut u_cell = topo.spectrum().empty_set();
+        for &p in region {
+            u_cell.union_with(topo.primary(p));
+        }
+        let mut out = u_cell.difference(topo.primary(cell));
+        for &x in region {
+            if out.is_empty() {
+                break;
             }
-            let mine = topo.primaries_of_channel_in_region(cell, ch);
-            if mine.is_empty() {
-                continue;
-            }
-            for &x in topo.region(cell) {
-                if topo.primary(x).contains(ch) {
-                    continue; // x ∈ mine: serialized by x itself
-                }
-                let theirs = topo.primaries_of_channel_in_region(x, ch);
-                if theirs.is_empty() {
-                    continue; // x cannot borrow ch either
-                }
-                if !mine.iter().any(|p| theirs.contains(p)) {
-                    continue 'chan; // no common witness with x
+            let mut u_x = topo.spectrum().empty_set();
+            let mut witnessed = topo.spectrum().empty_set();
+            for &p in topo.region(x) {
+                u_x.union_with(topo.primary(p));
+                if topo.in_region(cell, p) {
+                    witnessed.union_with(topo.primary(p));
                 }
             }
-            out.insert(ch);
+            // Channels x could borrow but shares no witness with us.
+            let mut vetoed = u_x.difference(topo.primary(x));
+            vetoed.subtract(&witnessed);
+            out.subtract(&vetoed);
         }
         out
     }
@@ -601,6 +611,48 @@ mod tests {
         SimConfig {
             latency: LatencyModel::Fixed(100),
             ..Default::default()
+        }
+    }
+
+    /// The per-channel witness scan `compute_borrowable` replaced; kept
+    /// as the executable spec the set-algebraic version must match.
+    fn borrowable_reference(cell: CellId, topo: &Topology) -> ChannelSet {
+        let mut out = topo.spectrum().empty_set();
+        'chan: for ch in topo.spectrum().iter() {
+            if topo.primary(cell).contains(ch) {
+                continue; // primaries are not borrowed
+            }
+            let mine = topo.primaries_of_channel_in_region(cell, ch);
+            if mine.is_empty() {
+                continue;
+            }
+            for &x in topo.region(cell) {
+                if topo.primary(x).contains(ch) {
+                    continue; // x ∈ mine: serialized by x itself
+                }
+                let theirs = topo.primaries_of_channel_in_region(x, ch);
+                if theirs.is_empty() {
+                    continue; // x cannot borrow ch either
+                }
+                if !mine.iter().any(|p| theirs.contains(p)) {
+                    continue 'chan; // no common witness with x
+                }
+            }
+            out.insert(ch);
+        }
+        out
+    }
+
+    #[test]
+    fn borrowable_matches_reference_scan() {
+        for t in [Topology::default_paper(6, 6), Topology::default_paper(7, 5)] {
+            for cell in t.cells() {
+                assert_eq!(
+                    AdvancedUpdateNode::compute_borrowable(cell, &t),
+                    borrowable_reference(cell, &t),
+                    "borrowable sets diverge at {cell}"
+                );
+            }
         }
     }
 

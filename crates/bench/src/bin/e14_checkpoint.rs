@@ -108,7 +108,35 @@ fn main() {
                 "  {:<16} {:>6}  snapshot={:>9}B  save={:>7.3}ms  restore={:>7.3}ms  resume=identical",
                 row.scheme, row.grid, row.snapshot_bytes, row.save_ms, row.restore_ms,
             );
+            // Warm-path parity: the resumed *half* run must not cost
+            // more than the whole cold run (pre-fix it ran up to 11×
+            // the cold wall; at parity it is ~0.5–0.6×).
+            assert!(
+                row.resume_wall_s <= 1.25 * row.cold_wall_s,
+                "{kind} on {grid}: resumed half-run took {:.3}s vs {:.3}s cold — \
+                 warm-path regression",
+                row.resume_wall_s,
+                row.cold_wall_s,
+            );
             rows.push(row);
+        }
+        // Restore-cost outlier check: within one grid every scheme
+        // decodes the same engine sections plus O(state) protocol bytes,
+        // so restore times should sit within a small factor of each
+        // other. advanced-update's 3.4× outlier (superlinear node
+        // construction) motivated this gate; the +2ms floor keeps
+        // sub-millisecond grids out of timer noise.
+        let grid_rows = &rows[rows.len() - SchemeKind::ALL.len()..];
+        let mut restores: Vec<f64> = grid_rows.iter().map(|r| r.restore_ms).collect();
+        restores.sort_by(f64::total_cmp);
+        let median = restores[restores.len() / 2];
+        for row in grid_rows {
+            assert!(
+                row.restore_ms <= 3.0 * median + 2.0,
+                "{} on {grid}: restore {:.3}ms is an outlier (grid median {median:.3}ms)",
+                row.scheme,
+                row.restore_ms,
+            );
         }
         // Warm-start speedup: shared warmup + branches vs cold replicas.
         let t_cold = Instant::now();

@@ -1,0 +1,340 @@
+//! `perf_gate` — the CI performance comparator (ROADMAP item 5).
+//!
+//! Diffs freshly generated `BENCH_engine.json` / `BENCH_snapshot.json`
+//! rows against the checked-in baselines and fails naming the offending
+//! row when a metric regresses beyond the tolerance band. Three gates:
+//!
+//! 1. **Throughput** (`--engine`): each `(scheme, grid)` row's
+//!    `events_per_sec` must be at least `baseline / tolerance`.
+//! 2. **Warm-path parity** (`--snapshot`, internal to the fresh file):
+//!    `resume_wall_s ≤ 1.25 × cold_wall_s` per row — the resumed half
+//!    run may never cost more than the whole cold run. This one is
+//!    machine-independent (both sides measured in the same process), so
+//!    it gets no tolerance widening.
+//! 3. **Resume time** (`--snapshot`, cross-file): each row's
+//!    `resume_wall_s` must be at most `baseline × tolerance`.
+//!
+//! Rows whose measured wall time is under one millisecond are skipped —
+//! at that scale the numbers are timer noise, not performance (the
+//! checked-in fixed/6×6 `speedup: 0.775` row is a 1.2 ms run measured
+//! badly, not a regression, and the gate must not institutionalize it).
+//!
+//! The default tolerance is 2×: generous enough to absorb a CI runner
+//! that is half the speed of the machine that blessed the baseline, and
+//! still far below the 3–11× regressions the gate exists to catch.
+//!
+//! Re-blessing: run with `ADCA_BLESS_PERF=1` to copy each fresh file
+//! over its baseline instead of comparing (after verifying gate 2,
+//! which must hold on any machine).
+//!
+//! ```text
+//! cargo run --release -p adca-bench --bin perf_gate -- \
+//!     [--engine FRESH BASELINE] [--snapshot FRESH BASELINE] \
+//!     [--tolerance X]
+//! ```
+
+use std::process::ExitCode;
+
+const WARM_PARITY_BAND: f64 = 1.25;
+const SUB_MS: f64 = 1.0e-3;
+
+/// One `{"k": v, ...}` row line from the hand-rolled bench JSON (the
+/// workspace has no serde; rows are one object per line by design).
+struct Row<'a>(&'a str);
+
+impl<'a> Row<'a> {
+    fn str_field(&self, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": \"");
+        let start = self.0.find(&pat)? + pat.len();
+        let rest = &self.0[start..];
+        Some(&rest[..rest.find('"')?])
+    }
+
+    fn f64_field(&self, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = self.0.find(&pat)? + pat.len();
+        let rest = &self.0[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+
+    /// `(scheme, grid)` — the row identity both bench files share.
+    fn key(&self) -> Option<(String, String)> {
+        Some((
+            self.str_field("scheme")?.to_string(),
+            self.str_field("grid")?.to_string(),
+        ))
+    }
+}
+
+/// The `"rows"` array entries of a bench JSON file (skips `warm_start`
+/// and other arrays, whose rows have no `scheme` field).
+fn scheme_rows(text: &str) -> Vec<Row<'_>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{') && l.contains("\"scheme\""))
+        .map(Row)
+        .collect()
+}
+
+fn lookup<'a>(rows: &'a [Row<'a>], key: &(String, String)) -> Option<&'a Row<'a>> {
+    rows.iter().find(|r| r.key().as_ref() == Some(key))
+}
+
+struct Gate {
+    tolerance: f64,
+    failures: Vec<String>,
+    checked: usize,
+    skipped: usize,
+}
+
+impl Gate {
+    fn fail(&mut self, msg: String) {
+        println!("  FAIL {msg}");
+        self.failures.push(msg);
+    }
+
+    /// Gate 1: `events_per_sec` vs baseline, per `(scheme, grid)` row.
+    fn engine(&mut self, fresh: &str, baseline: &str) {
+        let base_rows = scheme_rows(baseline);
+        for row in scheme_rows(fresh) {
+            let Some(key) = row.key() else { continue };
+            let (Some(wall), Some(eps)) =
+                (row.f64_field("wall_s"), row.f64_field("events_per_sec"))
+            else {
+                continue;
+            };
+            if wall < SUB_MS {
+                self.skipped += 1;
+                continue;
+            }
+            let Some(base) = lookup(&base_rows, &key).and_then(|b| b.f64_field("events_per_sec"))
+            else {
+                continue; // smoke runs cover a subset of the baseline grids
+            };
+            self.checked += 1;
+            if eps * self.tolerance < base {
+                self.fail(format!(
+                    "{}/{}: events_per_sec {eps:.0} vs baseline {base:.0} \
+                     (>{:.2}x regression)",
+                    key.0,
+                    key.1,
+                    base / eps,
+                ));
+            }
+        }
+    }
+
+    /// Gates 2 and 3: warm-path parity within `fresh`, resume wall vs
+    /// baseline across files.
+    fn snapshot(&mut self, fresh: &str, baseline: Option<&str>) {
+        let base_rows = baseline.map(scheme_rows);
+        for row in scheme_rows(fresh) {
+            let Some(key) = row.key() else { continue };
+            let (Some(cold), Some(resume)) =
+                (row.f64_field("cold_wall_s"), row.f64_field("resume_wall_s"))
+            else {
+                continue;
+            };
+            if cold < SUB_MS {
+                self.skipped += 1;
+                continue;
+            }
+            self.checked += 1;
+            if resume > WARM_PARITY_BAND * cold {
+                self.fail(format!(
+                    "{}/{}: resume_wall {resume:.4}s vs cold_wall {cold:.4}s \
+                     (warm-path parity band is {WARM_PARITY_BAND}x)",
+                    key.0, key.1,
+                ));
+            }
+            let Some(base) = base_rows
+                .as_deref()
+                .and_then(|rows| lookup(rows, &key))
+                .and_then(|b| b.f64_field("resume_wall_s"))
+            else {
+                continue;
+            };
+            if base >= SUB_MS && resume > base * self.tolerance {
+                self.fail(format!(
+                    "{}/{}: resume_wall {resume:.4}s vs baseline {base:.4}s \
+                     (>{:.2}x regression)",
+                    key.0,
+                    key.1,
+                    resume / base,
+                ));
+            }
+        }
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"))
+}
+
+/// `fs::copy` truncates the destination before reading finishes if the
+/// two paths alias, so blessing a file onto itself must be a no-op.
+fn bless_copy(fresh: &str, base: &str) {
+    if fresh != base {
+        std::fs::copy(fresh, base).unwrap_or_else(|e| panic!("cannot bless `{base}`: {e}"));
+    }
+    println!("blessed {base} from {fresh}");
+}
+
+fn main() -> ExitCode {
+    let mut engine: Option<(String, String)> = None;
+    let mut snapshot: Option<(String, String)> = None;
+    let mut tolerance = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut pair = || {
+            let fresh = args.next().expect("expected FRESH BASELINE paths");
+            let base = args.next().expect("expected FRESH BASELINE paths");
+            (fresh, base)
+        };
+        match arg.as_str() {
+            "--engine" => engine = Some(pair()),
+            "--snapshot" => snapshot = Some(pair()),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a number");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    assert!(
+        tolerance >= 1.0,
+        "--tolerance below 1 rejects noise-free runs"
+    );
+    if engine.is_none() && snapshot.is_none() {
+        panic!("nothing to do: pass --engine and/or --snapshot");
+    }
+
+    let bless = std::env::var_os("ADCA_BLESS_PERF").is_some_and(|v| v == "1");
+    let mut gate = Gate {
+        tolerance,
+        failures: Vec::new(),
+        checked: 0,
+        skipped: 0,
+    };
+
+    if let Some((fresh_path, base_path)) = &engine {
+        if bless {
+            bless_copy(fresh_path, base_path);
+        } else {
+            println!("engine gate: {fresh_path} vs {base_path}");
+            gate.engine(&read(fresh_path), &read(base_path));
+        }
+    }
+    if let Some((fresh_path, base_path)) = &snapshot {
+        let fresh = read(fresh_path);
+        if bless {
+            // Parity is machine-independent; never bless a file that
+            // violates it.
+            gate.snapshot(&fresh, None);
+            assert!(
+                gate.failures.is_empty(),
+                "refusing to bless {base_path}: fresh rows break warm-path parity"
+            );
+            bless_copy(fresh_path, base_path);
+        } else {
+            println!("snapshot gate: {fresh_path} vs {base_path}");
+            gate.snapshot(&fresh, Some(&read(base_path)));
+        }
+    }
+
+    println!(
+        "perf gate: {} rows checked, {} sub-millisecond rows skipped, {} failures \
+         (tolerance {tolerance}x)",
+        gate.checked,
+        gate.skipped,
+        gate.failures.len(),
+    );
+    if gate.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!("re-bless with ADCA_BLESS_PERF=1 if the new numbers are intended");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+  "rows": [
+    {"scheme": "fixed", "grid": "6x6", "cells": 36, "save_ms": 0.5, "restore_ms": 0.4, "cold_wall_s": 0.000800, "resume_wall_s": 0.009000, "resume_identical": true},
+    {"scheme": "adaptive", "grid": "24x24", "cells": 576, "save_ms": 12.0, "restore_ms": 13.0, "cold_wall_s": 0.600000, "resume_wall_s": 0.400000, "resume_identical": true}
+  ]
+}"#;
+
+    #[test]
+    fn row_fields_parse() {
+        let rows = scheme_rows(SNAP);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].key(),
+            Some(("adaptive".to_string(), "24x24".to_string()))
+        );
+        assert_eq!(rows[1].f64_field("cold_wall_s"), Some(0.6));
+        assert_eq!(rows[0].f64_field("resume_identical"), None);
+    }
+
+    #[test]
+    fn sub_millisecond_rows_are_skipped() {
+        // The fixed/6x6 row breaks parity 11x over but is under 1 ms
+        // cold — timer noise, not a regression.
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.snapshot(SNAP, Some(SNAP));
+        assert_eq!(gate.skipped, 1);
+        assert_eq!(gate.checked, 1);
+        assert!(gate.failures.is_empty(), "{:?}", gate.failures);
+    }
+
+    #[test]
+    fn parity_violation_names_the_row() {
+        let bad = SNAP.replace("\"resume_wall_s\": 0.400000", "\"resume_wall_s\": 2.400000");
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.snapshot(&bad, Some(SNAP));
+        assert_eq!(gate.failures.len(), 2, "parity + baseline regression");
+        assert!(gate.failures[0].contains("adaptive/24x24"));
+    }
+
+    #[test]
+    fn engine_gate_flags_throughput_loss() {
+        let base = r#"{"scheme": "adaptive", "grid": "24x24", "events": 100, "wall_s": 0.300000, "events_per_sec": 6000000.0, "speedup": 2.0}"#;
+        let slow = r#"{"scheme": "adaptive", "grid": "24x24", "events": 100, "wall_s": 0.900000, "events_per_sec": 2000000.0, "speedup": 0.7}"#;
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.engine(slow, base);
+        assert_eq!(gate.failures.len(), 1);
+        assert!(gate.failures[0].contains("adaptive/24x24"));
+        // Within tolerance: half the baseline exactly passes at 2x.
+        let half = base.replace("6000000.0", "4000000.0");
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.engine(slow, &half);
+        assert!(gate.failures.is_empty());
+    }
+}

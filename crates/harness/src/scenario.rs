@@ -480,6 +480,10 @@ impl Scenario {
             let mut resumed = Engine::restore(topo, cfg, restore_factory, &snap)
                 .expect("an engine's own snapshot restores under the same scenario");
             let restore = t_restore.elapsed();
+            // Drop the warmup engine before timing the resumed run: a
+            // second live engine's worth of state doubles the cache
+            // footprint and taxes the run being measured.
+            drop(engine);
             let t_run = Instant::now();
             let report = resumed.run();
             CheckpointProbe {

@@ -1,0 +1,52 @@
+//! Warm-path parity gate: a restored engine must run at cold-run speed.
+//!
+//! PR 5's checkpoint/restore was bit-identical but not
+//! performance-identical — restored engines ran the rest of the horizon
+//! up to 11× slower than a cold engine, because restore left hot-path
+//! invariants behind (slot-table labels lost pointer identity with the
+//! compile-time literals, so every counter bump fell into the string
+//! comparison slow path forever). This suite is the executable form of
+//! the fix: the resumed half of a split run must cost no more than the
+//! *whole* cold run, with a generous band for CI timer noise.
+//!
+//! Timing tests are inherently jittery, so each scheme gets a few
+//! attempts and passes on the first one inside the band; only a scheme
+//! that misses the band on every attempt fails — which is what a
+//! reintroduced warm-path regression (a systematic multi-×) looks like,
+//! as opposed to a noisy neighbor.
+
+use adca_harness::{Scenario, SchemeKind};
+use std::time::Instant;
+
+const HORIZON: u64 = 100_000;
+const CKPT_AT: u64 = 50_000;
+/// `resume_wall ≤ BAND × cold_wall`. The resumed run covers only half
+/// the events, so parity is ~0.5–0.6×; 1.25 leaves over 2× headroom for
+/// noise while still catching the 3–11× regressions this PR fixed.
+const BAND: f64 = 1.25;
+const ATTEMPTS: u32 = 3;
+
+#[test]
+fn resumed_half_run_is_no_slower_than_cold_full_run() {
+    let sc = Scenario::uniform(0.9, HORIZON).with_grid(12, 12);
+    for kind in SchemeKind::ALL {
+        let mut last = String::new();
+        let ok = (0..ATTEMPTS).any(|_| {
+            let t = Instant::now();
+            let cold = sc.run(kind);
+            let cold_wall = t.elapsed();
+            let probe = sc.checkpoint_probe(kind, CKPT_AT);
+            assert_eq!(
+                cold.report, probe.resumed.report,
+                "{kind}: split run diverged from cold run"
+            );
+            let resume_wall = probe.resumed.wall;
+            last = format!(
+                "{kind}: resume {:?} vs cold {:?} (band {BAND}×)",
+                resume_wall, cold_wall
+            );
+            resume_wall.as_secs_f64() <= BAND * cold_wall.as_secs_f64()
+        });
+        assert!(ok, "warm path slower than cold on every attempt — {last}");
+    }
+}

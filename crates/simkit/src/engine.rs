@@ -222,7 +222,15 @@ impl SlotCounters {
     #[inline]
     fn add(&mut self, name: &'static str, n: u64) {
         for (k, v) in &mut self.0 {
-            if std::ptr::eq(*k, name) || *k == name {
+            if std::ptr::eq(*k, name) {
+                *v += n;
+                return;
+            }
+            if *k == name {
+                // Restored slots hold re-interned labels whose addresses
+                // differ from the caller's literal; re-key to the live
+                // pointer so later probes take the identity fast path.
+                *k = name;
                 *v += n;
                 return;
             }
@@ -250,7 +258,14 @@ impl SlotSamples {
     #[inline]
     fn push(&mut self, name: &'static str, value: f64) {
         for (k, s) in &mut self.0 {
-            if std::ptr::eq(*k, name) || *k == name {
+            if std::ptr::eq(*k, name) {
+                s.push(value);
+                return;
+            }
+            if *k == name {
+                // Same re-keying as `SlotCounters::add`: swap a restored
+                // (re-interned) key for the live literal on first touch.
+                *k = name;
                 s.push(value);
                 return;
             }
@@ -1845,7 +1860,11 @@ impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
         }
 
         let nreqs = r.get_len()?;
-        let mut reqs = Vec::with_capacity(nreqs);
+        // Pre-size like `Engine::new`: the run ahead issues one request
+        // per not-yet-arrived call and hop, so sizing to the snapshot's
+        // current count alone would re-grow the vector mid-run.
+        let total_hops: usize = calls.iter().map(|c| c.hops.len()).sum();
+        let mut reqs = Vec::with_capacity(nreqs.max(ncalls + total_hops));
         let mut pending_count = 0u64;
         for _ in 0..nreqs {
             let call = r.get_u32()?;

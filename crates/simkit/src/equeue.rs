@@ -202,6 +202,19 @@ impl<T> EventQueue<T> {
         self.ring_len += 1;
     }
 
+    /// `(ring_resident, overflow_resident)` entry counts — diagnostics
+    /// for the restore path, which must land near-future events in the
+    /// calendar ring (the O(1) serving structure), not the heap.
+    pub fn residency(&self) -> (usize, usize) {
+        (self.ring_len, self.overflow.len())
+    }
+
+    /// Whether `at` falls inside the calendar ring's current window; a
+    /// push due then would be ring-resident, not overflow.
+    pub fn ring_covers(&self, at: SimTime) -> bool {
+        day_of(at) < self.cur_day + NUM_BUCKETS as u64
+    }
+
     /// The current value of the internal tie-break counter (the `seq` the
     /// next [`EventQueue::push`] would assign). Captured by checkpoints so
     /// a restored queue keeps numbering where the original left off.

@@ -37,8 +37,8 @@
 use crate::protocol::Protocol;
 use crate::time::SimTime;
 use adca_hexgrid::{CellId, Channel, ChannelSet};
-use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{OnceLock, RwLock};
 
 /// Magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"ADCASNAP";
@@ -100,16 +100,27 @@ pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 ///
 /// Counter and message-kind labels are `&'static str` in every report
 /// structure; decoding re-materializes them through this leak-once table
-/// so each distinct label costs one allocation per process, ever.
+/// so each distinct label costs one allocation per process, ever — the
+/// table holds the leaked string itself, never a second copy. Lookups
+/// take a read lock, so concurrent restores (a branching sweep) only
+/// contend the first time a label is seen process-wide.
+///
+/// The returned reference is a *different address* than the compile-time
+/// literal the label came from; the engine's slot tables re-key to the
+/// live literal on first touch after restore, so the pointer-identity
+/// fast path recovers without a reverse lookup here.
 pub fn intern(s: &str) -> &'static str {
-    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
-    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut table = table.lock().expect("intern table lock");
-    if let Some(&interned) = table.get(s) {
+    static TABLE: OnceLock<RwLock<BTreeSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| RwLock::new(BTreeSet::new()));
+    if let Some(&interned) = table.read().expect("intern table lock").get(s) {
         return interned;
     }
+    let mut table = table.write().expect("intern table lock");
+    if let Some(&interned) = table.get(s) {
+        return interned; // raced: another restore interned it first
+    }
     let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-    table.insert(s.to_owned(), leaked);
+    table.insert(leaked);
     leaked
 }
 
@@ -497,6 +508,14 @@ pub trait ProtocolState: Protocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn intern_dedups_to_one_address() {
+        let a = intern("intern-test-label");
+        let b = intern(String::from("intern-test-label").as_str());
+        assert!(std::ptr::eq(a, b), "same label must intern to one address");
+        assert_eq!(a, "intern-test-label");
+    }
 
     #[test]
     fn roundtrip_primitives() {
