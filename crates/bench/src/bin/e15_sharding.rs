@@ -1,0 +1,123 @@
+//! `e15_sharding` — scaling table for the sharded conservative-PDES
+//! engine.
+//!
+//! Runs representative schemes over grids sized for shard scaling and
+//! measures wall clock at shard counts {1, 2, 4, 8}, writing
+//! `BENCH_shard.json` with events/sec and speedup-vs-sequential per
+//! `(scheme, grid, shards)` cell:
+//!
+//! ```text
+//! cargo run --release -p adca-bench --bin e15_sharding -- \
+//!     [--smoke] [--repeat N] [--out PATH] [--scheme NAME]
+//! ```
+//!
+//! * `--smoke` restricts the sweep to the smallest grid and shard
+//!   counts {1, 2} (CI).
+//! * `--repeat N` runs each cell N times and keeps the fastest wall
+//!   clock (default 2).
+//! * `--scheme NAME` restricts the sweep to one scheme.
+//!
+//! Every sharded run is asserted bit-identical to the sequential
+//! reference before its timing is recorded — a number from a diverging
+//! engine would be meaningless.
+//!
+//! The file header records `host_parallelism`: on a single-core host
+//! the speedup column honestly reports sharding *overhead* (barriers,
+//! effect-log replay) rather than scaling, because there is nothing to
+//! scale onto; read the table together with that field. CI runners with
+//! real core counts exercise the scaling side.
+
+use adca_bench::perf::{write_shard_json, ShardRow};
+use adca_harness::{Scenario, SchemeKind};
+
+const RHO: f64 = 0.9;
+/// Larger grids get shorter horizons so one cell stays in the seconds
+/// range; events/s comparisons only ever happen within a `(scheme,
+/// grid)` group, where the horizon is constant.
+const GRIDS: [(u32, u32, u64); 3] = [(24, 24, 60_000), (48, 48, 24_000), (104, 104, 6_000)];
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const SCHEMES: [SchemeKind; 2] = [SchemeKind::BasicUpdate, SchemeKind::Adaptive];
+
+fn main() {
+    let mut smoke = false;
+    let mut repeat: u32 = 2;
+    let mut out_path = "BENCH_shard.json".to_string();
+    let mut only_scheme: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a positive integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scheme" => only_scheme = Some(args.next().expect("--scheme needs a name")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    assert!(repeat >= 1, "--repeat needs a positive integer");
+    let grids: &[(u32, u32, u64)] = if smoke { &GRIDS[..1] } else { &GRIDS[..] };
+    let shard_counts: &[usize] = if smoke { &SHARDS[..2] } else { &SHARDS[..] };
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("e15_sharding: rho={RHO}, repeat={repeat}, host_parallelism={host}");
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for &(r, c, horizon) in grids {
+        let sc = Scenario::uniform(RHO, horizon).with_grid(r, c);
+        let topo = sc.topology();
+        let arrivals = sc.arrivals(&topo);
+        for kind in SCHEMES {
+            if only_scheme.as_deref().is_some_and(|s| s != kind.name()) {
+                continue;
+            }
+            let reference = sc.run_with(kind, topo.clone(), arrivals.clone());
+            reference.report.assert_clean();
+            let mut sequential_eps = None;
+            for &shards in shard_counts {
+                let mut best: Option<adca_harness::RunSummary> = None;
+                for _ in 0..repeat {
+                    let s = sc.run_sharded_with(kind, shards, topo.clone(), arrivals.clone());
+                    assert_eq!(
+                        reference.report, s.report,
+                        "{kind} on {r}x{c} with {shards} shards diverged from sequential"
+                    );
+                    if best.as_ref().is_none_or(|b| s.wall < b.wall) {
+                        best = Some(s);
+                    }
+                }
+                let s = best.expect("repeat >= 1");
+                let eps = s.events_per_sec();
+                let base = *sequential_eps.get_or_insert(eps);
+                let row = ShardRow {
+                    scheme: kind.name().to_string(),
+                    grid: format!("{r}x{c}"),
+                    shards,
+                    cells: u64::from(r * c),
+                    horizon,
+                    events: s.report.events_processed,
+                    wall_s: s.wall.as_secs_f64(),
+                    events_per_sec: eps,
+                    speedup_vs_sequential: eps / base,
+                };
+                println!(
+                    "  {:<14} {:>8} shards={}  events={:>9}  wall={:>7.3}s  \
+                     events/s={:>11.0}  vs-seq={:.2}x",
+                    row.scheme,
+                    row.grid,
+                    row.shards,
+                    row.events,
+                    row.wall_s,
+                    row.events_per_sec,
+                    row.speedup_vs_sequential,
+                );
+                rows.push(row);
+            }
+        }
+    }
+    write_shard_json(&out_path, RHO, repeat, host, &rows)
+        .unwrap_or_else(|e| panic!("cannot write `{out_path}`: {e}"));
+    println!("wrote {out_path} ({} rows)", rows.len());
+}

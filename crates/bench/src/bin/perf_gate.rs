@@ -13,6 +13,9 @@
 //!    it gets no tolerance widening.
 //! 3. **Resume time** (`--snapshot`, cross-file): each row's
 //!    `resume_wall_s` must be at most `baseline × tolerance`.
+//! 4. **Sharded throughput** (`--shard`): each `(scheme, grid, shards)`
+//!    row of `BENCH_shard.json` holds its `events_per_sec` against the
+//!    baseline, same band as gate 1.
 //!
 //! Rows whose measured wall time is under one millisecond are skipped —
 //! at that scale the numbers are timer noise, not performance (the
@@ -30,7 +33,7 @@
 //! ```text
 //! cargo run --release -p adca-bench --bin perf_gate -- \
 //!     [--engine FRESH BASELINE] [--snapshot FRESH BASELINE] \
-//!     [--tolerance X]
+//!     [--shard FRESH BASELINE] [--tolerance X]
 //! ```
 
 use std::process::ExitCode;
@@ -125,6 +128,46 @@ impl Gate {
         }
     }
 
+    /// Gate 4 (`--shard`): each `(scheme, grid, shards)` row of
+    /// `BENCH_shard.json` holds its `events_per_sec` against the
+    /// baseline, under the same tolerance band and sub-millisecond skip
+    /// as the engine gate.
+    fn shard(&mut self, fresh: &str, baseline: &str) {
+        let base_rows = scheme_rows(baseline);
+        for row in scheme_rows(fresh) {
+            let (Some(key), Some(shards)) = (row.key(), row.f64_field("shards")) else {
+                continue;
+            };
+            let (Some(wall), Some(eps)) =
+                (row.f64_field("wall_s"), row.f64_field("events_per_sec"))
+            else {
+                continue;
+            };
+            if wall < SUB_MS {
+                self.skipped += 1;
+                continue;
+            }
+            let Some(base) = base_rows
+                .iter()
+                .find(|b| b.key().as_ref() == Some(&key) && b.f64_field("shards") == Some(shards))
+                .and_then(|b| b.f64_field("events_per_sec"))
+            else {
+                continue; // smoke runs cover a subset of the baseline cells
+            };
+            self.checked += 1;
+            if eps * self.tolerance < base {
+                self.fail(format!(
+                    "{}/{}/{} shards: events_per_sec {eps:.0} vs baseline {base:.0} \
+                     (>{:.2}x regression)",
+                    key.0,
+                    key.1,
+                    shards as u64,
+                    base / eps,
+                ));
+            }
+        }
+    }
+
     /// Gates 2 and 3: warm-path parity within `fresh`, resume wall vs
     /// baseline across files.
     fn snapshot(&mut self, fresh: &str, baseline: Option<&str>) {
@@ -184,6 +227,7 @@ fn bless_copy(fresh: &str, base: &str) {
 fn main() -> ExitCode {
     let mut engine: Option<(String, String)> = None;
     let mut snapshot: Option<(String, String)> = None;
+    let mut shard: Option<(String, String)> = None;
     let mut tolerance = 2.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -195,6 +239,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--engine" => engine = Some(pair()),
             "--snapshot" => snapshot = Some(pair()),
+            "--shard" => shard = Some(pair()),
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -208,8 +253,8 @@ fn main() -> ExitCode {
         tolerance >= 1.0,
         "--tolerance below 1 rejects noise-free runs"
     );
-    if engine.is_none() && snapshot.is_none() {
-        panic!("nothing to do: pass --engine and/or --snapshot");
+    if engine.is_none() && snapshot.is_none() && shard.is_none() {
+        panic!("nothing to do: pass --engine, --snapshot, and/or --shard");
     }
 
     let bless = std::env::var_os("ADCA_BLESS_PERF").is_some_and(|v| v == "1");
@@ -226,6 +271,14 @@ fn main() -> ExitCode {
         } else {
             println!("engine gate: {fresh_path} vs {base_path}");
             gate.engine(&read(fresh_path), &read(base_path));
+        }
+    }
+    if let Some((fresh_path, base_path)) = &shard {
+        if bless {
+            bless_copy(fresh_path, base_path);
+        } else {
+            println!("shard gate: {fresh_path} vs {base_path}");
+            gate.shard(&read(fresh_path), &read(base_path));
         }
     }
     if let Some((fresh_path, base_path)) = &snapshot {
@@ -311,6 +364,27 @@ mod tests {
         gate.snapshot(&bad, Some(SNAP));
         assert_eq!(gate.failures.len(), 2, "parity + baseline regression");
         assert!(gate.failures[0].contains("adaptive/24x24"));
+    }
+
+    #[test]
+    fn shard_gate_keys_on_shard_count() {
+        let base = r#"{"scheme": "adaptive", "grid": "48x48", "shards": 4, "events": 100, "wall_s": 0.300000, "events_per_sec": 6000000.0, "speedup_vs_sequential": 2.0}
+{"scheme": "adaptive", "grid": "48x48", "shards": 8, "events": 100, "wall_s": 0.300000, "events_per_sec": 1000000.0, "speedup_vs_sequential": 0.4}"#;
+        // Fresh shards=4 row regresses 3x; the shards=8 row (which the
+        // same (scheme, grid) would shadow under two-field keying) is
+        // fine.
+        let fresh = r#"{"scheme": "adaptive", "grid": "48x48", "shards": 4, "events": 100, "wall_s": 0.900000, "events_per_sec": 2000000.0, "speedup_vs_sequential": 0.7}
+{"scheme": "adaptive", "grid": "48x48", "shards": 8, "events": 100, "wall_s": 0.100000, "events_per_sec": 950000.0, "speedup_vs_sequential": 0.3}"#;
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.shard(fresh, base);
+        assert_eq!(gate.checked, 2);
+        assert_eq!(gate.failures.len(), 1);
+        assert!(gate.failures[0].contains("adaptive/48x48/4 shards"));
     }
 
     #[test]

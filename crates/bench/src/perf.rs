@@ -66,6 +66,71 @@ pub fn write_json(
     std::fs::write(path, s)
 }
 
+/// One `(scheme, grid, shards)` measurement row of the sharding bench
+/// (`BENCH_shard.json`).
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Scheme name (`SchemeKind::name`).
+    pub scheme: String,
+    /// Grid label, e.g. `"48x48"`.
+    pub grid: String,
+    /// Shard count the engine ran with (1 = sequential engine).
+    pub shards: usize,
+    /// Cell count of the grid.
+    pub cells: u64,
+    /// Horizon of this grid's workload, ticks.
+    pub horizon: u64,
+    /// Events processed (bit-identical across shard counts by contract).
+    pub events: u64,
+    /// Best wall clock over the repeats, seconds.
+    pub wall_s: f64,
+    /// Engine throughput at the best wall clock.
+    pub events_per_sec: f64,
+    /// This row's throughput over the same `(scheme, grid)`'s
+    /// sequential-engine (shards = 1) throughput in the same run.
+    pub speedup_vs_sequential: f64,
+}
+
+/// Writes `rows` as `BENCH_shard.json`-style JSON to `path`. The header
+/// records `host_parallelism` — a speedup table is only meaningful
+/// relative to the cores the measuring host actually had.
+pub fn write_shard_json(
+    path: &str,
+    rho: f64,
+    repeat: u32,
+    host_parallelism: usize,
+    rows: &[ShardRow],
+) -> io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"e15_sharding\",\n");
+    s.push_str("  \"workload\": \"uniform load, grids sized for shard scaling\",\n");
+    let _ = writeln!(s, "  \"rho\": {rho},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"grid\": \"{}\", \"shards\": {}, \"cells\": {}, \
+             \"horizon_ticks\": {}, \"events\": {}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}}}",
+            r.scheme,
+            r.grid,
+            r.shards,
+            r.cells,
+            r.horizon,
+            r.events,
+            r.wall_s,
+            r.events_per_sec,
+            r.speedup_vs_sequential
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// A previously written `BENCH_engine.json`, reduced to its throughput
 /// cells.
 #[derive(Debug, Clone, Default)]

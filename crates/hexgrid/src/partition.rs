@@ -1,0 +1,230 @@
+//! Spatial partitioning of a hex grid into contiguous shards.
+//!
+//! The sharded simulation engine splits a grid into *row bands*: each
+//! shard owns a contiguous range of cell ids covering whole grid rows
+//! (cells are numbered row-major, so a band of rows is a band of ids).
+//! Contiguity is what the engine needs — per-shard protocol state and
+//! per-cell report columns become disjoint slices handed to worker
+//! threads with `split_at_mut` — and row alignment keeps each shard's
+//! frontier geometrically thin: only the cells within the interference
+//! radius of a band edge ([`Partition::boundary_cells`]) can interact
+//! with another shard at all.
+
+use crate::grid::CellId;
+use crate::topology::Topology;
+use std::ops::Range;
+
+/// A partition of the cells `0..n` into contiguous, non-empty shards.
+///
+/// Build one with [`Partition::row_bands`] (or [`Partition::from_starts`]
+/// for custom splits) and hand it to the sharded engine. The partition is
+/// purely geometric: it knows nothing about protocols or schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Shard `s` owns cells `starts[s]..starts[s + 1]`; `starts` is
+    /// strictly increasing, begins at 0, and ends at the cell count.
+    starts: Vec<u32>,
+}
+
+impl Partition {
+    /// Partitions a `rows × cols` row-major grid into at most `shards`
+    /// row-aligned bands of near-equal height (heights differ by at most
+    /// one row). `shards` is clamped to `rows` — a band must contain at
+    /// least one whole row — and to at least 1.
+    ///
+    /// ```
+    /// use adca_hexgrid::Partition;
+    /// let p = Partition::row_bands(12, 12, 7);
+    /// assert_eq!(p.num_shards(), 7);
+    /// // 12 rows over 7 shards: five 2-row bands, then two 1-row bands.
+    /// assert_eq!(p.range(0), 0..24);
+    /// assert_eq!(p.range(6), 132..144);
+    /// ```
+    pub fn row_bands(rows: u32, cols: u32, shards: usize) -> Partition {
+        assert!(rows > 0 && cols > 0, "partition of an empty grid");
+        let shards = shards.clamp(1, rows as usize) as u32;
+        let base = rows / shards;
+        let extra = rows % shards;
+        let mut starts = Vec::with_capacity(shards as usize + 1);
+        let mut row = 0u32;
+        for s in 0..shards {
+            starts.push(row * cols);
+            row += base + u32::from(s < extra);
+        }
+        debug_assert_eq!(row, rows);
+        starts.push(rows * cols);
+        Partition { starts }
+    }
+
+    /// Builds a partition from explicit shard start offsets (`starts`
+    /// excluding the trailing bound) over `num_cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `starts` begins at 0 and is strictly increasing with
+    /// every value below `num_cells` — i.e. unless every shard is a
+    /// non-empty contiguous range and the shards cover `0..num_cells`.
+    pub fn from_starts(starts: Vec<u32>, num_cells: u32) -> Partition {
+        assert!(!starts.is_empty(), "partition needs at least one shard");
+        assert_eq!(starts[0], 0, "first shard must start at cell 0");
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1], "shard starts must be strictly increasing");
+        }
+        assert!(
+            *starts.last().unwrap() < num_cells,
+            "last shard must be non-empty"
+        );
+        let mut starts = starts;
+        starts.push(num_cells);
+        Partition { starts }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of cells covered.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        *self.starts.last().unwrap() as usize
+    }
+
+    /// The contiguous cell-id range owned by shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> Range<u32> {
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// The shard owning `cell`.
+    #[inline]
+    pub fn owner(&self, cell: CellId) -> usize {
+        debug_assert!((cell.index()) < self.num_cells(), "cell outside partition");
+        self.starts.partition_point(|&start| start <= cell.0) - 1
+    }
+
+    /// The cells of shard `s` whose interference region (under `topo`)
+    /// reaches into another shard — the shard's *boundary cells*. Only
+    /// these cells exchange cross-shard messages; everything else in the
+    /// band is interior and purely shard-local. Returned in increasing
+    /// id order.
+    ///
+    /// The ratio of boundary to interior cells is what limits how finely
+    /// a grid can usefully shard: a band thinner than the interference
+    /// diameter is all boundary.
+    pub fn boundary_cells(&self, topo: &Topology, s: usize) -> Vec<CellId> {
+        let range = self.range(s);
+        assert_eq!(
+            self.num_cells(),
+            topo.num_cells(),
+            "partition does not cover this topology"
+        );
+        (range.clone())
+            .map(CellId)
+            .filter(|&c| topo.region(c).iter().any(|j| !range.contains(&j.0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_bands_cover_and_balance() {
+        for (rows, cols, shards) in [
+            (12, 12, 1),
+            (12, 12, 2),
+            (12, 12, 4),
+            (12, 12, 7),
+            (5, 3, 4),
+        ] {
+            let p = Partition::row_bands(rows, cols, shards);
+            assert_eq!(p.num_cells(), (rows * cols) as usize);
+            // Ranges tile 0..n contiguously and are row-aligned.
+            let mut next = 0;
+            for s in 0..p.num_shards() {
+                let r = p.range(s);
+                assert_eq!(r.start, next);
+                assert!(r.start.is_multiple_of(cols) && r.end.is_multiple_of(cols));
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, rows * cols);
+            // Band heights differ by at most one row.
+            let heights: Vec<u32> = (0..p.num_shards())
+                .map(|s| (p.range(s).end - p.range(s).start) / cols)
+                .collect();
+            let (lo, hi) = (
+                *heights.iter().min().unwrap(),
+                *heights.iter().max().unwrap(),
+            );
+            assert!(hi - lo <= 1, "unbalanced bands: {heights:?}");
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_rows() {
+        let p = Partition::row_bands(4, 6, 99);
+        assert_eq!(p.num_shards(), 4);
+        let p = Partition::row_bands(4, 6, 0);
+        assert_eq!(p.num_shards(), 1);
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        let p = Partition::row_bands(12, 12, 7);
+        for s in 0..p.num_shards() {
+            for c in p.range(s) {
+                assert_eq!(p.owner(CellId(c)), s, "cell {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cells_hug_band_edges() {
+        let topo = Topology::default_paper(12, 12);
+        let p = Partition::row_bands(12, 12, 4);
+        for s in 0..p.num_shards() {
+            let boundary = p.boundary_cells(&topo, s);
+            let range = p.range(s);
+            // Boundary cells are owned by the shard and actually reach out.
+            for &c in &boundary {
+                assert!(range.contains(&c.0));
+                assert!(topo.region(c).iter().any(|j| !range.contains(&j.0)));
+            }
+            // Interior cells don't.
+            for c in range.clone() {
+                if !boundary.iter().any(|b| b.0 == c) {
+                    assert!(topo.region(CellId(c)).iter().all(|j| range.contains(&j.0)));
+                }
+            }
+        }
+        // A band taller than twice the interference radius keeps an
+        // interior: 6-row bands with the paper's radius-2 regions.
+        let p = Partition::row_bands(12, 12, 2);
+        for s in 0..p.num_shards() {
+            let boundary = p.boundary_cells(&topo, s);
+            assert!(
+                boundary.len() < p.range(s).len(),
+                "shard {s} is all boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let topo = Topology::default_paper(6, 6);
+        let p = Partition::row_bands(6, 6, 1);
+        assert!(p.boundary_cells(&topo, 0).is_empty());
+    }
+
+    #[test]
+    fn from_starts_validates() {
+        let p = Partition::from_starts(vec![0, 10, 20], 30);
+        assert_eq!(p.num_shards(), 3);
+        assert_eq!(p.range(2), 20..30);
+        assert_eq!(p.owner(CellId(10)), 1);
+    }
+}

@@ -54,7 +54,7 @@ impl Default for SimConfig {
     }
 }
 
-enum Ev<M> {
+pub(crate) enum Ev<M> {
     Deliver {
         from: CellId,
         to: CellId,
@@ -91,7 +91,7 @@ enum Ev<M> {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CallState {
+pub(crate) enum CallState {
     /// Waiting on an acquisition request.
     Waiting(RequestId),
     /// Holding a channel.
@@ -100,28 +100,28 @@ enum CallState {
     Done,
 }
 
-struct CallRecord {
-    cell: CellId,
-    duration: u64,
-    state: CallState,
+pub(crate) struct CallRecord {
+    pub(crate) cell: CellId,
+    pub(crate) duration: u64,
+    pub(crate) state: CallState,
     /// Absolute end time, fixed at first grant.
-    end_at: Option<SimTime>,
+    pub(crate) end_at: Option<SimTime>,
     /// Absolute hop times and targets.
-    hops: Vec<(SimTime, CellId)>,
+    pub(crate) hops: Vec<(SimTime, CellId)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ReqState {
+pub(crate) enum ReqState {
     Pending,
     Done,
 }
 
-struct ReqRecord {
-    call: u32,
-    cell: CellId,
-    issued: SimTime,
-    kind: RequestKind,
-    state: ReqState,
+pub(crate) struct ReqRecord {
+    pub(crate) call: u32,
+    pub(crate) cell: CellId,
+    pub(crate) issued: SimTime,
+    pub(crate) kind: RequestKind,
+    pub(crate) state: ReqState,
 }
 
 /// Per-link FIFO clamps: the latest delivery time scheduled on each
@@ -136,7 +136,7 @@ struct ReqRecord {
 /// to interference-region links only — the only links any of the paper's
 /// protocols use — with a spill map for protocols that message outside
 /// their region.
-enum LinkHorizons {
+pub(crate) enum LinkHorizons {
     Dense {
         n: usize,
         slots: Vec<SimTime>,
@@ -216,11 +216,11 @@ impl LinkHorizons {
 /// totals fold into the report's sorted [`CounterMap`] once at the end of
 /// the run, so the report is byte-for-byte what the maps produced.
 #[derive(Default)]
-struct SlotCounters(Vec<(&'static str, u64)>);
+pub(crate) struct SlotCounters(pub(crate) Vec<(&'static str, u64)>);
 
 impl SlotCounters {
     #[inline]
-    fn add(&mut self, name: &'static str, n: u64) {
+    pub(crate) fn add(&mut self, name: &'static str, n: u64) {
         for (k, v) in &mut self.0 {
             if std::ptr::eq(*k, name) {
                 *v += n;
@@ -239,11 +239,11 @@ impl SlotCounters {
     }
 
     #[inline]
-    fn incr(&mut self, name: &'static str) {
+    pub(crate) fn incr(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
-    fn fold_into(&self, map: &mut CounterMap) {
+    pub(crate) fn fold_into(&self, map: &mut CounterMap) {
         for &(k, v) in &self.0 {
             map.add(k, v);
         }
@@ -252,11 +252,11 @@ impl SlotCounters {
 
 /// Same idea as [`SlotCounters`] for `ctx.sample` series.
 #[derive(Default)]
-struct SlotSamples(Vec<(&'static str, SampleSeries)>);
+pub(crate) struct SlotSamples(pub(crate) Vec<(&'static str, SampleSeries)>);
 
 impl SlotSamples {
     #[inline]
-    fn push(&mut self, name: &'static str, value: f64) {
+    pub(crate) fn push(&mut self, name: &'static str, value: f64) {
         for (k, s) in &mut self.0 {
             if std::ptr::eq(*k, name) {
                 s.push(value);
@@ -281,48 +281,48 @@ impl SlotSamples {
 /// Generic over the attached [`TraceSink`]; the default [`NoopSink`]
 /// monomorphizes every trace branch to dead code.
 pub struct Shared<M, S: TraceSink = NoopSink> {
-    topo: Arc<Topology>,
-    cfg: SimConfig,
-    now: SimTime,
-    msg_seq: u64,
-    queue: EventQueue<Ev<M>>,
-    rng: SplitMix64,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) msg_seq: u64,
+    pub(crate) queue: EventQueue<Ev<M>>,
+    pub(crate) rng: SplitMix64,
     /// Dedicated RNG stream for fault decisions. Kept apart from the
     /// latency RNG so enabling faults never perturbs latency draws (and
     /// a disabled plan never touches either).
-    fault_rng: SplitMix64,
+    pub(crate) fault_rng: SplitMix64,
     /// Whether the fault plan can inject anything (`faults.is_active()`,
     /// cached). All fault branches are behind this flag.
-    faults_on: bool,
+    pub(crate) faults_on: bool,
     /// Which cells are currently crashed (all `false` unless the plan
     /// schedules crashes).
-    down: Vec<bool>,
+    pub(crate) down: Vec<bool>,
     /// Ground-truth channel usage per cell (for the Theorem-1 audit).
-    usage: Vec<ChannelSet>,
-    link_horizon: LinkHorizons,
-    calls: Vec<CallRecord>,
-    reqs: Vec<ReqRecord>,
-    pending_reqs: u64,
+    pub(crate) usage: Vec<ChannelSet>,
+    pub(crate) link_horizon: LinkHorizons,
+    pub(crate) calls: Vec<CallRecord>,
+    pub(crate) reqs: Vec<ReqRecord>,
+    pub(crate) pending_reqs: u64,
     /// Whether the `on_start` hooks have fired (exactly once per engine
     /// lifetime; a restored engine skips them).
-    started: bool,
+    pub(crate) started: bool,
     /// Whether the event-budget guard tripped; pumping never resumes.
-    halted: bool,
+    pub(crate) halted: bool,
     /// Events processed so far (across `run_until` calls and, via
     /// snapshots, across engine lifetimes).
-    events_processed: u64,
+    pub(crate) events_processed: u64,
     /// Per-event counters, folded into `report` at the end of the run.
-    msg_kinds: SlotCounters,
-    custom: SlotCounters,
-    custom_samples: SlotSamples,
-    report: SimReport,
+    pub(crate) msg_kinds: SlotCounters,
+    pub(crate) custom: SlotCounters,
+    pub(crate) custom_samples: SlotSamples,
+    pub(crate) report: SimReport,
     /// Structured trace destination (observes; never influences).
-    sink: S,
+    pub(crate) sink: S,
 }
 
 impl<M, S: TraceSink> Shared<M, S> {
     #[inline]
-    fn push(&mut self, at: SimTime, ev: Ev<M>) {
+    pub(crate) fn push(&mut self, at: SimTime, ev: Ev<M>) {
         self.queue.push(at, ev);
     }
 
@@ -330,21 +330,24 @@ impl<M, S: TraceSink> Shared<M, S> {
     /// it only if the sink is enabled. With `S = NoopSink` the whole
     /// call — check, closure, record — compiles away.
     #[inline]
-    fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+    pub(crate) fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
         if self.sink.enabled() {
             let ev = f();
             self.sink.record(self.now, ev);
         }
     }
 
-    fn violation(&mut self, v: Violation) {
+    pub(crate) fn violation(&mut self, v: Violation) {
         if self.cfg.audit == AuditMode::Panic {
             panic!("simulation invariant violated: {v}");
         }
         self.report.violations.push(v);
     }
 
-    fn finish_request(&mut self, req: RequestId) -> Option<(u32, CellId, RequestKind, u64)> {
+    pub(crate) fn finish_request(
+        &mut self,
+        req: RequestId,
+    ) -> Option<(u32, CellId, RequestKind, u64)> {
         let rec = &mut self.reqs[req.0 as usize];
         if rec.state == ReqState::Done {
             return None;
@@ -355,7 +358,12 @@ impl<M, S: TraceSink> Shared<M, S> {
         Some((rec.call, rec.cell, rec.kind, latency))
     }
 
-    fn issue_request(&mut self, call: u32, cell: CellId, kind: RequestKind) -> RequestId {
+    pub(crate) fn issue_request(
+        &mut self,
+        call: u32,
+        cell: CellId,
+        kind: RequestKind,
+    ) -> RequestId {
         let id = RequestId(self.reqs.len() as u64);
         self.reqs.push(ReqRecord {
             call,
@@ -373,7 +381,7 @@ impl<M, S: TraceSink> Shared<M, S> {
         id
     }
 
-    fn count_drop_cause(&mut self, cause: DropCause) {
+    pub(crate) fn count_drop_cause(&mut self, cause: DropCause) {
         match cause {
             DropCause::Blocked => self.report.drops_blocked += 1,
             DropCause::RetryExhausted => self.report.drops_retry_exhausted += 1,
@@ -383,7 +391,7 @@ impl<M, S: TraceSink> Shared<M, S> {
 
     /// Force-resolves `req` as a drop attributed to `cause` — the crash
     /// paths, where no protocol node is up to answer the request.
-    fn force_reject(&mut self, req: RequestId, cause: DropCause) {
+    pub(crate) fn force_reject(&mut self, req: RequestId, cause: DropCause) {
         let Some((call, cell, kind, _latency)) = self.finish_request(req) else {
             return;
         };
@@ -402,9 +410,9 @@ impl<M, S: TraceSink> Shared<M, S> {
 }
 
 /// The deterministic-engine backend behind [`Ctx`].
-struct DesCtx<'a, M, S: TraceSink> {
-    sh: &'a mut Shared<M, S>,
-    me: CellId,
+pub(crate) struct DesCtx<'a, M, S: TraceSink> {
+    pub(crate) sh: &'a mut Shared<M, S>,
+    pub(crate) me: CellId,
 }
 
 impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
@@ -648,8 +656,8 @@ impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
 /// with [`Engine::into_sink`]; sinks are pure observers, so traced and
 /// untraced runs produce equal [`SimReport`]s.
 pub struct Engine<P: Protocol, S: TraceSink = NoopSink> {
-    nodes: Vec<P>,
-    sh: Shared<P::Msg, S>,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) sh: Shared<P::Msg, S>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -786,7 +794,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
     /// Fires the `on_start` hooks exactly once per engine *lifetime* — a
     /// restored engine skips them, because they already ran before the
     /// snapshot was taken (their effects are part of the captured state).
-    fn ensure_started(&mut self) {
+    pub(crate) fn ensure_started(&mut self) {
         if self.sh.started {
             return;
         }
@@ -839,7 +847,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
     }
 
     /// Handles one event. `self.sh.now` is already the event's time.
-    fn dispatch(&mut self, item: Ev<P::Msg>) {
+    pub(crate) fn dispatch(&mut self, item: Ev<P::Msg>) {
         {
             match item {
                 Ev::Deliver { from, to, msg, .. } => {
@@ -1021,7 +1029,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
     }
 
     /// Seals the run: liveness audit, slot-counter folds, final totals.
-    fn finalize(&mut self) -> SimReport {
+    pub(crate) fn finalize(&mut self) -> SimReport {
         if self.sh.pending_reqs > 0 {
             let pending = self.sh.pending_reqs;
             self.sh.violation(Violation::Liveness { pending });

@@ -272,6 +272,44 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// The earliest `(at, seq)` key if it is at or before `last`, else
+    /// `None` — without advancing the serving cursor past `last`'s day.
+    ///
+    /// [`EventQueue::peek_key`] walks the cursor to the next populated
+    /// day, however far ahead; after such a walk, a push into the gap
+    /// would land *behind* the cursor and break monotonicity. The
+    /// sharded engine peeks with this method instead while it still has
+    /// window-barrier pushes to make (all due at or after its window
+    /// end, hence at or after any cursor position this peek leaves).
+    pub fn peek_key_within(&mut self, last: SimTime) -> Option<(SimTime, u64)> {
+        let limit_day = day_of(last);
+        loop {
+            if !self.cur_sorted {
+                self.enter_day();
+            }
+            let bucket = &self.buckets[(self.cur_day & DAY_MASK) as usize];
+            if let Some(entry) = bucket.last() {
+                let key = entry.key();
+                return if key.0 <= last { Some(key) } else { None };
+            }
+            if self.cur_day >= limit_day {
+                return None;
+            }
+            if self.ring_len > 0 {
+                self.cur_day += 1;
+            } else if let Some(Reverse(head)) = self.overflow.peek() {
+                let day = day_of(head.at);
+                if day > limit_day {
+                    return None;
+                }
+                self.cur_day = day;
+            } else {
+                return None;
+            }
+            self.cur_sorted = false;
+        }
+    }
+
     /// Removes and returns the earliest `(at, seq)` event.
     pub fn pop(&mut self) -> Option<EqEntry<T>> {
         loop {
@@ -472,6 +510,25 @@ mod tests {
         }
         assert_eq!(restored.next_seq(), next_seq);
         assert_eq!(drain(&mut restored), drain(&mut q));
+    }
+
+    #[test]
+    fn bounded_peek_never_overruns_its_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 1);
+        q.push(SimTime(900), 2);
+        assert_eq!(q.peek_key_within(SimTime(99)), Some((SimTime(5), 0)));
+        assert_eq!(q.pop().unwrap().item, 1);
+        // Head (at 900) is beyond the bound: None, and — the point of
+        // the method — a push into the gap is still legal afterwards.
+        assert_eq!(q.peek_key_within(SimTime(99)), None);
+        q.push(SimTime(100), 3);
+        assert_eq!(q.peek_key_within(SimTime(100)), Some((SimTime(100), 2)));
+        assert_eq!(drain(&mut q), vec![(100, 2, 3), (900, 1, 2)]);
+        // Empty queue: still None, still pushable afterwards.
+        assert_eq!(q.peek_key_within(SimTime(5000)), None);
+        q.push(SimTime(4000), 4);
+        assert_eq!(q.pop().unwrap().item, 4);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! * a zero-cost-when-disabled structured trace layer ([`trace`]):
 //!   typed per-message / per-mode-transition / per-borrow events into a
 //!   pluggable [`trace::TraceSink`] (no-op, bounded ring, or JSONL),
-//!   plus per-cell mode-occupancy timelines ([`trace::CellTimeline`]).
+//!   plus per-cell mode-occupancy timelines ([`trace::CellTimeline`]),
+//! * sharded conservative-PDES execution over a grid
+//!   [`Partition`](adca_hexgrid::Partition):
+//!   multi-core runs whose reports are bit-identical to the sequential
+//!   engine's ([`shard`]).
 //!
 //! Determinism: two runs with the same topology, workload, seed and
 //! configuration produce identical event interleavings and identical
@@ -40,6 +44,7 @@ pub mod latency;
 pub mod protocol;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod snapshot;
 pub mod testing;
 pub mod time;

@@ -1,0 +1,1296 @@
+//! Sharded conservative-PDES execution with bit-identical reports.
+//!
+//! The protocols of this workspace are distributed by construction: a
+//! message between MSSs takes at least `T` ticks (the latency model's
+//! lower bound, [`crate::LatencyModel::min_latency`]), so an event at
+//! virtual time `t` cannot influence any other cell before `t + T`.
+//! That is exactly the classic conservative parallel-DES *lookahead*
+//! guarantee, and this module exploits it: the grid is partitioned into
+//! row-band shards ([`adca_hexgrid::Partition`]), and all events inside
+//! one *lookahead window* `[s, s + T)` execute concurrently — one worker
+//! thread per shard under `std::thread::scope` — because no message sent
+//! inside the window can be delivered inside it.
+//!
+//! # Determinism: how a parallel run stays bit-identical
+//!
+//! The sequential engine's total event order is `(at, seq)` — the global
+//! queue's pop order. The sharded engine reproduces *exactly* that order
+//! for every order-sensitive effect, via three mechanisms:
+//!
+//! 1. **Lineage keys.** Every in-window event carries a flat `Vec<u64>`
+//!    key compared lexicographically. An event popped from the global
+//!    queue is a *root*: `[at, 0, seq]`. An event pushed *during* the
+//!    window (a same-window timer, an `End` scheduled by a grant, an
+//!    `AutoRelease`) is a *chain* of its pusher: `[at, 1] ++ parent_key
+//!    ++ [push_index]`. Lexicographic key order equals the sequential
+//!    pop order: roots at a tick precede chains at that tick (pre-window
+//!    pushes have lower `seq` than any in-window push), and chains order
+//!    by their pushers' own execution order, recursively.
+//! 2. **Effect logs.** Shard workers never touch shared engine state.
+//!    Mutations that must happen in global order — message sends (with
+//!    their RNG latency/fault draws), queue pushes past the window,
+//!    interference audits, sample-series pushes, trace records — are
+//!    logged per event as `Fx` values and *replayed serially* at the
+//!    window barrier in key order, through the very same
+//!    `DesCtx::send_kind` path the sequential engine uses. RNG
+//!    streams, message sequence numbers, FIFO link horizons, and trace
+//!    order are therefore byte-for-byte those of a sequential run.
+//! 3. **Overlays for hot state.** During a parallel segment the base
+//!    call/request tables are immutable (shared `&`). A worker records
+//!    its state transitions in shard-private overlays, which the barrier
+//!    applies after replay. Order-free tallies (counters, per-cell
+//!    histograms) accumulate in per-shard scratch and are summed at the
+//!    barrier — addition commutes, so thread interleaving is invisible.
+//!
+//! Events that inherently couple distant cells — `Hop` (releases in one
+//! cell, acquires in another, and allocates a request id whose numbering
+//! must match the sequential engine's), `CrashDown`, and `CrashUp`
+//! (mutate the global `down` map and scan every call) — are *serial
+//! barriers*: the window splits into segments around them, each serial
+//! event runs on the driver thread through the unmodified
+//! `Engine::dispatch`, and parallel execution resumes after it.
+//! `Arrive` events stay parallel: their request ids are pre-assigned on
+//! the driver thread in key order while the segment batch is formed,
+//! which reproduces the sequential allocation order exactly because the
+//! only other id-allocating event (`Hop`) serializes.
+//!
+//! # Accepted deviations
+//!
+//! * The `max_events` runaway budget is enforced at segment granularity,
+//!   not per event; a run that trips it stops at a slightly different
+//!   point than the sequential engine (reports are bit-identical
+//!   whenever the budget does not trip, which is every healthy run).
+//! * Under [`crate::AuditMode::Panic`], audit and watchdog panics fire
+//!   at the window barrier instead of mid-event (same violations, later
+//!   panic site).
+//! * Internal bookkeeping that no report field observes — global queue
+//!   tie-break numbering and the first-touch order of interned counter
+//!   slots — differs from a sequential run. Snapshots of sharded runs
+//!   are internally consistent and resume bit-identically, but their
+//!   bytes are not comparable to sequential-run snapshots.
+//! * [`crate::Ctx::truly_free_here`] (a ground-truth probe used by
+//!   tests, never by protocol logic) sees channel changes made by other
+//!   shards in the same window only after the barrier.
+
+use crate::backend::{Ctx, CtxBackend};
+use crate::engine::{CallState, DesCtx, Engine, Ev, ReqRecord, ReqState, SlotCounters};
+use crate::protocol::{Protocol, RequestId, RequestKind};
+use crate::report::{DropCause, SimReport, Violation};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceSink};
+use adca_hexgrid::{CellId, Channel, ChannelSet, Partition, Topology};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Tag marking a key popped from the global queue.
+const ROOT: u64 = 0;
+/// Tag marking a key pushed during the current window.
+const CHAIN: u64 = 1;
+
+/// A lineage key: lexicographic order over these flat vectors equals the
+/// sequential engine's total event order (see the module docs).
+pub(crate) type Key = Vec<u64>;
+
+/// Key of an event that was already queued when the window opened.
+pub(crate) fn root_key(at: SimTime, seq: u64) -> Key {
+    vec![at.0, ROOT, seq]
+}
+
+/// Key of the `idx`-th event pushed (at `at`) by the event with key
+/// `parent` while executing inside the current window.
+pub(crate) fn chain_key(at: SimTime, parent: &Key, idx: u64) -> Key {
+    let mut k = Vec::with_capacity(parent.len() + 3);
+    k.push(at.0);
+    k.push(CHAIN);
+    k.extend_from_slice(parent);
+    k.push(idx);
+    k
+}
+
+/// An event owned by one shard during a window, ordered by lineage key.
+struct LocalEv<M> {
+    key: Key,
+    ev: Ev<M>,
+    /// For `Arrive`: the request id pre-assigned at batch formation.
+    req: Option<RequestId>,
+}
+
+impl<M> PartialEq for LocalEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for LocalEv<M> {}
+impl<M> PartialOrd for LocalEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for LocalEv<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// One order-sensitive effect logged by a shard worker, replayed
+/// serially at the window barrier in lineage-key order.
+enum Fx<M> {
+    /// A message send: replayed through [`DesCtx::send_kind`], so the
+    /// latency draw, fault draws, FIFO horizon clamp, message counters,
+    /// and delivery push all happen exactly as in a sequential run.
+    Send {
+        from: CellId,
+        to: CellId,
+        kind: &'static str,
+        msg: M,
+    },
+    /// Queue push of a call-end landing at or past the window boundary.
+    PushEnd { call: u32, at: SimTime },
+    /// Queue push of a timer landing at or past the window boundary.
+    PushTimer { node: CellId, tag: u64, at: SimTime },
+    /// A grant's ground-truth side: Theorem-1 audits against the usage
+    /// map, then the insertion itself.
+    Grant { cell: CellId, ch: Channel },
+    /// A release's ground-truth side.
+    Free { cell: CellId, ch: Channel },
+    /// Push onto the report's acquisition-latency series (streaming
+    /// stats are push-order sensitive).
+    AcqLatency(f64),
+    /// Push onto a named custom sample series.
+    Sample { name: &'static str, value: f64 },
+    /// An invariant violation (watchdog); recorded — or, under panic
+    /// audit mode, raised — at the barrier.
+    Violation(Violation),
+    /// A structured trace record (only logged when the sink is enabled).
+    Sink(TraceEvent),
+}
+
+/// Per-shard order-free tallies, summed into the report at each barrier.
+#[derive(Default)]
+struct Scratch {
+    events_processed: u64,
+    offered_calls: u64,
+    completed_calls: u64,
+    granted: u64,
+    dropped_new: u64,
+    dropped_handoff: u64,
+    drops_blocked: u64,
+    drops_retry_exhausted: u64,
+    drops_crashed: u64,
+    messages_crash_dropped: u64,
+    per_cell_arrivals: Vec<u64>,
+    per_cell_grants: Vec<u64>,
+    per_cell_drops: Vec<u64>,
+    custom: SlotCounters,
+}
+
+impl Scratch {
+    fn count_drop_cause(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Blocked => self.drops_blocked += 1,
+            DropCause::RetryExhausted => self.drops_retry_exhausted += 1,
+            DropCause::Crashed => self.drops_crashed += 1,
+        }
+    }
+}
+
+/// Shard-private patch of one call record, applied to the base table at
+/// the barrier. Initialized from the base record on first touch.
+struct CallPatch {
+    state: CallState,
+    end_at: Option<SimTime>,
+}
+
+/// Read-only view of the engine state shared with every shard worker
+/// during a parallel segment. The referenced tables are frozen for the
+/// segment's duration: only the barrier (serial) mutates them.
+#[derive(Clone, Copy)]
+struct ShardEnv<'a> {
+    topo: &'a Topology,
+    down: &'a [bool],
+    usage: &'a [ChannelSet],
+    calls: &'a [crate::engine::CallRecord],
+    reqs: &'a [ReqRecord],
+    watchdog: Option<u64>,
+    trace_on: bool,
+    window_end: SimTime,
+    max_events: u64,
+}
+
+/// One shard's working state: its local event heap, effect log,
+/// overlays, and scratch. Persists across the segments of a window;
+/// drained at each barrier.
+struct Lane<M> {
+    /// First cell id of the owned contiguous range.
+    start: u32,
+    /// Number of owned cells.
+    len: u32,
+    heap: BinaryHeap<Reverse<LocalEv<M>>>,
+    /// Effect log of the event currently executing.
+    fx: Vec<Fx<M>>,
+    /// Completed events' effect logs, in key order.
+    out: Vec<(Key, Vec<Fx<M>>)>,
+    scratch: Scratch,
+    call_overlay: HashMap<u32, CallPatch>,
+    req_done: HashSet<u64>,
+    pending_dec: u64,
+    /// Shard-local view of owned cells' channel usage (copy-on-write
+    /// over the frozen base; ground truth is updated at the barrier).
+    usage_patch: HashMap<u32, ChannelSet>,
+    /// Cell of the event currently executing.
+    me: CellId,
+    now: SimTime,
+    cur_key: Key,
+    push_idx: u64,
+    max_ts: SimTime,
+    over_budget: bool,
+}
+
+impl<M> Lane<M> {
+    fn new(range: std::ops::Range<u32>) -> Self {
+        let len = range.end - range.start;
+        Lane {
+            start: range.start,
+            len,
+            heap: BinaryHeap::new(),
+            fx: Vec::new(),
+            out: Vec::new(),
+            scratch: Scratch {
+                per_cell_arrivals: vec![0; len as usize],
+                per_cell_grants: vec![0; len as usize],
+                per_cell_drops: vec![0; len as usize],
+                ..Default::default()
+            },
+            call_overlay: HashMap::new(),
+            req_done: HashSet::new(),
+            pending_dec: 0,
+            usage_patch: HashMap::new(),
+            me: CellId(range.start),
+            now: SimTime::ZERO,
+            cur_key: Vec::new(),
+            push_idx: 0,
+            max_ts: SimTime::ZERO,
+            over_budget: false,
+        }
+    }
+
+    #[inline]
+    fn local_index(&self, cell: CellId) -> usize {
+        debug_assert!(cell.0 >= self.start && cell.0 < self.start + self.len);
+        (cell.0 - self.start) as usize
+    }
+
+    /// Whether the heap's head is executable under `bound` (the next
+    /// serial event's key, if any).
+    fn has_work(&self, bound: Option<&Key>) -> bool {
+        match self.heap.peek() {
+            Some(Reverse(head)) => bound.is_none_or(|b| head.key < *b),
+            None => false,
+        }
+    }
+
+    fn begin(&mut self, key: Key) {
+        self.now = SimTime(key[0]);
+        self.cur_key = key;
+        self.push_idx = 0;
+        debug_assert!(self.fx.is_empty());
+    }
+
+    fn finish(&mut self) {
+        self.scratch.events_processed += 1;
+        self.max_ts = self.max_ts.max(self.now);
+        if !self.fx.is_empty() {
+            let key = std::mem::take(&mut self.cur_key);
+            self.out.push((key, std::mem::take(&mut self.fx)));
+        }
+    }
+
+    /// Schedules an event landing inside the current window on this
+    /// shard's own heap, chain-keyed under the current event.
+    fn push_local(&mut self, at: SimTime, ev: Ev<M>) {
+        let key = chain_key(at, &self.cur_key, self.push_idx);
+        self.push_idx += 1;
+        self.heap.push(Reverse(LocalEv { key, ev, req: None }));
+    }
+
+    /// Shard-side mirror of [`crate::engine::Shared`]'s `finish_request`
+    /// against the frozen base table plus this lane's overlay.
+    fn finish_request(
+        &mut self,
+        env: &ShardEnv<'_>,
+        req: RequestId,
+    ) -> Option<(u32, CellId, RequestKind, u64)> {
+        let rec = &env.reqs[req.0 as usize];
+        if rec.state == ReqState::Done || !self.req_done.insert(req.0) {
+            return None;
+        }
+        self.pending_dec += 1;
+        let latency = self.now - rec.issued;
+        Some((rec.call, rec.cell, rec.kind, latency))
+    }
+
+    fn call_patch(&mut self, env: &ShardEnv<'_>, call: u32) -> &mut CallPatch {
+        match self.call_overlay.entry(call) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let base = &env.calls[call as usize];
+                v.insert(CallPatch {
+                    state: base.state,
+                    end_at: base.end_at,
+                })
+            }
+        }
+    }
+
+    fn call_state(&self, env: &ShardEnv<'_>, call: u32) -> CallState {
+        match self.call_overlay.get(&call) {
+            Some(p) => p.state,
+            None => env.calls[call as usize].state,
+        }
+    }
+
+    fn usage_view<'v>(&'v self, env: &ShardEnv<'v>, cell: CellId) -> &'v ChannelSet {
+        self.usage_patch
+            .get(&cell.0)
+            .unwrap_or(&env.usage[cell.index()])
+    }
+
+    fn usage_patch_mut<'v>(&'v mut self, env: &ShardEnv<'_>, cell: CellId) -> &'v mut ChannelSet {
+        self.usage_patch
+            .entry(cell.0)
+            .or_insert_with(|| env.usage[cell.index()].clone())
+    }
+
+    /// Logs a trace event (only when the sink is enabled, mirroring
+    /// `trace_with`'s construct-only-if-enabled contract).
+    #[inline]
+    fn sink(&mut self, env: &ShardEnv<'_>, f: impl FnOnce() -> TraceEvent) {
+        if env.trace_on {
+            let ev = f();
+            self.fx.push(Fx::Sink(ev));
+        }
+    }
+
+    /// Shard-side mirror of the engine's `force_reject` (crash paths).
+    fn force_reject(&mut self, env: &ShardEnv<'_>, req: RequestId, cause: DropCause) {
+        let Some((call, cell, kind, _latency)) = self.finish_request(env, req) else {
+            return;
+        };
+        self.sink(env, || TraceEvent::Rejected {
+            cell,
+            cause: cause.label(),
+        });
+        self.call_patch(env, call).state = CallState::Done;
+        let li = self.local_index(cell);
+        self.scratch.per_cell_drops[li] += 1;
+        self.scratch.count_drop_cause(cause);
+        match kind {
+            RequestKind::NewCall => self.scratch.dropped_new += 1,
+            RequestKind::Handoff => self.scratch.dropped_handoff += 1,
+        }
+    }
+}
+
+/// The [`CtxBackend`] protocol handlers run against inside a shard
+/// worker. Mirrors [`DesCtx`] effect-for-effect, but records every
+/// order-sensitive effect into the lane's log instead of applying it.
+struct LaneCtx<'a, 'e, M> {
+    env: &'a ShardEnv<'e>,
+    lane: &'a mut Lane<M>,
+}
+
+impl<M: Clone> CtxBackend<M> for LaneCtx<'_, '_, M> {
+    #[inline]
+    fn me(&self) -> CellId {
+        self.lane.me
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.lane.now
+    }
+
+    #[inline]
+    fn topo(&self) -> &Topology {
+        self.env.topo
+    }
+
+    fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
+        // The whole send — latency/fault RNG draws, sequence numbering,
+        // horizon clamp, counters, traces, delivery push — replays at
+        // the barrier. Lookahead guarantees delivery lands at or past
+        // the window end, so a deferred send never creates in-window
+        // work.
+        let from = self.lane.me;
+        self.lane.fx.push(Fx::Send {
+            from,
+            to,
+            kind,
+            msg,
+        });
+    }
+
+    fn grant(&mut self, req: RequestId, ch: Channel) {
+        let Some((call, cell, kind, latency)) = self.lane.finish_request(self.env, req) else {
+            panic!("request {req:?} resolved twice");
+        };
+        debug_assert_eq!(cell, self.lane.me, "grant from the wrong node");
+        self.lane
+            .sink(self.env, || TraceEvent::Granted { cell, ch, latency });
+        if let Some(bound) = self.env.watchdog {
+            if latency > bound {
+                self.lane.fx.push(Fx::Violation(Violation::Watchdog {
+                    cell,
+                    latency,
+                    bound,
+                }));
+            }
+        }
+        let stale = self.lane.call_state(self.env, call) != CallState::Waiting(req);
+        if stale {
+            self.lane.scratch.custom.incr("stale_grants");
+            let now = self.lane.now;
+            self.lane
+                .push_local(now, Ev::AutoRelease { node: cell, ch });
+            return;
+        }
+        // Audits run at the barrier, where the usage map reflects every
+        // earlier-keyed grant and release exactly as it would have
+        // sequentially.
+        self.lane.fx.push(Fx::Grant { cell, ch });
+        self.lane.usage_patch_mut(self.env, cell).insert(ch);
+        let now = self.lane.now;
+        let duration = self.env.calls[call as usize].duration;
+        let window_end = self.env.window_end;
+        let patch = self.lane.call_patch(self.env, call);
+        patch.state = CallState::Active(ch);
+        if patch.end_at.is_none() {
+            let end = now + duration;
+            patch.end_at = Some(end);
+            if end < window_end {
+                self.lane.push_local(end, Ev::End { call });
+            } else {
+                self.lane.fx.push(Fx::PushEnd { call, at: end });
+            }
+        }
+        self.lane.scratch.granted += 1;
+        let li = self.lane.local_index(cell);
+        self.lane.scratch.per_cell_grants[li] += 1;
+        self.lane.fx.push(Fx::AcqLatency(latency as f64));
+        match kind {
+            RequestKind::NewCall => self.lane.scratch.custom.incr("grant_new"),
+            RequestKind::Handoff => self.lane.scratch.custom.incr("grant_handoff"),
+        }
+    }
+
+    fn reject(&mut self, req: RequestId, cause: DropCause) {
+        let Some((call, cell, kind, latency)) = self.lane.finish_request(self.env, req) else {
+            panic!("request {req:?} resolved twice");
+        };
+        debug_assert_eq!(cell, self.lane.me, "reject from the wrong node");
+        self.lane.sink(self.env, || TraceEvent::Rejected {
+            cell,
+            cause: cause.label(),
+        });
+        if let Some(bound) = self.env.watchdog {
+            if latency > bound {
+                self.lane.fx.push(Fx::Violation(Violation::Watchdog {
+                    cell,
+                    latency,
+                    bound,
+                }));
+            }
+        }
+        if self.lane.call_state(self.env, call) == CallState::Waiting(req) {
+            self.lane.call_patch(self.env, call).state = CallState::Done;
+            let li = self.lane.local_index(cell);
+            self.lane.scratch.per_cell_drops[li] += 1;
+            self.lane.scratch.count_drop_cause(cause);
+            match kind {
+                RequestKind::NewCall => self.lane.scratch.dropped_new += 1,
+                RequestKind::Handoff => self.lane.scratch.dropped_handoff += 1,
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64, tag: u64) {
+        let at = self.lane.now + delay;
+        let node = self.lane.me;
+        if at < self.env.window_end {
+            self.lane.push_local(at, Ev::Timer { node, tag });
+        } else {
+            self.lane.fx.push(Fx::PushTimer { node, tag, at });
+        }
+    }
+
+    #[inline]
+    fn count(&mut self, name: &'static str) {
+        self.lane.scratch.custom.incr(name);
+    }
+
+    #[inline]
+    fn add(&mut self, name: &'static str, n: u64) {
+        self.lane.scratch.custom.add(name, n);
+    }
+
+    fn sample(&mut self, name: &'static str, value: f64) {
+        self.lane.fx.push(Fx::Sample { name, value });
+    }
+
+    fn truly_free_here(&self, ch: Channel) -> bool {
+        // Ground truth as this shard can see it mid-window: the frozen
+        // base plus this lane's own pending changes. Cross-shard changes
+        // land at the barrier (no protocol consults this hook — it is a
+        // test probe; see the module docs).
+        let me = self.lane.me;
+        !self.lane.usage_view(self.env, me).contains(ch)
+            && self
+                .env
+                .topo
+                .region(me)
+                .iter()
+                .all(|&j| !self.lane.usage_view(self.env, j).contains(ch))
+    }
+
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        self.env.trace_on
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.lane.fx.push(Fx::Sink(ev));
+    }
+}
+
+/// Executes one lane's events in lineage-key order until the heap is
+/// empty, the next event reaches `bound` (an upcoming serial event), or
+/// the runaway budget trips.
+fn run_lane<P: Protocol>(
+    env: &ShardEnv<'_>,
+    lane: &mut Lane<P::Msg>,
+    nodes: &mut [P],
+    bound: Option<&Key>,
+) {
+    while lane.has_work(bound) {
+        let Reverse(local) = lane.heap.pop().expect("has_work peeked");
+        lane.begin(local.key);
+        exec_lane_event(env, lane, nodes, local.ev, local.req);
+        lane.finish();
+        if lane.scratch.events_processed > env.max_events {
+            lane.over_budget = true;
+            return;
+        }
+    }
+}
+
+/// Shard-side mirror of [`Engine::dispatch`] for the five parallel event
+/// kinds. `Hop`/`CrashDown`/`CrashUp` never reach a lane (they are
+/// serial barriers).
+fn exec_lane_event<P: Protocol>(
+    env: &ShardEnv<'_>,
+    lane: &mut Lane<P::Msg>,
+    nodes: &mut [P],
+    ev: Ev<P::Msg>,
+    req: Option<RequestId>,
+) {
+    match ev {
+        Ev::Deliver { from, to, msg } => {
+            lane.me = to;
+            if env.down[to.index()] {
+                lane.scratch.messages_crash_dropped += 1;
+                lane.sink(env, || TraceEvent::MsgLost {
+                    from,
+                    to,
+                    kind: P::msg_kind(&msg),
+                });
+                return;
+            }
+            lane.sink(env, || TraceEvent::MsgRecv {
+                from,
+                to,
+                kind: P::msg_kind(&msg),
+            });
+            let li = lane.local_index(to);
+            let mut backend = LaneCtx { env, lane };
+            let mut ctx = Ctx::new(&mut backend);
+            nodes[li].on_message(from, msg, &mut ctx);
+        }
+        Ev::Arrive { call } => {
+            let req = req.expect("arrive carries its pre-assigned request");
+            let cell = env.calls[call as usize].cell;
+            lane.me = cell;
+            lane.scratch.offered_calls += 1;
+            let li = lane.local_index(cell);
+            lane.scratch.per_cell_arrivals[li] += 1;
+            lane.call_patch(env, call).state = CallState::Waiting(req);
+            if env.down[cell.index()] {
+                lane.force_reject(env, req, DropCause::Crashed);
+                return;
+            }
+            let mut backend = LaneCtx { env, lane };
+            let mut ctx = Ctx::new(&mut backend);
+            nodes[li].on_acquire(req, RequestKind::NewCall, &mut ctx);
+        }
+        Ev::End { call } => {
+            let cell = env.calls[call as usize].cell;
+            lane.me = cell;
+            match lane.call_state(env, call) {
+                CallState::Active(ch) => {
+                    lane.call_patch(env, call).state = CallState::Done;
+                    lane.usage_patch_mut(env, cell).remove(ch);
+                    lane.fx.push(Fx::Free { cell, ch });
+                    lane.scratch.completed_calls += 1;
+                    let li = lane.local_index(cell);
+                    let mut backend = LaneCtx { env, lane };
+                    let mut ctx = Ctx::new(&mut backend);
+                    nodes[li].on_release(ch, &mut ctx);
+                }
+                CallState::Waiting(_) => {
+                    lane.call_patch(env, call).state = CallState::Done;
+                    lane.scratch.custom.incr("ended_while_waiting");
+                }
+                CallState::Done => {}
+            }
+        }
+        Ev::Timer { node, tag } => {
+            lane.me = node;
+            if env.down[node.index()] {
+                lane.scratch.custom.incr("crash_dropped_timers");
+                return;
+            }
+            let li = lane.local_index(node);
+            let mut backend = LaneCtx { env, lane };
+            let mut ctx = Ctx::new(&mut backend);
+            nodes[li].on_timer(tag, &mut ctx);
+        }
+        Ev::AutoRelease { node, ch } => {
+            lane.me = node;
+            if env.down[node.index()] {
+                return;
+            }
+            let li = lane.local_index(node);
+            let mut backend = LaneCtx { env, lane };
+            let mut ctx = Ctx::new(&mut backend);
+            nodes[li].on_release(ch, &mut ctx);
+        }
+        Ev::Hop { .. } | Ev::CrashDown { .. } | Ev::CrashUp { .. } => {
+            unreachable!("serial events never reach a shard lane")
+        }
+    }
+}
+
+/// After a serial `Hop` moves a call to a new cell, any in-window `End`
+/// for that call still sitting in a lane heap (scheduled by an earlier
+/// grant in the same window) must follow it to the new owner's heap.
+/// Its lineage key travels with it, so the execution order — which is
+/// key order, not heap identity — is unchanged.
+fn reroute_call_ends<M>(
+    lanes: &mut [Lane<M>],
+    partition: &Partition,
+    call: u32,
+    calls: &[crate::engine::CallRecord],
+) {
+    let new_owner = partition.owner(calls[call as usize].cell);
+    let mut moved = Vec::new();
+    for (s, lane) in lanes.iter_mut().enumerate() {
+        if s == new_owner {
+            continue;
+        }
+        let misrouted = lane
+            .heap
+            .iter()
+            .any(|Reverse(l)| matches!(l.ev, Ev::End { call: c } if c == call));
+        if misrouted {
+            let drained = std::mem::take(&mut lane.heap);
+            for Reverse(l) in drained {
+                if matches!(l.ev, Ev::End { call: c } if c == call) {
+                    moved.push(Reverse(l));
+                } else {
+                    lane.heap.push(Reverse(l));
+                }
+            }
+        }
+    }
+    lanes[new_owner].heap.extend(moved);
+}
+
+/// Whether an event must run on the driver thread (see module docs).
+fn is_serial<M>(ev: &Ev<M>) -> bool {
+    matches!(
+        ev,
+        Ev::Hop { .. } | Ev::CrashDown { .. } | Ev::CrashUp { .. }
+    )
+}
+
+/// The cell whose shard owns a parallel event.
+fn owner_cell<M>(ev: &Ev<M>, calls: &[crate::engine::CallRecord]) -> CellId {
+    match ev {
+        Ev::Deliver { to, .. } => *to,
+        Ev::Arrive { call } | Ev::End { call } => calls[*call as usize].cell,
+        Ev::Timer { node, .. } | Ev::AutoRelease { node, .. } => *node,
+        Ev::Hop { .. } | Ev::CrashDown { .. } | Ev::CrashUp { .. } => {
+            unreachable!("serial events have no owning shard")
+        }
+    }
+}
+
+impl<P, S> Engine<P, S>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+    S: TraceSink,
+{
+    /// Runs to quiescence on `partition.num_shards()` worker threads and
+    /// returns the report — bit-identical to what [`Engine::run`] would
+    /// have produced (see the module docs for the argument).
+    ///
+    /// Falls back to the sequential engine when the partition has one
+    /// shard or the latency model provides no positive lower bound
+    /// ([`crate::LatencyModel::min_latency`]), which is the lookahead
+    /// the synchronization window is derived from.
+    pub fn run_sharded(&mut self, partition: &Partition) -> SimReport {
+        self.run_sharded_until(partition, SimTime(u64::MAX));
+        self.finalize()
+    }
+
+    /// Processes every event with `at <= until` on shard worker threads,
+    /// leaving later events queued. Returns `true` if events remain.
+    ///
+    /// Pausing is invisible, exactly as with [`Engine::run_until`]: the
+    /// engine state at the cut is a consistent inter-window state, so
+    /// checkpoints taken here snapshot and resume bit-identically.
+    pub fn run_sharded_until(&mut self, partition: &Partition, until: SimTime) -> bool {
+        let Some(lookahead) = self.sh.cfg.latency.min_latency().filter(|&d| d > 0) else {
+            return self.run_until(until);
+        };
+        if partition.num_shards() <= 1 {
+            return self.run_until(until);
+        }
+        assert_eq!(
+            partition.num_cells(),
+            self.sh.topo.num_cells(),
+            "partition does not cover this topology"
+        );
+        self.ensure_started();
+        let mut lanes: Vec<Lane<P::Msg>> = (0..partition.num_shards())
+            .map(|s| Lane::new(partition.range(s)))
+            .collect();
+        loop {
+            if self.sh.halted {
+                return false;
+            }
+            let Some((first_at, _)) = self.sh.queue.peek_key() else {
+                return false;
+            };
+            if first_at > until {
+                return true;
+            }
+            let window_end = SimTime(std::cmp::min(
+                first_at.0.saturating_add(lookahead),
+                until.0.saturating_add(1),
+            ));
+            if !self.run_window(partition, &mut lanes, window_end) {
+                return false;
+            }
+        }
+    }
+
+    /// Executes one lookahead window `[head, window_end)`: alternating
+    /// parallel segments and serial barrier events until no event before
+    /// `window_end` remains. Returns `false` if the run halted.
+    fn run_window(
+        &mut self,
+        partition: &Partition,
+        lanes: &mut [Lane<P::Msg>],
+        window_end: SimTime,
+    ) -> bool {
+        // Everything queued before the window opened is a root; pushes
+        // made *during* the window (by serial events) are recognized by
+        // their sequence numbers and chain-keyed under their pusher.
+        let seq0 = self.sh.queue.next_seq();
+        let mut serial_ranges: Vec<(u64, u64, Key)> = Vec::new();
+        let mut window_max = self.sh.now;
+        loop {
+            // Segment batch: pop global events due inside the window, in
+            // (at, seq) order — which is lineage-key order — stopping at
+            // the first serial event. The peek is *bounded*: walking the
+            // cursor past the window would make the barrier's deferred
+            // pushes (all due at or after `window_end`) non-monotone.
+            let mut serial: Option<(Key, Ev<P::Msg>)> = None;
+            while self
+                .sh
+                .queue
+                .peek_key_within(SimTime(window_end.0 - 1))
+                .is_some()
+            {
+                let entry = self.sh.queue.pop().expect("peeked entry");
+                let key = if entry.seq >= seq0 {
+                    let (lo, _, parent) = serial_ranges
+                        .iter()
+                        .find(|(lo, hi, _)| (*lo..*hi).contains(&entry.seq))
+                        .expect("in-window pushes come from serial events");
+                    chain_key(entry.at, parent, entry.seq - *lo)
+                } else {
+                    root_key(entry.at, entry.seq)
+                };
+                if is_serial(&entry.item) {
+                    serial = Some((key, entry.item));
+                    break;
+                }
+                let mut req = None;
+                if let Ev::Arrive { call } = &entry.item {
+                    // Pre-assign the request id here, on the driver, in
+                    // batch (= sequential) order. The lane sets the
+                    // call's Waiting state when the event executes.
+                    let call = *call;
+                    let cell = self.sh.calls[call as usize].cell;
+                    let id = RequestId(self.sh.reqs.len() as u64);
+                    self.sh.reqs.push(ReqRecord {
+                        call,
+                        cell,
+                        issued: entry.at,
+                        kind: RequestKind::NewCall,
+                        state: ReqState::Pending,
+                    });
+                    self.sh.pending_reqs += 1;
+                    req = Some(id);
+                }
+                let cell = owner_cell(&entry.item, &self.sh.calls);
+                lanes[partition.owner(cell)].heap.push(Reverse(LocalEv {
+                    key,
+                    ev: entry.item,
+                    req,
+                }));
+            }
+            // Parallel segment over every lane with executable work.
+            let bound = serial.as_ref().map(|(k, _)| k.clone());
+            self.run_segment(lanes, bound.as_ref(), window_end);
+            // Barrier: replay ordered effects, apply overlays, fold
+            // scratch, then (if one is pending) run the serial event.
+            if !self.flush(lanes, &mut window_max) {
+                return false;
+            }
+            match serial {
+                Some((key, ev)) => {
+                    let hopped_call = match &ev {
+                        Ev::Hop { call, .. } => Some(*call),
+                        _ => None,
+                    };
+                    self.sh.now = SimTime(key[0]);
+                    window_max = window_max.max(self.sh.now);
+                    self.sh.events_processed += 1;
+                    if self.sh.events_processed > self.sh.cfg.max_events {
+                        let processed = self.sh.events_processed;
+                        self.sh.violation(Violation::EventBudget { processed });
+                        self.sh.halted = true;
+                        return false;
+                    }
+                    let pushed_from = self.sh.queue.next_seq();
+                    self.dispatch(ev);
+                    let pushed_to = self.sh.queue.next_seq();
+                    if pushed_to > pushed_from {
+                        serial_ranges.push((pushed_from, pushed_to, key));
+                    }
+                    if let Some(call) = hopped_call {
+                        // A hop may have moved the call to another
+                        // shard; any in-window End for it must follow.
+                        reroute_call_ends(lanes, partition, call, &self.sh.calls);
+                    }
+                }
+                None => break,
+            }
+        }
+        debug_assert!(
+            lanes.iter().all(|l| l.heap.is_empty()),
+            "lane heaps must drain by the window barrier"
+        );
+        self.sh.now = self.sh.now.max(window_max);
+        true
+    }
+
+    /// Runs every lane with executable work concurrently (inline when
+    /// only one shard has work — no spawn cost for serialized phases).
+    fn run_segment(
+        &mut self,
+        lanes: &mut [Lane<P::Msg>],
+        bound: Option<&Key>,
+        window_end: SimTime,
+    ) {
+        let active = lanes.iter().filter(|l| l.has_work(bound)).count();
+        if active == 0 {
+            return;
+        }
+        let env = ShardEnv {
+            topo: &self.sh.topo,
+            down: &self.sh.down,
+            usage: &self.sh.usage,
+            calls: &self.sh.calls,
+            reqs: &self.sh.reqs,
+            watchdog: self.sh.cfg.watchdog_ticks,
+            trace_on: self.sh.sink.enabled(),
+            window_end,
+            max_events: self.sh.cfg.max_events,
+        };
+        let nodes = self.nodes.as_mut_slice();
+        if active == 1 {
+            let mut rest = nodes;
+            for lane in lanes.iter_mut() {
+                let (head, tail) = rest.split_at_mut(lane.len as usize);
+                rest = tail;
+                if lane.has_work(bound) {
+                    run_lane::<P>(&env, lane, head, bound);
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest = nodes;
+                for lane in lanes.iter_mut() {
+                    let (head, tail) = rest.split_at_mut(lane.len as usize);
+                    rest = tail;
+                    if !lane.has_work(bound) {
+                        continue;
+                    }
+                    scope.spawn(move || run_lane::<P>(&env, lane, head, bound));
+                }
+            });
+        }
+    }
+
+    /// The window barrier: replays every lane's effect log in global
+    /// lineage-key order, applies call/request overlays, folds scratch
+    /// tallies into the report, and enforces the runaway budget.
+    fn flush(&mut self, lanes: &mut [Lane<P::Msg>], window_max: &mut SimTime) -> bool {
+        let mut merged: Vec<(Key, Vec<Fx<P::Msg>>)> = Vec::new();
+        for lane in lanes.iter_mut() {
+            merged.append(&mut lane.out);
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, fxs) in merged {
+            self.replay(SimTime(key[0]), fxs);
+        }
+        let mut over_budget = false;
+        for lane in lanes.iter_mut() {
+            for (call, patch) in lane.call_overlay.drain() {
+                let rec = &mut self.sh.calls[call as usize];
+                rec.state = patch.state;
+                rec.end_at = patch.end_at;
+            }
+            for req in lane.req_done.drain() {
+                self.sh.reqs[req as usize].state = ReqState::Done;
+            }
+            self.sh.pending_reqs -= lane.pending_dec;
+            lane.pending_dec = 0;
+            lane.usage_patch.clear();
+            let sc = &mut lane.scratch;
+            let r = &mut self.sh.report;
+            r.offered_calls += std::mem::take(&mut sc.offered_calls);
+            r.completed_calls += std::mem::take(&mut sc.completed_calls);
+            r.granted += std::mem::take(&mut sc.granted);
+            r.dropped_new += std::mem::take(&mut sc.dropped_new);
+            r.dropped_handoff += std::mem::take(&mut sc.dropped_handoff);
+            r.drops_blocked += std::mem::take(&mut sc.drops_blocked);
+            r.drops_retry_exhausted += std::mem::take(&mut sc.drops_retry_exhausted);
+            r.drops_crashed += std::mem::take(&mut sc.drops_crashed);
+            r.messages_crash_dropped += std::mem::take(&mut sc.messages_crash_dropped);
+            let start = lane.start as usize;
+            for (i, v) in sc.per_cell_arrivals.iter_mut().enumerate() {
+                r.per_cell_arrivals[start + i] += std::mem::take(v);
+            }
+            for (i, v) in sc.per_cell_grants.iter_mut().enumerate() {
+                r.per_cell_grants[start + i] += std::mem::take(v);
+            }
+            for (i, v) in sc.per_cell_drops.iter_mut().enumerate() {
+                r.per_cell_drops[start + i] += std::mem::take(v);
+            }
+            for (name, n) in sc.custom.0.drain(..) {
+                self.sh.custom.add(name, n);
+            }
+            self.sh.events_processed += std::mem::take(&mut sc.events_processed);
+            *window_max = (*window_max).max(lane.max_ts);
+            over_budget |= lane.over_budget;
+        }
+        if over_budget || self.sh.events_processed > self.sh.cfg.max_events {
+            let processed = self.sh.events_processed;
+            self.sh.violation(Violation::EventBudget { processed });
+            self.sh.halted = true;
+            self.sh.now = self.sh.now.max(*window_max);
+            return false;
+        }
+        true
+    }
+
+    /// Replays one event's ordered effects at its virtual time.
+    fn replay(&mut self, at: SimTime, fxs: Vec<Fx<P::Msg>>) {
+        self.sh.now = at;
+        for fx in fxs {
+            match fx {
+                Fx::Send {
+                    from,
+                    to,
+                    kind,
+                    msg,
+                } => {
+                    let mut backend = DesCtx {
+                        sh: &mut self.sh,
+                        me: from,
+                    };
+                    backend.send_kind(to, kind, msg);
+                }
+                Fx::PushEnd { call, at } => self.sh.push(at, Ev::End { call }),
+                Fx::PushTimer { node, tag, at } => self.sh.push(at, Ev::Timer { node, tag }),
+                Fx::Grant { cell, ch } => {
+                    // Theorem-1 audits, exactly as `DesCtx::grant` runs
+                    // them, against the globally ordered usage map.
+                    if self.sh.usage[cell.index()].contains(ch) {
+                        let at = self.sh.now;
+                        self.sh.violation(Violation::DoubleAssign {
+                            at,
+                            cell,
+                            channel: ch,
+                        });
+                    }
+                    for idx in 0..self.sh.topo.region(cell).len() {
+                        let j = self.sh.topo.region(cell)[idx];
+                        if self.sh.usage[j.index()].contains(ch) {
+                            let at = self.sh.now;
+                            self.sh.violation(Violation::Interference {
+                                at,
+                                cell,
+                                conflicting: j,
+                                channel: ch,
+                            });
+                        }
+                    }
+                    self.sh.usage[cell.index()].insert(ch);
+                }
+                Fx::Free { cell, ch } => {
+                    self.sh.usage[cell.index()].remove(ch);
+                }
+                Fx::AcqLatency(v) => self.sh.report.acq_latency.push(v),
+                Fx::Sample { name, value } => self.sh.custom_samples.push(name, value),
+                Fx::Violation(v) => self.sh.violation(v),
+                Fx::Sink(ev) => {
+                    let now = self.sh.now;
+                    self.sh.sink.record(now, ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, SimConfig};
+    use crate::faults::FaultPlan;
+    use crate::latency::{LatencyModel, MsgMeta};
+    use crate::snapshot::{DecodeError, ProtocolState, Reader, Writer};
+    use crate::workload::Arrival;
+    use adca_hexgrid::Topology;
+    use std::sync::Arc;
+
+    /// A deliberately chatty protocol: grants the lowest free primary
+    /// channel, notifies its whole interference region on every grant,
+    /// acks every notification, and arms timers off some acks. It has no
+    /// coordination value — it exists to push traffic, timers, samples,
+    /// and counters across shard boundaries in every window.
+    struct Chatty {
+        me: CellId,
+        used: ChannelSet,
+        primary: ChannelSet,
+    }
+
+    impl Chatty {
+        fn new(me: CellId, topo: &Topology) -> Self {
+            Chatty {
+                me,
+                used: topo.spectrum().empty_set(),
+                primary: topo.primary(me).clone(),
+            }
+        }
+    }
+
+    impl Protocol for Chatty {
+        type Msg = u8;
+
+        fn msg_kind(m: &u8) -> &'static str {
+            match *m {
+                0 => "NOTIFY",
+                _ => "ACK",
+            }
+        }
+
+        fn on_acquire(
+            &mut self,
+            req: RequestId,
+            _kind: RequestKind,
+            ctx: &mut crate::backend::Ctx<'_, u8>,
+        ) {
+            let free = self.primary.difference(&self.used);
+            match free.first() {
+                Some(ch) => {
+                    self.used.insert(ch);
+                    ctx.sample("free_at_grant", free.len() as f64);
+                    ctx.grant(req, ch);
+                    let region: Vec<CellId> = ctx.topo().region(self.me).to_vec();
+                    for j in region {
+                        ctx.send_kind(j, "NOTIFY", 0);
+                    }
+                }
+                None => ctx.reject(req),
+            }
+        }
+
+        fn on_release(&mut self, ch: Channel, _ctx: &mut crate::backend::Ctx<'_, u8>) {
+            assert!(self.used.remove(ch), "released unknown channel");
+        }
+
+        fn on_message(&mut self, from: CellId, msg: u8, ctx: &mut crate::backend::Ctx<'_, u8>) {
+            if msg == 0 {
+                ctx.count("notify_recv");
+                ctx.send_kind(from, "ACK", 1);
+            } else {
+                ctx.count("ack_recv");
+                if (from.0 + self.me.0).is_multiple_of(3) {
+                    ctx.set_timer(37, u64::from(from.0));
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _tag: u64, ctx: &mut crate::backend::Ctx<'_, u8>) {
+            ctx.count("timer_fired");
+        }
+    }
+
+    impl ProtocolState for Chatty {
+        const STATE_ID: &'static str = "test-chatty/v1";
+
+        fn encode_state(&self, w: &mut Writer) {
+            w.mark("chatty.used");
+            w.put_channel_set(&self.used);
+        }
+
+        fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+            self.used = r.get_channel_set()?;
+            Ok(())
+        }
+
+        fn encode_msg(msg: &u8, w: &mut Writer) {
+            w.put_u8(*msg);
+        }
+
+        fn decode_msg(r: &mut Reader<'_>) -> Result<u8, DecodeError> {
+            r.get_u8()
+        }
+    }
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::default_paper(6, 6))
+    }
+
+    /// A workload crossing every band: spread arrivals, mixed durations
+    /// (some shorter than the lookahead, so Ends land in-window), and
+    /// hops between distant rows (serial events mid-window).
+    fn workload() -> Vec<Arrival> {
+        let mut arrivals = Vec::new();
+        for i in 0u64..120 {
+            let cell = CellId((i * 7 % 36) as u32);
+            let at = i * 23 % 2000;
+            let duration = 40 + (i * 131) % 900;
+            let mut a = Arrival::new(at, cell, duration);
+            if i % 9 == 0 {
+                let target = CellId(((i * 7 + 18) % 36) as u32);
+                a = a.with_hop(duration / 2, target);
+            }
+            arrivals.push(a);
+        }
+        arrivals
+    }
+
+    fn sharded_report(cfg: SimConfig, shards: usize) -> SimReport {
+        let part = Partition::row_bands(6, 6, shards);
+        Engine::new(topo(), cfg, Chatty::new, workload()).run_sharded(&part)
+    }
+
+    #[test]
+    fn sharded_matches_sequential_fixed_latency() {
+        let cfg = SimConfig::default();
+        let seq = run_protocol(topo(), cfg.clone(), Chatty::new, workload());
+        assert!(
+            seq.granted > 0 && seq.messages_total > 0,
+            "workload is live"
+        );
+        for shards in [1, 2, 3, 4, 6] {
+            let par = sharded_report(cfg.clone(), shards);
+            assert_eq!(par, seq, "{shards} shards diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_jitter_faults_trace() {
+        let cfg = SimConfig {
+            latency: LatencyModel::Jitter { min: 60, max: 140 },
+            trace: true,
+            watchdog_ticks: Some(5_000),
+            faults: FaultPlan::none()
+                .with_loss(0.05)
+                .with_duplication(0.04)
+                .with_seed(0xFA11)
+                .with_crash(CellId(14), 400, 300)
+                .with_crash(CellId(31), 900, 200),
+            ..Default::default()
+        };
+        let seq = run_protocol(topo(), cfg.clone(), Chatty::new, workload());
+        assert!(seq.crashes == 2 && seq.messages_lost > 0, "faults bit");
+        for shards in [2, 4, 6] {
+            let par = sharded_report(cfg.clone(), shards);
+            assert_eq!(par, seq, "{shards} shards diverged under faults");
+        }
+    }
+
+    #[test]
+    fn custom_latency_falls_back_to_sequential() {
+        let cfg = SimConfig {
+            latency: LatencyModel::Custom(Arc::new(|meta: &MsgMeta| 100 + (meta.seq % 7))),
+            ..Default::default()
+        };
+        let seq = run_protocol(topo(), cfg.clone(), Chatty::new, workload());
+        let par = sharded_report(cfg, 4);
+        assert_eq!(par, seq, "fallback path must be the sequential engine");
+    }
+
+    #[test]
+    fn in_window_hop_reroutes_pending_end() {
+        // One short call granted at t=0 in row 0 (shard 0 of 2), hopping
+        // at t=40 to row 5 (shard 1) and ending at t=80 — grant, hop,
+        // and end all inside the first 100-tick window, so the locally
+        // scheduled End must chase the call across the shard boundary.
+        let arrivals = vec![Arrival::new(0, CellId(2), 80).with_hop(40, CellId(32))];
+        let cfg = SimConfig::default();
+        let seq = run_protocol(topo(), cfg.clone(), Chatty::new, arrivals.clone());
+        assert_eq!(seq.completed_calls, 1);
+        assert_eq!(seq.custom.get("grant_handoff"), 1);
+        let part = Partition::row_bands(6, 6, 2);
+        let par = Engine::new(topo(), cfg, Chatty::new, arrivals).run_sharded(&part);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrip_resumes_bit_identically() {
+        let cfg = SimConfig::default();
+        let seq = run_protocol(topo(), cfg.clone(), Chatty::new, workload());
+        let part = Partition::row_bands(6, 6, 4);
+        let mut warm = Engine::new(topo(), cfg.clone(), Chatty::new, workload());
+        assert!(
+            warm.run_sharded_until(&part, SimTime(1200)),
+            "events must remain at the checkpoint"
+        );
+        let bytes = warm.snapshot();
+        let mut resumed: Engine<Chatty> =
+            Engine::restore(topo(), cfg, Chatty::new, &bytes).expect("restore");
+        let report = resumed.run_sharded(&part);
+        assert_eq!(report, seq, "snapshot/resume diverged from sequential");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the sharded engine's window/barrier protocol.
+//!
+//! Two layers:
+//!
+//! * A *model* test of the merge invariant the barrier relies on: carve a
+//!   global `(at, seq)` event stream into lookahead windows, deal each
+//!   window's events to shards, pop each shard's local heap in key order,
+//!   and concatenate the barrier-sorted outputs — the result must be the
+//!   exact single-queue pop order, for every window width and every
+//!   owner assignment.
+//! * An *end-to-end* test: random workloads through a chatty
+//!   message-passing protocol produce bit-identical [`SimReport`]s from
+//!   the sequential and sharded engines for random shard counts.
+
+use adca_hexgrid::{CellId, Channel, ChannelSet, Partition, Topology};
+use adca_simkit::equeue::EventQueue;
+use adca_simkit::workload::Arrival;
+use adca_simkit::{
+    Ctx, Engine, LatencyModel, Protocol, RequestId, RequestKind, SimConfig, SimTime,
+};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+proptest! {
+    /// Windowed, sharded draining reproduces the single-queue total
+    /// order. Events are pushed with monotone deltas (like the engine's),
+    /// owners are arbitrary, and the window width varies from degenerate
+    /// (1 tick) to wider than the whole stream.
+    #[test]
+    fn barrier_merge_matches_single_queue_order(
+        events in proptest::collection::vec((0u64..40, 0usize..7), 1..300),
+        window in 1u64..400,
+    ) {
+        // Reference: one global queue, drained to the end.
+        let mut reference: EventQueue<usize> = EventQueue::new();
+        let mut now = 0u64;
+        for (i, &(delta, _)) in events.iter().enumerate() {
+            now += delta;
+            reference.push(SimTime(now), i);
+        }
+        let expected: Vec<(SimTime, u64, usize)> = {
+            let mut out = Vec::new();
+            while let Some(e) = reference.pop() {
+                out.push((e.at, e.seq, e.item));
+            }
+            out
+        };
+
+        // Model of the sharded drain: windows over a second identical
+        // queue; per-window, deal to per-shard heaps keyed by (at, seq),
+        // pop each shard locally, then barrier-sort the union.
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut now = 0u64;
+        for (i, &(delta, _)) in events.iter().enumerate() {
+            now += delta;
+            q.push(SimTime(now), i);
+        }
+        let mut merged: Vec<(SimTime, u64, usize)> = Vec::new();
+        while let Some((first_at, _)) = q.peek_key() {
+            let window_end = first_at.ticks().saturating_add(window);
+            let mut lanes: Vec<BinaryHeap<Reverse<(SimTime, u64, usize)>>> =
+                (0..7).map(|_| BinaryHeap::new()).collect();
+            while q
+                .peek_key_within(SimTime(window_end - 1))
+                .is_some()
+            {
+                let e = q.pop().expect("peeked entry");
+                let shard = events[e.item].1;
+                lanes[shard].push(Reverse((e.at, e.seq, e.item)));
+            }
+            // Each lane pops locally in its own order...
+            let mut barrier: Vec<(SimTime, u64, usize)> = Vec::new();
+            for lane in &mut lanes {
+                let mut local = Vec::new();
+                while let Some(Reverse(k)) = lane.pop() {
+                    local.push(k);
+                }
+                prop_assert!(
+                    local.windows(2).all(|w| w[0] < w[1]),
+                    "lane pops must be locally ordered"
+                );
+                barrier.extend(local);
+            }
+            // ...and the barrier merges by key, exactly as `flush` does.
+            barrier.sort();
+            merged.extend(barrier);
+        }
+        prop_assert_eq!(merged, expected, "windowed shard merge reordered the stream");
+    }
+}
+
+/// A minimal message-passing protocol for end-to-end shard equivalence:
+/// grants the lowest free primary channel, pings its interference region
+/// on every grant, acks pings, arms timers off some acks.
+struct Ping {
+    me: CellId,
+    used: ChannelSet,
+    primary: ChannelSet,
+}
+
+impl Protocol for Ping {
+    type Msg = u8;
+
+    fn msg_kind(m: &u8) -> &'static str {
+        if *m == 0 {
+            "PING"
+        } else {
+            "ACK"
+        }
+    }
+
+    fn on_acquire(&mut self, req: RequestId, _kind: RequestKind, ctx: &mut Ctx<'_, u8>) {
+        match self.primary.difference(&self.used).first() {
+            Some(ch) => {
+                self.used.insert(ch);
+                ctx.grant(req, ch);
+                let region: Vec<CellId> = ctx.topo().region(self.me).to_vec();
+                for j in region {
+                    ctx.send_kind(j, "PING", 0);
+                }
+            }
+            None => ctx.reject(req),
+        }
+    }
+
+    fn on_release(&mut self, ch: Channel, _ctx: &mut Ctx<'_, u8>) {
+        self.used.remove(ch);
+    }
+
+    fn on_message(&mut self, from: CellId, msg: u8, ctx: &mut Ctx<'_, u8>) {
+        if msg == 0 {
+            ctx.send_kind(from, "ACK", 1);
+        } else if (from.0 + self.me.0).is_multiple_of(5) {
+            ctx.set_timer(29, u64::from(from.0));
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_, u8>) {
+        ctx.count("timer_fired");
+    }
+}
+
+proptest! {
+    /// Random workloads, random shard counts: the sharded report equals
+    /// the sequential report bit-for-bit.
+    #[test]
+    fn sharded_report_equals_sequential(
+        raw in proptest::collection::vec((0u64..1500, 0u32..36, 30u64..600, 0u8..4), 5..60),
+        shards in 2usize..7,
+        jitter in 0u8..2,
+    ) {
+        let topo = Arc::new(Topology::default_paper(6, 6));
+        let arrivals: Vec<Arrival> = raw
+            .iter()
+            .map(|&(at, cell, duration, hop)| {
+                let a = Arrival::new(at, CellId(cell), duration);
+                if hop == 0 {
+                    a.with_hop(duration / 3, CellId((cell + 19) % 36))
+                } else {
+                    a
+                }
+            })
+            .collect();
+        let latency = if jitter == 1 {
+            LatencyModel::Jitter { min: 60, max: 160 }
+        } else {
+            LatencyModel::Fixed(100)
+        };
+        let cfg = SimConfig { latency, ..Default::default() };
+        let factory = |me: CellId, topo: &Topology| Ping {
+            me,
+            used: topo.spectrum().empty_set(),
+            primary: topo.primary(me).clone(),
+        };
+        let seq = Engine::new(topo.clone(), cfg.clone(), factory, arrivals.clone()).run();
+        let part = Partition::row_bands(6, 6, shards);
+        let par = Engine::new(topo, cfg, factory, arrivals).run_sharded(&part);
+        prop_assert_eq!(par, seq);
+    }
+}
