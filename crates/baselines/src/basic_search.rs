@@ -17,10 +17,9 @@
 use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::sm::{Action, Effects, StateMachine};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
-use adca_simkit::{
-    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, Writer,
-};
+use adca_simkit::{DecodeError, DropCause, ProtocolState, Reader, RequestId, RequestKind, Writer};
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
@@ -113,6 +112,9 @@ pub struct BasicSearchNode {
     /// Monotonic timer tag; `armed` holds the one live deadline's tag.
     timer_epoch: u64,
     armed: Option<u64>,
+    /// Reusable action buffer lent to the engine adapter; always empty
+    /// between events and excluded from the snapshot codec.
+    fx_buf: Vec<Action<BasicSearchMsg>>,
 }
 
 impl BasicSearchNode {
@@ -137,6 +139,7 @@ impl BasicSearchNode {
             deferred: VecDeque::new(),
             timer_epoch: 0,
             armed: None,
+            fx_buf: Vec::new(),
         }
     }
 
@@ -145,12 +148,12 @@ impl BasicSearchNode {
         &self.used
     }
 
-    fn send(&self, ctx: &mut Ctx<'_, BasicSearchMsg>, to: CellId, msg: BasicSearchMsg) {
+    fn send(&self, ctx: &mut Effects<BasicSearchMsg>, to: CellId, msg: BasicSearchMsg) {
         ctx.send_kind(to, Self::msg_kind(&msg), msg);
     }
 
     /// Arms the response deadline (no-op unless `retry_ticks` is set).
-    fn arm(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+    fn arm(&mut self, ctx: &mut Effects<BasicSearchMsg>) {
         if let Some(d) = self.cfg.retry_ticks {
             self.timer_epoch += 1;
             self.armed = Some(self.timer_epoch);
@@ -158,7 +161,7 @@ impl BasicSearchNode {
         }
     }
 
-    fn try_start_next(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+    fn try_start_next(&mut self, ctx: &mut Effects<BasicSearchMsg>) {
         if self.search.is_some() {
             return;
         }
@@ -201,7 +204,7 @@ impl BasicSearchNode {
         self.arm(ctx);
     }
 
-    fn conclude(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+    fn conclude(&mut self, ctx: &mut Effects<BasicSearchMsg>) {
         let search = self.search.take().expect("search in flight");
         self.armed = None;
         ctx.sample(
@@ -239,7 +242,7 @@ impl BasicSearchNode {
 
     /// Retry budget exhausted: the search cannot safely pick a channel
     /// from an incomplete response set, so the call is rejected.
-    fn give_up(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+    fn give_up(&mut self, ctx: &mut Effects<BasicSearchMsg>) {
         let search = self.search.take().expect("search in flight");
         self.armed = None;
         ctx.sample(
@@ -253,7 +256,7 @@ impl BasicSearchNode {
 
     /// Answers deferred requesters (with the post-acquisition Use set,
     /// which is what makes the deferral safe) and starts the next call.
-    fn finish_and_drain(&mut self, ctx: &mut Ctx<'_, BasicSearchMsg>) {
+    fn finish_and_drain(&mut self, ctx: &mut Effects<BasicSearchMsg>) {
         let drained = self.deferred.len() as u32;
         if drained > 0 {
             let me = self.me;
@@ -274,7 +277,7 @@ impl BasicSearchNode {
     }
 }
 
-impl Protocol for BasicSearchNode {
+impl StateMachine for BasicSearchNode {
     type Msg = BasicSearchMsg;
 
     fn msg_kind(msg: &BasicSearchMsg) -> &'static str {
@@ -285,12 +288,12 @@ impl Protocol for BasicSearchNode {
         }
     }
 
-    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Effects<Self::Msg>) {
         self.call_q.push(req, kind);
         self.try_start_next(ctx);
     }
 
-    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn release(&mut self, ch: Channel, ctx: &mut Effects<Self::Msg>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
         let me = self.me;
@@ -302,7 +305,7 @@ impl Protocol for BasicSearchNode {
         });
     }
 
-    fn on_message(&mut self, from: CellId, msg: BasicSearchMsg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn message(&mut self, from: CellId, msg: BasicSearchMsg, ctx: &mut Effects<Self::Msg>) {
         match msg {
             BasicSearchMsg::Request { ts } => {
                 self.clock.observe(ts);
@@ -382,7 +385,7 @@ impl Protocol for BasicSearchNode {
         }
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn timer(&mut self, tag: u64, ctx: &mut Effects<Self::Msg>) {
         if self.armed != Some(tag) {
             ctx.count("stale_timers");
             return;
@@ -413,7 +416,7 @@ impl Protocol for BasicSearchNode {
         }
     }
 
-    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {
+    fn restart(&mut self, _ctx: &mut Effects<Self::Msg>) {
         // Volatile state is gone; the engine killed our calls and
         // force-rejected queued requests while we were down. The Lamport
         // clock survives (stable storage), keeping post-restart searches
@@ -426,7 +429,17 @@ impl Protocol for BasicSearchNode {
         self.deferred.clear();
         self.armed = None;
     }
+
+    fn take_scratch(&mut self) -> Vec<Action<BasicSearchMsg>> {
+        std::mem::take(&mut self.fx_buf)
+    }
+
+    fn put_scratch(&mut self, buf: Vec<Action<BasicSearchMsg>>) {
+        self.fx_buf = buf;
+    }
 }
+
+adca_simkit::impl_protocol_via_machine!(BasicSearchNode);
 
 impl ProtocolState for BasicSearchNode {
     const STATE_ID: &'static str = "basic-search/v1";

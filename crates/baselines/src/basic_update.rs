@@ -16,10 +16,10 @@
 use adca_core::codec;
 use adca_core::{CallQueue, LamportClock, NeighborView, Timestamp};
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::sm::{Action, Effects, StateMachine};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{
-    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, SimTime,
-    Writer,
+    DecodeError, DropCause, ProtocolState, Reader, RequestId, RequestKind, SimTime, Writer,
 };
 use std::collections::BTreeSet;
 
@@ -129,6 +129,9 @@ pub struct BasicUpdateNode {
     /// Monotonic timer tag; `armed` holds the one live deadline's tag.
     timer_epoch: u64,
     armed: Option<u64>,
+    /// Reusable action buffer lent to the engine adapter; always empty
+    /// between events and excluded from the snapshot codec.
+    fx_buf: Vec<Action<BasicUpdateMsg>>,
 }
 
 impl BasicUpdateNode {
@@ -148,6 +151,7 @@ impl BasicUpdateNode {
             serving_since: None,
             timer_epoch: 0,
             armed: None,
+            fx_buf: Vec::new(),
             region,
         }
     }
@@ -157,12 +161,12 @@ impl BasicUpdateNode {
         &self.used
     }
 
-    fn send(&self, ctx: &mut Ctx<'_, BasicUpdateMsg>, to: CellId, msg: BasicUpdateMsg) {
+    fn send(&self, ctx: &mut Effects<BasicUpdateMsg>, to: CellId, msg: BasicUpdateMsg) {
         ctx.send_kind(to, Self::msg_kind(&msg), msg);
     }
 
     /// Arms the round's response deadline (no-op unless `retry_ticks`).
-    fn arm(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+    fn arm(&mut self, ctx: &mut Effects<BasicUpdateMsg>) {
         if let Some(d) = self.cfg.retry_ticks {
             self.timer_epoch += 1;
             self.armed = Some(self.timer_epoch);
@@ -183,7 +187,7 @@ impl BasicUpdateNode {
         req: RequestId,
         attempts_so_far: u32,
         tried: &ChannelSet,
-        ctx: &mut Ctx<'_, BasicUpdateMsg>,
+        ctx: &mut Effects<BasicUpdateMsg>,
     ) {
         if attempts_so_far >= self.cfg.max_attempts {
             ctx.count("update_gaveup");
@@ -233,7 +237,7 @@ impl BasicUpdateNode {
         ch: Option<Channel>,
         attempts: u32,
         fail_cause: DropCause,
-        ctx: &mut Ctx<'_, BasicUpdateMsg>,
+        ctx: &mut Effects<BasicUpdateMsg>,
     ) {
         let (req, _) = self.call_q.pop().expect("head request present");
         self.armed = None;
@@ -269,7 +273,7 @@ impl BasicUpdateNode {
         self.try_start_next(ctx);
     }
 
-    fn try_start_next(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+    fn try_start_next(&mut self, ctx: &mut Effects<BasicUpdateMsg>) {
         if self.attempt.is_some() {
             return;
         }
@@ -280,7 +284,7 @@ impl BasicUpdateNode {
         self.start_attempt(req, 0, &self.spectrum.empty_set(), ctx);
     }
 
-    fn conclude(&mut self, ctx: &mut Ctx<'_, BasicUpdateMsg>) {
+    fn conclude(&mut self, ctx: &mut Effects<BasicUpdateMsg>) {
         let attempt = self.attempt.take().expect("attempt in flight");
         self.armed = None;
         let failed = attempt.rejected || attempt.aborted;
@@ -318,7 +322,7 @@ impl BasicUpdateNode {
     }
 }
 
-impl Protocol for BasicUpdateNode {
+impl StateMachine for BasicUpdateNode {
     type Msg = BasicUpdateMsg;
 
     fn msg_kind(msg: &BasicUpdateMsg) -> &'static str {
@@ -330,12 +334,12 @@ impl Protocol for BasicUpdateNode {
         }
     }
 
-    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Effects<Self::Msg>) {
         self.call_q.push(req, kind);
         self.try_start_next(ctx);
     }
 
-    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn release(&mut self, ch: Channel, ctx: &mut Effects<Self::Msg>) {
         let was = self.used.remove(ch);
         debug_assert!(was, "released channel {ch} not in use");
         let me = self.me;
@@ -351,7 +355,7 @@ impl Protocol for BasicUpdateNode {
         }
     }
 
-    fn on_message(&mut self, from: CellId, msg: BasicUpdateMsg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn message(&mut self, from: CellId, msg: BasicUpdateMsg, ctx: &mut Effects<Self::Msg>) {
         match msg {
             BasicUpdateMsg::Request { ch, ts } => {
                 self.clock.observe(ts);
@@ -438,7 +442,7 @@ impl Protocol for BasicUpdateNode {
         }
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn timer(&mut self, tag: u64, ctx: &mut Effects<Self::Msg>) {
         if self.armed != Some(tag) {
             ctx.count("stale_timers");
             return;
@@ -482,7 +486,7 @@ impl Protocol for BasicUpdateNode {
         }
     }
 
-    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {
+    fn restart(&mut self, _ctx: &mut Effects<Self::Msg>) {
         // Volatile state is gone; the engine killed our calls and
         // force-rejected queued requests while we were down, so an empty
         // Use set matches ground truth. The Lamport clock persists
@@ -497,7 +501,17 @@ impl Protocol for BasicUpdateNode {
         self.serving_since = None;
         self.armed = None;
     }
+
+    fn take_scratch(&mut self) -> Vec<Action<BasicUpdateMsg>> {
+        std::mem::take(&mut self.fx_buf)
+    }
+
+    fn put_scratch(&mut self, buf: Vec<Action<BasicUpdateMsg>>) {
+        self.fx_buf = buf;
+    }
 }
+
+adca_simkit::impl_protocol_via_machine!(BasicUpdateNode);
 
 impl ProtocolState for BasicUpdateNode {
     const STATE_ID: &'static str = "basic-update/v1";

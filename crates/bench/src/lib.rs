@@ -76,6 +76,45 @@ pub fn summary_cells(s: &RunSummary) -> Vec<String> {
     ]
 }
 
+/// Prints the fault-accounting footer: the restart counter and the
+/// drop-cause split per run — recorded in every [`SimReport`] since the
+/// fault layer landed, but previously absent from `results/*.txt`. Rows
+/// are emitted only for runs that saw fault activity, and the footer is
+/// skipped entirely when none did, so fault-free experiments keep their
+/// result files unchanged.
+///
+/// [`SimReport`]: adca_simkit::SimReport
+pub fn fault_footer<'a, I>(runs: I)
+where
+    I: IntoIterator<Item = (String, &'a RunSummary)>,
+{
+    let active: Vec<(String, &RunSummary)> = runs
+        .into_iter()
+        .filter(|(_, s)| s.has_fault_activity())
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    println!();
+    println!("fault accounting (restarts and drop-cause split):");
+    for (label, s) in active {
+        let r = &s.report;
+        println!(
+            "  {label:<28} crashes={:>2} restarts={:>2}  \
+             drops[blocked={:>4} retry_ex={:>3} crashed={:>3}]  \
+             msgs[lost={:>6} dup={:>4} part={:>4}]",
+            r.crashes,
+            r.restarts,
+            r.drops_blocked,
+            r.drops_retry_exhausted,
+            r.drops_crashed,
+            r.messages_lost,
+            r.messages_duplicated,
+            r.custom.get("partition_dropped"),
+        );
+    }
+}
+
 /// Prints the standard sweep timing footer: the worker-pool size, one
 /// wall-clock/throughput line per run, and the aggregate.
 pub fn perf_footer<'a, I>(runs: I)

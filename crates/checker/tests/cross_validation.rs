@@ -1,0 +1,121 @@
+//! DES-vs-checker cross-validation: every discrete-event engine run is
+//! one *particular* interleaving of the nondeterminism the checker
+//! enumerates, so the engine's per-cell acquisition outcome must be a
+//! member of the checker's terminal-outcome set for the matching op
+//! script. A failure here means the two executors disagree about the
+//! protocol's reachable behaviors — i.e. the pure-core refactor leaks
+//! semantics through one driver but not the other.
+
+use adca_checker::{Model, Op};
+use adca_core::{AdaptiveConfig, AdaptiveNode};
+use adca_hexgrid::{CellId, ReusePattern, Topology};
+use adca_simkit::{Arrival, Engine, SimConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-cell call count explored (script = `[Start, End]` × `k`).
+const MAX_CALLS: usize = 2;
+/// Arrivals at the same cell are spaced this far apart, far beyond any
+/// jitter + holding time, so each cell's calls serialize into the
+/// checker's strict per-cell op order.
+const SPACING: u64 = 10_000;
+
+fn strip(channels: u16) -> Arc<Topology> {
+    Arc::new(
+        Topology::builder(1, 2)
+            .channels(channels)
+            .pattern(ReusePattern::three_cell())
+            .interference_radius(1)
+            .build(),
+    )
+}
+
+/// The checker's terminal-outcome set for a 2-cell strip where every
+/// cell runs `k` sequential calls — computed once per `(channels, k)`
+/// and shared across proptest cases.
+type OutcomeSet = BTreeSet<Vec<(u32, u32)>>;
+type OutcomeCache = OnceLock<Mutex<Vec<((u16, usize), OutcomeSet)>>>;
+
+fn outcome_set(channels: u16, k: usize) -> OutcomeSet {
+    static CACHE: OutcomeCache = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut cache = cache.lock().unwrap();
+    if let Some((_, set)) = cache.iter().find(|(key, _)| *key == (channels, k)) {
+        return set.clone();
+    }
+    let script: Vec<Op> = std::iter::repeat_n([Op::StartCall, Op::EndCall], k)
+        .flatten()
+        .collect();
+    let out = Model::new(strip(channels), |cell, topo| {
+        AdaptiveNode::new(cell, topo, AdaptiveConfig::default())
+    })
+    .with_uniform_script(&script)
+    .explore();
+    assert!(
+        out.violation.is_none(),
+        "clean core violated: {:?}",
+        out.violation
+    );
+    assert!(
+        !out.truncated,
+        "outcome set must come from a full exhaustion"
+    );
+    cache.push(((channels, k), out.outcomes.clone()));
+    out.outcomes
+}
+
+proptest! {
+    #[test]
+    fn engine_outcomes_are_members_of_the_checker_outcome_set(
+        channels in prop_oneof![Just(1u16), Just(2u16), Just(3u16)],
+        k in 1usize..MAX_CALLS + 1,
+        // Per-(cell, call) arrival jitter and holding times: jitter
+        // shifts the cross-cell race window, durations decide whether
+        // the neighbor's call is still holding its channel.
+        jitter in proptest::collection::vec(0u64..2_000, 2 * MAX_CALLS..2 * MAX_CALLS + 1),
+        duration in proptest::collection::vec(500u64..3_000, 2 * MAX_CALLS..2 * MAX_CALLS + 1),
+    ) {
+        let topo = strip(channels);
+        let mut arrivals = Vec::new();
+        for cell in 0..2u32 {
+            for call in 0..k {
+                let idx = cell as usize * MAX_CALLS + call;
+                arrivals.push(Arrival::new(
+                    call as u64 * SPACING + jitter[idx],
+                    CellId(cell),
+                    duration[idx],
+                ));
+            }
+        }
+        let report = Engine::new(
+            topo,
+            SimConfig::default(),
+            |cell, t: &Topology| AdaptiveNode::new(cell, t, AdaptiveConfig::default()),
+            arrivals,
+        )
+        .run();
+        // The engine's own Theorem 1 audit ran in Panic mode; now pin
+        // the acquisition outcome against the checker's enumeration.
+        let observed: Vec<(u32, u32)> = (0..2)
+            .map(|i| {
+                (
+                    report.per_cell_grants[i] as u32,
+                    report.per_cell_drops[i] as u32,
+                )
+            })
+            .collect();
+        let total: u32 = observed.iter().map(|&(g, r)| g + r).sum();
+        prop_assert_eq!(total as usize, 2 * k, "every offered call must resolve");
+        let outcomes = outcome_set(channels, k);
+        prop_assert!(
+            outcomes.contains(&observed),
+            "engine outcome {:?} not among {} checker terminal outcomes for \
+             channels={} k={}",
+            observed,
+            outcomes.len(),
+            channels,
+            k
+        );
+    }
+}

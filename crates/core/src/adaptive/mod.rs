@@ -42,16 +42,16 @@
 //!    timelier and does not change the protocol's messages otherwise).
 
 use crate::codec;
-use crate::config::AdaptiveConfig;
+use crate::config::{AdaptiveConfig, Mutation};
 use crate::lamport::{LamportClock, Timestamp};
 use crate::nfc::NfcWindow;
 use crate::queue::CallQueue;
 use crate::view::NeighborView;
 use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+use adca_simkit::sm::{Action, Effects, StateMachine};
 use adca_simkit::trace::{AcqPath, RoundKind, TraceEvent};
 use adca_simkit::{
-    Ctx, DecodeError, DropCause, Protocol, ProtocolState, Reader, RequestId, RequestKind, SimTime,
-    Writer,
+    DecodeError, DropCause, ProtocolState, Reader, RequestId, RequestKind, SimTime, Writer,
 };
 use std::collections::{BTreeSet, VecDeque};
 
@@ -338,6 +338,10 @@ pub struct AdaptiveNode {
     /// deadline, so stale timer firings are ignored by tag mismatch.
     timer_epoch: u64,
     armed: Option<u64>,
+    /// Reusable action buffer lent to the engine adapter
+    /// ([`StateMachine::take_scratch`]); always empty between events and
+    /// excluded from the snapshot codec.
+    fx_buf: Vec<Action<AdaptiveMsg>>,
 }
 
 impl AdaptiveNode {
@@ -372,6 +376,7 @@ impl AdaptiveNode {
             force_search: false,
             timer_epoch: 0,
             armed: None,
+            fx_buf: Vec::new(),
             region,
             cfg,
         }
@@ -458,7 +463,7 @@ impl AdaptiveNode {
     // Internals
     // ------------------------------------------------------------------
 
-    fn send(&self, ctx: &mut Ctx<'_, AdaptiveMsg>, to: CellId, msg: AdaptiveMsg) {
+    fn send(&self, ctx: &mut Effects<AdaptiveMsg>, to: CellId, msg: AdaptiveMsg) {
         ctx.send_kind(to, Self::msg_kind(&msg), msg);
     }
 
@@ -481,7 +486,7 @@ impl AdaptiveNode {
     /// Arms the per-round response deadline (no-op unless
     /// [`AdaptiveConfig::retry_ticks`] is set). The fresh tag invalidates
     /// any previously armed deadline.
-    fn arm_retry(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn arm_retry(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         if let Some(d) = self.cfg.retry_ticks {
             self.timer_epoch += 1;
             self.armed = Some(self.timer_epoch);
@@ -492,7 +497,7 @@ impl AdaptiveNode {
     /// Arms the `WaitQuiet` escape deadline: generous (`d·(α+2)` ticks),
     /// because the gate normally clears by itself and the timer only
     /// covers a lost `ACQUISITION(1)` notice.
-    fn arm_quiet(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn arm_quiet(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         if let Some(d) = self.cfg.retry_ticks {
             self.timer_epoch += 1;
             self.armed = Some(self.timer_epoch);
@@ -549,7 +554,7 @@ impl AdaptiveNode {
     }
 
     /// Figure 6's `check_mode()`.
-    fn check_mode(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn check_mode(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         let s = self
             .pr
             .count_excluding(&self.used, self.view.interference()) as u32;
@@ -625,7 +630,7 @@ impl AdaptiveNode {
     }
 
     /// Starts serving the head of the call queue if idle.
-    fn try_start_next(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn try_start_next(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         if self.attempt.is_some() {
             return;
         }
@@ -647,7 +652,7 @@ impl AdaptiveNode {
 
     /// Figure 2's `Request_Channel`, entered with `self.attempt` set.
     /// Re-entered on retries (same timestamp, `rounds` preserved).
-    fn request_channel(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn request_channel(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         debug_assert!(self.attempt.is_some());
         // Whatever phase deadline was armed, this entry supersedes it.
         self.armed = None;
@@ -671,7 +676,7 @@ impl AdaptiveNode {
                 self.force_search = true;
             }
         }
-        if !self.owed.is_empty() {
+        if !self.owed.is_empty() && self.cfg.mutation != Some(Mutation::SkipOweGate) {
             // wait UNTIL waiting_i = 0. The paper gates only the local
             // branch on `waiting_i`, but the silent free-primary
             // acquisition in the borrowing branch is equally racy: a
@@ -832,7 +837,7 @@ impl AdaptiveNode {
     /// Starts a borrowing-search round for the in-flight attempt
     /// (extracted from `request_channel` so timeout recovery can enter
     /// it directly).
-    fn start_search_round(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn start_search_round(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         let me = self.me;
         let from_mode = self.mode.index();
         self.mode = Mode::BorrowSearch;
@@ -891,7 +896,7 @@ impl AdaptiveNode {
         ch: Option<Channel>,
         via: Via,
         fail_cause: DropCause,
-        ctx: &mut Ctx<'_, AdaptiveMsg>,
+        ctx: &mut Effects<AdaptiveMsg>,
     ) {
         let attempt = self.attempt.take().expect("attempt in flight");
         self.armed = None;
@@ -1042,7 +1047,7 @@ impl AdaptiveNode {
         ch: Channel,
         granted: Vec<CellId>,
         rejected: bool,
-        ctx: &mut Ctx<'_, AdaptiveMsg>,
+        ctx: &mut Effects<AdaptiveMsg>,
     ) {
         if !rejected {
             self.complete(Some(ch), Via::Update, DropCause::Blocked, ctx);
@@ -1076,7 +1081,7 @@ impl AdaptiveNode {
     }
 
     /// A borrowing-search round concluded (all `U_j` collected).
-    fn conclude_search(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn conclude_search(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         // Every region member just reported its authoritative `U_j`, so
         // the view is fully resynced: recovery (if any) is done.
         self.force_search = false;
@@ -1097,7 +1102,7 @@ impl AdaptiveNode {
         ch: Channel,
         ts: Timestamp,
         round: u32,
-        ctx: &mut Ctx<'_, AdaptiveMsg>,
+        ctx: &mut Effects<AdaptiveMsg>,
     ) {
         match self.mode {
             Mode::Local | Mode::Borrowing => {
@@ -1185,7 +1190,7 @@ impl AdaptiveNode {
         from: CellId,
         ts: Timestamp,
         round: u32,
-        ctx: &mut Ctx<'_, AdaptiveMsg>,
+        ctx: &mut Effects<AdaptiveMsg>,
     ) {
         let defer = self.attempt.as_ref().is_some_and(|a| a.ts < ts);
         if defer {
@@ -1223,7 +1228,7 @@ impl AdaptiveNode {
     }
 
     /// Routes a `RESPONSE` to the in-flight attempt.
-    fn on_response(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn on_response(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Effects<AdaptiveMsg>) {
         // View updates happen regardless of attempt bookkeeping: both
         // SearchUse and Status carry authoritative `Use_j` snapshots.
         match &msg {
@@ -1382,7 +1387,7 @@ impl AdaptiveNode {
     }
 }
 
-impl Protocol for AdaptiveNode {
+impl StateMachine for AdaptiveNode {
     type Msg = AdaptiveMsg;
 
     fn msg_kind(msg: &AdaptiveMsg) -> &'static str {
@@ -1399,18 +1404,18 @@ impl Protocol for AdaptiveNode {
         }
     }
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn start(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         // Seed the NFC history with the initial free-primary count.
         let s = self.pr.len() as u32;
         self.nfc.record(ctx.now(), s);
     }
 
-    fn on_acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn acquire(&mut self, req: RequestId, kind: RequestKind, ctx: &mut Effects<AdaptiveMsg>) {
         self.call_q.push(req, kind);
         self.try_start_next(ctx);
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn timer(&mut self, tag: u64, ctx: &mut Effects<AdaptiveMsg>) {
         // Only the most recently armed deadline is live; anything else
         // is a leftover from a phase that already resolved.
         if self.armed != Some(tag) {
@@ -1531,7 +1536,7 @@ impl Protocol for AdaptiveNode {
         }
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn restart(&mut self, ctx: &mut Effects<AdaptiveMsg>) {
         // Everything volatile is lost; the engine already killed our
         // active calls and force-rejected our queued requests, so the
         // empty `Use_i` is consistent with ground truth. The Lamport
@@ -1567,7 +1572,7 @@ impl Protocol for AdaptiveNode {
         ctx.count("protocol_restarts");
     }
 
-    fn on_release(&mut self, ch: Channel, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn release(&mut self, ch: Channel, ctx: &mut Effects<AdaptiveMsg>) {
         // Figure 9: Deallocate(r).
         let was_used = self.used.remove(ch);
         debug_assert!(was_used, "released channel {ch} not in Use_i");
@@ -1592,7 +1597,7 @@ impl Protocol for AdaptiveNode {
         self.check_mode(ctx);
     }
 
-    fn on_message(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Ctx<'_, AdaptiveMsg>) {
+    fn message(&mut self, from: CellId, msg: AdaptiveMsg, ctx: &mut Effects<AdaptiveMsg>) {
         match msg {
             AdaptiveMsg::Request { update, ts, round } => {
                 self.clock.observe(ts);
@@ -1695,7 +1700,17 @@ impl Protocol for AdaptiveNode {
             }
         }
     }
+
+    fn take_scratch(&mut self) -> Vec<Action<AdaptiveMsg>> {
+        std::mem::take(&mut self.fx_buf)
+    }
+
+    fn put_scratch(&mut self, buf: Vec<Action<AdaptiveMsg>>) {
+        self.fx_buf = buf;
+    }
 }
+
+adca_simkit::impl_protocol_via_machine!(AdaptiveNode);
 
 fn put_phase(w: &mut Writer, phase: &Phase) {
     match phase {

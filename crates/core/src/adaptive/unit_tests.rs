@@ -4,7 +4,7 @@
 
 use super::*;
 use adca_simkit::testing::{Action, MockNet};
-use adca_simkit::Ctx;
+use adca_simkit::{Ctx, Protocol};
 
 /// Echo timestamp for handcrafted responses. The default (unhardened)
 /// config matches responses laxly, so any value works.

@@ -1,5 +1,20 @@
 //! Tunables of the adaptive scheme.
 
+/// A deliberately seeded protocol fault, used to validate the model
+/// checker (`adca-checker`): each variant disables one documented safety
+/// measure so the checker can demonstrate that it finds the resulting
+/// Theorem 1 violation with a minimized counterexample. Never enabled
+/// outside checker self-tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Skip the `waiting_i = 0` gate in `Request_Channel`: a cell with
+    /// outstanding owed searchers silently grabs a free primary anyway.
+    /// A searcher holding the pre-acquisition `Use` snapshot may then
+    /// pick the same channel — a co-channel interference race the gate
+    /// exists to close (documented deviation #7).
+    SkipOweGate,
+}
+
 /// Parameters of the adaptive protocol (Section 3 of the paper).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveConfig {
@@ -42,6 +57,11 @@ pub struct AdaptiveConfig {
     /// (default) follows the pseudocode; `false` follows the prose
     /// (documented deviation #5, exercised by the ablation bench).
     pub strict_mode2_reject: bool,
+    /// Seeded fault for checker validation — see [`Mutation`]. `None`
+    /// (the default, and the only value any scheme ships with) leaves
+    /// the protocol untouched; comparing against `None` is the sole
+    /// runtime cost, so reports stay bit-identical.
+    pub mutation: Option<Mutation>,
 }
 
 impl Default for AdaptiveConfig {
@@ -54,6 +74,7 @@ impl Default for AdaptiveConfig {
             t_latency: 100,
             retry_ticks: None,
             strict_mode2_reject: true,
+            mutation: None,
         }
     }
 }

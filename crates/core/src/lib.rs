@@ -39,7 +39,7 @@ pub mod queue;
 pub mod view;
 
 pub use adaptive::{AdaptiveMsg, AdaptiveNode, Mode};
-pub use config::AdaptiveConfig;
+pub use config::{AdaptiveConfig, Mutation};
 pub use lamport::{LamportClock, Timestamp};
 pub use nfc::NfcWindow;
 pub use queue::CallQueue;

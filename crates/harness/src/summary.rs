@@ -60,6 +60,43 @@ impl RunSummary {
         )
     }
 
+    /// Whether this run recorded any fault-layer activity (injected
+    /// faults or their consequences). Gates the fault-accounting footer
+    /// so fault-free experiments keep their result files unchanged.
+    pub fn has_fault_activity(&self) -> bool {
+        let r = &self.report;
+        r.crashes > 0
+            || r.restarts > 0
+            || r.messages_lost > 0
+            || r.messages_duplicated > 0
+            || r.messages_crash_dropped > 0
+            || r.drops_retry_exhausted > 0
+            || r.drops_crashed > 0
+            || r.custom.get("partition_dropped") > 0
+    }
+
+    /// One formatted fault-accounting line: the crash/restart counters,
+    /// the drop-cause split (blocked / retry-exhausted / crashed), and
+    /// the message-level fault counters (lost / duplicated / cut by a
+    /// link partition).
+    pub fn fault_row(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{:<18} crashes={:>2} restarts={:>2}  \
+             drops[blocked={} retry_ex={} crashed={}]  \
+             msgs[lost={} dup={} part={}]",
+            self.scheme.name(),
+            r.crashes,
+            r.restarts,
+            r.drops_blocked,
+            r.drops_retry_exhausted,
+            r.drops_crashed,
+            r.messages_lost,
+            r.messages_duplicated,
+            r.custom.get("partition_dropped"),
+        )
+    }
+
     /// New-call drop (blocking) rate.
     pub fn drop_rate(&self) -> f64 {
         self.report.drop_rate()
@@ -205,6 +242,26 @@ mod tests {
         let row = s.row();
         assert!(row.contains("basic-search"));
         assert!(row.contains("msgs/acq"));
+    }
+
+    #[test]
+    fn fault_row_surfaces_restarts_and_drop_causes() {
+        let sc = Scenario::uniform(0.5, 30_000).with_grid(6, 6);
+        let s = sc.run(SchemeKind::BasicSearch);
+        // Fault-free: no activity, nothing to print.
+        assert!(!s.has_fault_activity());
+        let sf = sc
+            .with_hardening(400)
+            .with_faults(adca_simkit::FaultPlan::none().with_loss(0.02).with_crash(
+                adca_hexgrid::CellId(7),
+                10_000,
+                5_000,
+            ))
+            .run(SchemeKind::BasicSearch);
+        assert!(sf.has_fault_activity());
+        let row = sf.fault_row();
+        assert!(row.contains("restarts= 1"), "row: {row}");
+        assert!(row.contains("retry_ex="), "row: {row}");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use adca_harness::{Scenario, SchemeKind};
 use adca_hexgrid::CellId;
-use adca_simkit::{FaultPlan, SimReport};
+use adca_simkit::trace::{RingSink, TraceEvent};
+use adca_simkit::{FaultPlan, SimReport, SimTime};
 
 /// e1-shaped scenario (12×12 grid, 70 channels, uniform load) scaled to
 /// a test-sized horizon.
@@ -90,6 +91,109 @@ fn drop_causes_partition_drop_totals() {
         r.assert_clean();
         assert!(r.messages_lost > 0, "{kind}: 5% loss must lose messages");
         assert_split(&r, kind.name());
+    }
+}
+
+#[test]
+fn idle_partition_windows_are_report_identical() {
+    // A partition whose window opens after the horizon activates the
+    // fault layer but can never cut a message: the report must equal the
+    // fault-free run exactly (partitions draw no fault RNG, so even the
+    // loss/duplication streams stay untouched).
+    for kind in SchemeKind::ALL {
+        let base = e1_shaped(0.9).run(kind).report;
+        let idle = e1_shaped(0.9)
+            .with_faults(FaultPlan::none().with_partition(CellId(30), CellId(31), 50_000, 1_000))
+            .run(kind)
+            .report;
+        assert_eq!(
+            base, idle,
+            "{kind}: a partition window past the horizon must be invisible"
+        );
+        assert_eq!(idle.custom.get("partition_dropped"), 0);
+    }
+}
+
+#[test]
+fn active_partitions_cut_traffic_and_stay_clean() {
+    // Cut a link between two cells in each other's interference region
+    // for the whole run: inter-MSS traffic on that link must be dropped
+    // (and counted), while the run stays free of safety violations.
+    let r = e1_shaped(0.9)
+        .with_hardening(400)
+        .with_faults(FaultPlan::none().with_partition(CellId(30), CellId(31), 0, 20_000))
+        .run(SchemeKind::Adaptive)
+        .report;
+    r.assert_clean();
+    assert!(
+        r.custom.get("partition_dropped") > 0,
+        "a whole-run partition between neighbors must cut messages"
+    );
+    assert_eq!(
+        r.messages_lost, 0,
+        "partition drops must not be attributed to random loss"
+    );
+    assert_split(&r, "adaptive+partition");
+}
+
+#[test]
+fn every_crash_event_pairs_with_a_recover_exactly_down_for_later() {
+    // The trace-level counterpart of the `crashes`/`restarts` counters:
+    // scan the event stream itself and demand that each `Crash{cell}`
+    // record has a matching `Recover{cell}` exactly `down_for` ticks
+    // later — windows never merge, stretch, or leak past the horizon.
+    let down_for = 4_000;
+    let sc = Scenario::uniform(0.7, 20_000)
+        .with_grid(6, 6)
+        .with_hardening(400)
+        .with_faults(
+            FaultPlan::none()
+                .with_crash(CellId(7), 3_000, down_for)
+                .with_crash(CellId(21), 9_000, down_for)
+                .with_crash(CellId(7), 14_000, down_for),
+        );
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let (summary, sink) =
+        sc.run_with_sink(SchemeKind::Adaptive, topo, arrivals, RingSink::new(1 << 20));
+    assert_eq!(sink.dropped(), 0, "ring must hold the whole trace");
+    summary.report.assert_clean();
+    assert_eq!(summary.report.crashes, 3);
+    assert_eq!(summary.report.restarts, 3);
+
+    let records = sink.into_vec();
+    let crashes: Vec<(SimTime, CellId)> = records
+        .iter()
+        .filter_map(|r| match r.ev {
+            TraceEvent::Crash { cell } => Some((r.at, cell)),
+            _ => None,
+        })
+        .collect();
+    let recovers: Vec<(SimTime, CellId)> = records
+        .iter()
+        .filter_map(|r| match r.ev {
+            TraceEvent::Recover { cell } => Some((r.at, cell)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        crashes,
+        vec![
+            (SimTime(3_000), CellId(7)),
+            (SimTime(9_000), CellId(21)),
+            (SimTime(14_000), CellId(7)),
+        ],
+        "crash events must fire exactly as scheduled"
+    );
+    assert_eq!(recovers.len(), crashes.len(), "every crash must recover");
+    for &(at, cell) in &crashes {
+        assert!(
+            recovers.contains(&(SimTime(at.0 + down_for), cell)),
+            "crash of cell {} at t={} has no recover at t={}",
+            cell.0,
+            at.0,
+            at.0 + down_for
+        );
     }
 }
 

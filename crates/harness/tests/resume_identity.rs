@@ -112,6 +112,49 @@ fn resume_after_periodic_checkpoints_is_bit_identical() {
 }
 
 #[test]
+fn resume_with_partitions_is_bit_identical() {
+    // Partitions use an *optional* snapshot section (absent on
+    // partition-free runs); this pins that the section round-trips: a
+    // split run under an active partition plan equals the cold run.
+    let sc = base(SchemeKind::Adaptive, false, false).with_faults(
+        FaultPlan::none()
+            .with_loss(0.02)
+            .with_partition(CellId(7), CellId(8), 4_000, 8_000)
+            .with_partition(CellId(20), CellId(21), 10_000, 6_000),
+    );
+    let sc = sc.with_hardening(400);
+    let cold = sc.run(SchemeKind::Adaptive);
+    let split = sc.run_split(SchemeKind::Adaptive, HORIZON / 2);
+    assert_eq!(
+        cold.report, split.report,
+        "partitioned run diverged across snapshot/restore"
+    );
+    assert!(
+        cold.report.custom.get("partition_dropped") > 0,
+        "partition plan must actually cut traffic for this pin to bite"
+    );
+}
+
+#[test]
+fn restore_under_different_partitions_is_a_mismatch() {
+    let plan = FaultPlan::none().with_partition(CellId(7), CellId(8), 4_000, 8_000);
+    let sc = base(SchemeKind::Adaptive, false, false).with_faults(plan.clone());
+    let snap = sc.warmup_snapshot(SchemeKind::Adaptive, HORIZON / 2);
+    let other = base(SchemeKind::Adaptive, false, false).with_faults(plan.with_partition(
+        CellId(1),
+        CellId(2),
+        100,
+        50,
+    ));
+    match other.resume_bytes(SchemeKind::Adaptive, &snap) {
+        Err(DecodeError::Mismatch(msg)) => {
+            assert!(msg.contains("partitions"), "unhelpful mismatch: {msg}")
+        }
+        other => panic!("differing partition plans must be a Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
 fn restore_under_wrong_scheme_is_a_mismatch() {
     let sc = base(SchemeKind::Adaptive, false, false);
     let snap = sc.warmup_snapshot(SchemeKind::Fixed, HORIZON / 2);

@@ -154,6 +154,14 @@ impl<'a, M> Ctx<'a, M> {
         self.inner.truly_free_here(ch)
     }
 
+    /// Whether the backend has an enabled trace sink attached. Used by
+    /// the buffered state-machine adapter (`simkit::sm::drive`) to
+    /// capture the trace gate once per event.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace_enabled()
+    }
+
     /// Records a protocol-level trace event, building it lazily: `f` runs
     /// only when the backend has an enabled trace sink attached. Under
     /// the default [`crate::trace::NoopSink`] engine this is one

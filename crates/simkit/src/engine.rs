@@ -2,7 +2,7 @@
 
 use crate::backend::{Ctx, CtxBackend};
 use crate::equeue::{EqEntry, EventQueue};
-use crate::faults::{Crash, FaultPlan};
+use crate::faults::{Crash, FaultPlan, Partition};
 use crate::latency::{LatencyModel, MsgMeta};
 use crate::protocol::{Protocol, RequestId, RequestKind};
 use crate::report::{AuditMode, DropCause, MsgTrace, SimReport, Violation};
@@ -460,6 +460,18 @@ impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
             // all; this is a defensive backstop for drained sends).
             if self.sh.down[from.index()] {
                 self.sh.report.messages_crash_dropped += 1;
+                return;
+            }
+            // Partition cuts are deterministic and consume no fault RNG,
+            // so adding a partition schedule to a lossy plan perturbs
+            // neither the loss nor the duplication stream for messages on
+            // healthy links.
+            if !self.sh.cfg.faults.partitions.is_empty()
+                && self.sh.cfg.faults.link_cut(from, to, self.sh.now.0)
+            {
+                self.sh.custom.incr("partition_dropped");
+                self.sh
+                    .trace_with(|| TraceEvent::MsgLost { from, to, kind });
                 return;
             }
             if self.sh.cfg.faults.loss > 0.0
@@ -1581,6 +1593,19 @@ impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
             w.put_u64(c.at);
             w.put_u64(c.down_for);
         }
+        // Optional section: written only when the plan schedules link
+        // partitions, so partition-free snapshots stay byte-identical to
+        // the pre-partition format (pinned by the golden digests).
+        if !sh.cfg.faults.partitions.is_empty() {
+            w.mark("config.partitions");
+            w.put_len(sh.cfg.faults.partitions.len());
+            for p in &sh.cfg.faults.partitions {
+                w.put_cell(p.a);
+                w.put_cell(p.b);
+                w.put_u64(p.at);
+                w.put_u64(p.down_for);
+            }
+        }
         w.mark("clock");
         w.put_time(sh.now);
         w.put_u64(sh.msg_seq);
@@ -1780,6 +1805,20 @@ impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
                 down_for: r.get_u64()?,
             });
         }
+        // Optional section (see `snapshot()`): present only when the
+        // writing plan scheduled link partitions.
+        let mut snap_partitions = Vec::new();
+        if crate::snapshot::has_section(bytes, "config.partitions")? {
+            let np = r.get_len()?;
+            for _ in 0..np {
+                snap_partitions.push(Partition {
+                    a: r.get_cell()?,
+                    b: r.get_cell()?,
+                    at: r.get_u64()?,
+                    down_for: r.get_u64()?,
+                });
+            }
+        }
         if branch.is_none() {
             check_field(snap_seed, cfg.seed, "config.seed")?;
             check_field(snap_loss, cfg.faults.loss.to_bits(), "config.faults.loss")?;
@@ -1791,6 +1830,11 @@ impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
             check_field(snap_fseed, cfg.faults.seed, "config.faults.seed")?;
             if snap_crashes != cfg.faults.crashes {
                 return Err(DecodeError::Mismatch("config.faults.crashes differ".into()));
+            }
+            if snap_partitions != cfg.faults.partitions {
+                return Err(DecodeError::Mismatch(
+                    "config.faults.partitions differ".into(),
+                ));
             }
         }
 

@@ -9,6 +9,14 @@
 //! * **Message duplication** — each *delivered* message is duplicated
 //!   with probability [`FaultPlan::duplicate`]; the copy arrives at the
 //!   same tick, immediately after the original (FIFO order preserved).
+//! * **Link partitions** — a [`Partition`] schedule cuts individual
+//!   links for deterministic windows: while `[at, at + down_for)` is
+//!   open, every message between the two endpoints — in *both*
+//!   directions — is dropped at send time. Partition drops are counted
+//!   under the `partition_dropped` custom counter (and traced as
+//!   [`MsgLost`](crate::trace::TraceEvent::MsgLost)); they consume no
+//!   fault RNG, so a partition schedule never perturbs the loss or
+//!   duplication streams.
 //! * **Crash/recovery** — a [`Crash`] schedule takes whole cells down:
 //!   a down cell sends nothing, receives nothing (inbound deliveries and
 //!   timers are silently dropped), its active calls are killed, and
@@ -39,6 +47,30 @@ pub struct Crash {
     pub down_for: u64,
 }
 
+/// One scheduled link-partition window: the `a`↔`b` link drops traffic
+/// in **both directions** while `[at, at + down_for)` is open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// One endpoint of the cut link.
+    pub a: CellId,
+    /// The other endpoint.
+    pub b: CellId,
+    /// Tick at which the link goes down.
+    pub at: u64,
+    /// Ticks until it heals (`at + down_for` is the first tick traffic
+    /// flows again).
+    pub down_for: u64,
+}
+
+impl Partition {
+    /// Whether this window cuts the `x`↔`y` link (either orientation)
+    /// at tick `now`.
+    pub fn cuts(&self, x: CellId, y: CellId, now: u64) -> bool {
+        let same_link = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        same_link && now >= self.at && now < self.at + self.down_for
+    }
+}
+
 /// A deterministic fault schedule for one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -50,6 +82,8 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Crash/recovery schedule.
     pub crashes: Vec<Crash>,
+    /// Link-partition schedule.
+    pub partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
@@ -61,6 +95,7 @@ impl FaultPlan {
             duplicate: 0.0,
             seed: 0xFA_0175,
             crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -88,11 +123,27 @@ impl FaultPlan {
         self
     }
 
+    /// Adds one link-partition window: the `a`↔`b` link drops traffic
+    /// in both directions while `[at, at + down_for)` is open.
+    pub fn with_partition(mut self, a: CellId, b: CellId, at: u64, down_for: u64) -> Self {
+        self.partitions.push(Partition { a, b, at, down_for });
+        self
+    }
+
+    /// Whether the `x`↔`y` link is cut (in either direction) at `now`
+    /// under this plan's partition schedule.
+    pub fn link_cut(&self, x: CellId, y: CellId, now: u64) -> bool {
+        self.partitions.iter().any(|p| p.cuts(x, y, now))
+    }
+
     /// Whether any fault can occur under this plan. When `false` the
     /// engine takes none of the fault branches (and pushes no crash
     /// events), which is what makes disabled plans costless.
     pub fn is_active(&self) -> bool {
-        self.loss > 0.0 || self.duplicate > 0.0 || !self.crashes.is_empty()
+        self.loss > 0.0
+            || self.duplicate > 0.0
+            || !self.crashes.is_empty()
+            || !self.partitions.is_empty()
     }
 
     /// Validates probability ranges and the crash schedule; panics with a
@@ -110,6 +161,19 @@ impl FaultPlan {
         );
         for c in &self.crashes {
             assert!(c.down_for > 0, "{}: crash window must be non-empty", c.cell);
+        }
+        for p in &self.partitions {
+            assert!(
+                p.down_for > 0,
+                "{}-{}: partition window must be non-empty",
+                p.a,
+                p.b
+            );
+            assert!(
+                p.a != p.b,
+                "{}: partition endpoints must differ (links are between cells)",
+                p.a
+            );
         }
     }
 }
@@ -142,6 +206,38 @@ mod tests {
         assert!(FaultPlan::none().with_loss(0.05).is_active());
         assert!(FaultPlan::none().with_duplication(0.05).is_active());
         assert!(FaultPlan::none().with_crash(CellId(3), 100, 50).is_active());
+        assert!(FaultPlan::none()
+            .with_partition(CellId(0), CellId(1), 100, 50)
+            .is_active());
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_within_window() {
+        let plan = FaultPlan::none().with_partition(CellId(2), CellId(5), 100, 50);
+        plan.validate();
+        // Both orientations, half-open window [100, 150).
+        assert!(plan.link_cut(CellId(2), CellId(5), 100));
+        assert!(plan.link_cut(CellId(5), CellId(2), 149));
+        assert!(!plan.link_cut(CellId(2), CellId(5), 99));
+        assert!(!plan.link_cut(CellId(5), CellId(2), 150));
+        // Other links are unaffected.
+        assert!(!plan.link_cut(CellId(2), CellId(3), 120));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition window")]
+    fn empty_partition_window_rejected() {
+        FaultPlan::none()
+            .with_partition(CellId(0), CellId(1), 10, 0)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_partition_rejected() {
+        FaultPlan::none()
+            .with_partition(CellId(4), CellId(4), 10, 5)
+            .validate();
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod protocol;
 pub mod report;
 pub mod rng;
 pub mod shard;
+pub mod sm;
 pub mod snapshot;
 pub mod testing;
 pub mod time;
@@ -53,10 +54,11 @@ pub mod workload;
 
 pub use backend::{Ctx, CtxBackend};
 pub use engine::{Engine, SimConfig};
-pub use faults::{Crash, FaultPlan};
+pub use faults::{Crash, FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use protocol::{Protocol, RequestId, RequestKind};
 pub use report::{AuditMode, DropCause, SimReport, Violation};
+pub use sm::{Action, Effects, Input, StateMachine};
 pub use snapshot::{DecodeError, ProtocolState, Reader, Writer};
 pub use time::SimTime;
 pub use trace::{

@@ -1,0 +1,507 @@
+//! Pure, explorable protocol state machines.
+//!
+//! The allocation schemes were originally written directly against
+//! [`crate::Ctx`], whose backend applies side effects (message sends,
+//! grants, timers) *eagerly* — fine for the DES engine, but opaque to
+//! any driver that wants to *enumerate* behaviors instead of sampling
+//! one. This module factors the protocol logic into the explicit
+//! `state × event → actions` idiom: a [`StateMachine`] is a
+//! side-effect-free transition function that consumes one [`Input`] and
+//! appends [`Action`]s to an [`Effects`] buffer. Nothing escapes the
+//! buffer, so the *same* transition code can be driven by
+//!
+//! * the deterministic DES engine — through the thin adapter generated
+//!   by [`crate::impl_protocol_via_machine!`], which replays the buffered
+//!   actions onto the live [`crate::Ctx`] in emission order (the
+//!   backend observes the exact effect sequence the eager code
+//!   produced, so every `SimReport` is bit-identical to the
+//!   pre-refactor protocol — pinned by the golden-digest suites), and
+//! * the exhaustive model checker (`adca-checker`), which holds the
+//!   action list abstract and explores *all* delivery / loss / timer /
+//!   crash interleavings instead of one schedule.
+//!
+//! [`Effects`] deliberately mirrors the [`crate::Ctx`] method surface
+//! (`send_kind`, `grant`, `reject_with`, `set_timer`, `count`, `add`,
+//! `sample`, `trace_with`, `me`, `now`), so a protocol body reads the
+//! same whether it runs eagerly or buffered.
+//!
+//! # Cost
+//!
+//! The engine hot path is allocation-free (PR 2); buffering must not
+//! reintroduce a per-event allocation. [`StateMachine::take_scratch`] /
+//! [`StateMachine::put_scratch`] let a node lend its own reusable
+//! action buffer to the adapter: the `Vec` round-trips through every
+//! event and its capacity is amortized over the run.
+
+use crate::backend::Ctx;
+use crate::protocol::{RequestId, RequestKind};
+use crate::report::DropCause;
+use crate::time::SimTime;
+use crate::trace::TraceEvent;
+use adca_hexgrid::{CellId, Channel};
+
+/// One event consumed by a protocol state machine — the pure mirror of
+/// the [`crate::Protocol`] entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input<M> {
+    /// Engine start-up (before any other event).
+    Start,
+    /// A call in this cell needs a channel.
+    Acquire {
+        /// The request to resolve (exactly one grant or reject).
+        req: RequestId,
+        /// New call or handoff.
+        kind: RequestKind,
+    },
+    /// The call using `ch` ended; free it.
+    Release {
+        /// The channel to free.
+        ch: Channel,
+    },
+    /// A protocol message arrived from `from`.
+    Message {
+        /// The sending cell.
+        from: CellId,
+        /// The wire message.
+        msg: M,
+    },
+    /// A timer armed through [`Effects::set_timer`] fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+    /// The cell restarted after a crash window (volatile state wiped).
+    Restart,
+}
+
+/// One side effect requested by a transition, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action<M> {
+    /// Send `msg` (labeled `kind`) to `to`.
+    Send {
+        /// Destination cell.
+        to: CellId,
+        /// Message label (`Protocol::msg_kind`).
+        kind: &'static str,
+        /// The message.
+        msg: M,
+    },
+    /// Grant channel `ch` to request `req`.
+    Grant {
+        /// The request resolved.
+        req: RequestId,
+        /// The granted channel.
+        ch: Channel,
+    },
+    /// Reject request `req`, attributing the drop to `cause`.
+    Reject {
+        /// The request resolved.
+        req: RequestId,
+        /// The attributed drop cause.
+        cause: DropCause,
+    },
+    /// Arm a timer: deliver [`Input::Timer`] after `delay` ticks.
+    SetTimer {
+        /// Delay in ticks.
+        delay: u64,
+        /// Tag echoed back on expiry.
+        tag: u64,
+    },
+    /// Increment the named report counter.
+    Count {
+        /// Counter name.
+        name: &'static str,
+    },
+    /// Add `n` to the named report counter.
+    Add {
+        /// Counter name.
+        name: &'static str,
+        /// Increment.
+        n: u64,
+    },
+    /// Record a sample in the named report series.
+    Sample {
+        /// Series name.
+        name: &'static str,
+        /// The sample.
+        value: f64,
+    },
+    /// Emit a protocol-level trace event (only buffered while the
+    /// driving backend has an enabled sink).
+    Trace(TraceEvent),
+}
+
+/// The buffered effect context a [`StateMachine`] transition writes to.
+///
+/// Mirrors the [`crate::Ctx`] API; every mutation is appended to an
+/// ordered action list instead of applied. Drivers either replay the
+/// list onto a live backend ([`Effects::replay`], used by the engine
+/// adapter) or interpret it abstractly (the model checker).
+#[derive(Debug)]
+pub struct Effects<M> {
+    me: CellId,
+    now: SimTime,
+    trace_on: bool,
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Effects<M> {
+    /// A fresh buffer for cell `me` at time `now`. `trace_on` gates
+    /// [`Effects::trace_with`] exactly like `Ctx::trace_with` —
+    /// captured once per event so the transition never probes a sink.
+    pub fn new(me: CellId, now: SimTime, trace_on: bool) -> Self {
+        Effects::reusing(Vec::new(), me, now, trace_on)
+    }
+
+    /// Like [`Effects::new`], but reusing `buf` (cleared) as backing
+    /// storage — the allocation-free path used by the engine adapter.
+    pub fn reusing(mut buf: Vec<Action<M>>, me: CellId, now: SimTime, trace_on: bool) -> Self {
+        buf.clear();
+        Effects {
+            me,
+            now,
+            trace_on,
+            actions: buf,
+        }
+    }
+
+    /// The cell this node manages.
+    #[inline]
+    pub fn me(&self) -> CellId {
+        self.me
+    }
+
+    /// The time this event is being processed at.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Buffers a message send. `kind` must equal
+    /// `StateMachine::msg_kind(&msg)` (protocols use their own `send`
+    /// wrappers to guarantee this).
+    #[inline]
+    pub fn send_kind(&mut self, to: CellId, kind: &'static str, msg: M) {
+        debug_assert_ne!(to, self.me, "nodes must not message themselves");
+        self.actions.push(Action::Send { to, kind, msg });
+    }
+
+    /// Buffers a grant of `ch` to `req`.
+    #[inline]
+    pub fn grant(&mut self, req: RequestId, ch: Channel) {
+        self.actions.push(Action::Grant { req, ch });
+    }
+
+    /// Buffers a reject of `req` attributed to [`DropCause::Blocked`].
+    #[inline]
+    pub fn reject(&mut self, req: RequestId) {
+        self.reject_with(req, DropCause::Blocked);
+    }
+
+    /// Buffers a reject of `req` attributed to `cause`.
+    #[inline]
+    pub fn reject_with(&mut self, req: RequestId, cause: DropCause) {
+        self.actions.push(Action::Reject { req, cause });
+    }
+
+    /// Buffers a timer arm: [`Input::Timer`] after `delay` ticks.
+    #[inline]
+    pub fn set_timer(&mut self, delay: u64, tag: u64) {
+        self.actions.push(Action::SetTimer { delay, tag });
+    }
+
+    /// Buffers a counter increment.
+    #[inline]
+    pub fn count(&mut self, name: &'static str) {
+        self.actions.push(Action::Count { name });
+    }
+
+    /// Buffers a counter add.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.actions.push(Action::Add { name, n });
+    }
+
+    /// Buffers a sample.
+    #[inline]
+    pub fn sample(&mut self, name: &'static str, value: f64) {
+        self.actions.push(Action::Sample { name, value });
+    }
+
+    /// Buffers a trace event, building it lazily: `f` runs only when the
+    /// driving backend had an enabled sink at event entry.
+    #[inline]
+    pub fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.trace_on {
+            self.actions.push(Action::Trace(f()));
+        }
+    }
+
+    /// The buffered actions, in emission order.
+    #[inline]
+    pub fn actions(&self) -> &[Action<M>] {
+        &self.actions
+    }
+
+    /// Consumes the buffer, returning the actions in emission order.
+    pub fn into_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
+
+    /// Replays every buffered action onto a live [`Ctx`] in emission
+    /// order — the backend observes the exact call sequence an eager
+    /// implementation would have made — and returns the cleared backing
+    /// `Vec` for reuse.
+    pub fn replay(mut self, ctx: &mut Ctx<'_, M>) -> Vec<Action<M>> {
+        for act in self.actions.drain(..) {
+            match act {
+                Action::Send { to, kind, msg } => ctx.send_kind(to, kind, msg),
+                Action::Grant { req, ch } => ctx.grant(req, ch),
+                Action::Reject { req, cause } => ctx.reject_with(req, cause),
+                Action::SetTimer { delay, tag } => ctx.set_timer(delay, tag),
+                Action::Count { name } => ctx.count(name),
+                Action::Add { name, n } => ctx.add(name, n),
+                Action::Sample { name, value } => ctx.sample(name, value),
+                Action::Trace(ev) => ctx.trace_with(|| ev),
+            }
+        }
+        self.actions
+    }
+}
+
+/// A protocol node as a pure transition function: `state × event →
+/// actions`, with every effect buffered in the [`Effects`] argument
+/// (the magic-wormhole `process(event) -> Actions` idiom).
+///
+/// The per-event methods mirror [`crate::Protocol`] one-for-one under
+/// different names so both traits can be in scope without method
+/// ambiguity; [`StateMachine::step`] is the uniform entry point drivers
+/// like the model checker use.
+pub trait StateMachine {
+    /// The wire message type exchanged between nodes.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Static label of a message, for accounting.
+    fn msg_kind(msg: &Self::Msg) -> &'static str;
+
+    /// Start-up, before any other event.
+    fn start(&mut self, _fx: &mut Effects<Self::Msg>) {}
+
+    /// A call needs a channel; must eventually grant or reject `req`.
+    fn acquire(&mut self, req: RequestId, kind: RequestKind, fx: &mut Effects<Self::Msg>);
+
+    /// The call using `ch` ended; free it.
+    fn release(&mut self, ch: Channel, fx: &mut Effects<Self::Msg>);
+
+    /// A message arrived from `from`.
+    fn message(&mut self, from: CellId, msg: Self::Msg, fx: &mut Effects<Self::Msg>);
+
+    /// A timer fired.
+    fn timer(&mut self, _tag: u64, _fx: &mut Effects<Self::Msg>) {}
+
+    /// Crash recovery: re-initialize volatile state.
+    fn restart(&mut self, _fx: &mut Effects<Self::Msg>) {}
+
+    /// Uniform dispatch: consume one [`Input`], buffer the reaction.
+    fn step(&mut self, input: Input<Self::Msg>, fx: &mut Effects<Self::Msg>) {
+        match input {
+            Input::Start => self.start(fx),
+            Input::Acquire { req, kind } => self.acquire(req, kind, fx),
+            Input::Release { ch } => self.release(ch, fx),
+            Input::Message { from, msg } => self.message(from, msg, fx),
+            Input::Timer { tag } => self.timer(tag, fx),
+            Input::Restart => self.restart(fx),
+        }
+    }
+
+    /// Lends a reusable action buffer to the engine adapter (defaults
+    /// to a fresh `Vec`; nodes override with an owned scratch field so
+    /// the DES hot path stays allocation-free).
+    fn take_scratch(&mut self) -> Vec<Action<Self::Msg>> {
+        Vec::new()
+    }
+
+    /// Returns the (cleared) buffer lent by
+    /// [`StateMachine::take_scratch`].
+    fn put_scratch(&mut self, _buf: Vec<Action<Self::Msg>>) {}
+}
+
+/// Drives one buffered transition against a live [`Ctx`]: builds an
+/// [`Effects`] from the context's identity/time/trace state (reusing
+/// the node's scratch buffer), runs the transition, replays the actions.
+pub fn drive<SM: StateMachine>(node: &mut SM, input: Input<SM::Msg>, ctx: &mut Ctx<'_, SM::Msg>) {
+    let buf = node.take_scratch();
+    let mut fx = Effects::reusing(buf, ctx.me(), ctx.now(), ctx.trace_enabled());
+    node.step(input, &mut fx);
+    let buf = fx.replay(ctx);
+    node.put_scratch(buf);
+}
+
+/// Generates the thin [`crate::Protocol`] adapter for a
+/// [`StateMachine`]: every engine entry point becomes "buffer the
+/// transition, replay the actions" through [`drive`].
+#[macro_export]
+macro_rules! impl_protocol_via_machine {
+    ($node:ty) => {
+        impl $crate::Protocol for $node {
+            type Msg = <$node as $crate::sm::StateMachine>::Msg;
+
+            fn msg_kind(msg: &Self::Msg) -> &'static str {
+                <$node as $crate::sm::StateMachine>::msg_kind(msg)
+            }
+
+            fn on_start(&mut self, ctx: &mut $crate::Ctx<'_, Self::Msg>) {
+                $crate::sm::drive(self, $crate::sm::Input::Start, ctx);
+            }
+
+            fn on_acquire(
+                &mut self,
+                req: $crate::RequestId,
+                kind: $crate::RequestKind,
+                ctx: &mut $crate::Ctx<'_, Self::Msg>,
+            ) {
+                $crate::sm::drive(self, $crate::sm::Input::Acquire { req, kind }, ctx);
+            }
+
+            fn on_release(
+                &mut self,
+                ch: adca_hexgrid::Channel,
+                ctx: &mut $crate::Ctx<'_, Self::Msg>,
+            ) {
+                $crate::sm::drive(self, $crate::sm::Input::Release { ch }, ctx);
+            }
+
+            fn on_message(
+                &mut self,
+                from: adca_hexgrid::CellId,
+                msg: Self::Msg,
+                ctx: &mut $crate::Ctx<'_, Self::Msg>,
+            ) {
+                $crate::sm::drive(self, $crate::sm::Input::Message { from, msg }, ctx);
+            }
+
+            fn on_timer(&mut self, tag: u64, ctx: &mut $crate::Ctx<'_, Self::Msg>) {
+                $crate::sm::drive(self, $crate::sm::Input::Timer { tag }, ctx);
+            }
+
+            fn on_restart(&mut self, ctx: &mut $crate::Ctx<'_, Self::Msg>) {
+                $crate::sm::drive(self, $crate::sm::Input::Restart, ctx);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::MockNet;
+
+    /// A toy machine: grants channel 0 to every request, pings cell 1,
+    /// counts timers.
+    #[derive(Debug, Default)]
+    struct Toy {
+        grants: u32,
+        scratch: Vec<Action<u32>>,
+    }
+
+    impl StateMachine for Toy {
+        type Msg = u32;
+
+        fn msg_kind(_msg: &u32) -> &'static str {
+            "PING"
+        }
+
+        fn acquire(&mut self, req: RequestId, _kind: RequestKind, fx: &mut Effects<u32>) {
+            self.grants += 1;
+            fx.send_kind(CellId(1), "PING", self.grants);
+            fx.grant(req, Channel(0));
+            fx.count("grants");
+        }
+
+        fn release(&mut self, _ch: Channel, _fx: &mut Effects<u32>) {}
+
+        fn message(&mut self, _from: CellId, _msg: u32, fx: &mut Effects<u32>) {
+            fx.set_timer(5, 7);
+        }
+
+        fn take_scratch(&mut self) -> Vec<Action<u32>> {
+            std::mem::take(&mut self.scratch)
+        }
+
+        fn put_scratch(&mut self, buf: Vec<Action<u32>>) {
+            self.scratch = buf;
+        }
+    }
+
+    #[test]
+    fn effects_buffer_in_emission_order() {
+        let mut toy = Toy::default();
+        let mut fx = Effects::new(CellId(0), SimTime(3), false);
+        toy.step(
+            Input::Acquire {
+                req: RequestId(9),
+                kind: RequestKind::NewCall,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.now(), SimTime(3));
+        assert_eq!(fx.me(), CellId(0));
+        let acts = fx.into_actions();
+        assert_eq!(acts.len(), 3);
+        assert!(matches!(acts[0], Action::Send { to: CellId(1), .. }));
+        assert!(matches!(
+            acts[1],
+            Action::Grant {
+                req: RequestId(9),
+                ch: Channel(0)
+            }
+        ));
+        assert!(matches!(acts[2], Action::Count { name: "grants" }));
+    }
+
+    #[test]
+    fn trace_gate_suppresses_event_construction() {
+        let mut fx: Effects<u32> = Effects::new(CellId(0), SimTime(0), false);
+        fx.trace_with(|| unreachable!("trace_on = false must not build the event"));
+        assert!(fx.actions().is_empty());
+        let mut fx: Effects<u32> = Effects::new(CellId(0), SimTime(0), true);
+        fx.trace_with(|| TraceEvent::Crash { cell: CellId(0) });
+        assert_eq!(fx.actions().len(), 1);
+    }
+
+    #[test]
+    fn replay_applies_actions_to_backend_in_order() {
+        let topo = adca_hexgrid::Topology::default_paper(3, 3);
+        let mut mock: MockNet<u32> = MockNet::new(CellId(0), topo);
+        let mut toy = Toy::default();
+        {
+            let mut ctx = Ctx::new(&mut mock);
+            drive(
+                &mut toy,
+                Input::Acquire {
+                    req: RequestId(4),
+                    kind: RequestKind::NewCall,
+                },
+                &mut ctx,
+            );
+            drive(
+                &mut toy,
+                Input::Message {
+                    from: CellId(1),
+                    msg: 2,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(mock.sends(), vec![("PING", CellId(1))]);
+        assert_eq!(mock.granted(), Some((RequestId(4), Channel(0))));
+        assert_eq!(mock.counters.get("grants"), 1);
+        use crate::testing::Action as TAct;
+        assert!(matches!(
+            mock.actions.last(),
+            Some(TAct::Timer { delay: 5, tag: 7 })
+        ));
+        // The scratch buffer round-tripped back into the node.
+        assert!(toy.scratch.capacity() > 0);
+    }
+}

@@ -344,6 +344,17 @@ pub fn section_digests(bytes: &[u8]) -> Result<Vec<(String, u64)>, DecodeError> 
         .collect())
 }
 
+/// Whether the snapshot contains a section named `name`.
+///
+/// Optional sections — written only when the corresponding feature is in
+/// use, so that runs without it stay byte-identical to older snapshots —
+/// are detected through the marks table before the sequential decode
+/// reaches them (e.g. `config.partitions`).
+pub fn has_section(bytes: &[u8], name: &str) -> Result<bool, DecodeError> {
+    let (_payload, marks) = open(bytes)?;
+    Ok(marks.iter().any(|(n, _)| n == name))
+}
+
 /// Deserializer over a validated snapshot payload.
 ///
 /// Construction checks the whole envelope (magic, version, checksum,

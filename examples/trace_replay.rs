@@ -1,15 +1,32 @@
-//! Workload record & replay: generate a traffic trace, archive it as
-//! text, reload it, and show the replay reproduces the original run
-//! bit-for-bit (the determinism every table in EXPERIMENTS.md relies on).
+//! Record & replay, twice over:
+//!
+//! 1. **Workload traces** — generate a traffic trace, archive it as
+//!    text, reload it, and show the replay reproduces the original run
+//!    bit-for-bit (the determinism every table in EXPERIMENTS.md relies
+//!    on).
+//! 2. **Checker counterexample schedules** — seed the `SkipOweGate`
+//!    mutation, let the model checker find the minimized interference
+//!    counterexample, archive its schedule as text, reload it, and
+//!    replay it step by step against a fresh model (the workflow CI
+//!    follows when the `mck` job uploads a `.sched` artifact).
 //!
 //! ```text
 //! cargo run --release --example trace_replay
 //! ```
 
+use adca_checker::{Budgets, Model, Op, Schedule};
+use adca_hexgrid::ReusePattern;
 use adca_repro::prelude::*;
 use adca_traffic::trace;
+use std::sync::Arc;
 
 fn main() {
+    workload_replay();
+    println!();
+    counterexample_replay();
+}
+
+fn workload_replay() {
     let scenario = Scenario::uniform(0.8, 80_000).with_grid(8, 8);
     let topo = scenario.topology();
     let arrivals = scenario.arrivals(&topo);
@@ -47,4 +64,63 @@ fn main() {
         replayed.report.messages_total,
         replayed.report.end_time
     );
+}
+
+fn counterexample_replay() {
+    // A 2-cell strip where each cell owns one primary; the mutation
+    // removes the owed-answer gate, so a crash-restarted neighbor's
+    // resync search races a silent local acquisition into interference.
+    let topo = Arc::new(
+        Topology::builder(1, 2)
+            .channels(2)
+            .pattern(ReusePattern::three_cell())
+            .interference_radius(1)
+            .build(),
+    );
+    let mutated = AdaptiveConfig {
+        mutation: Some(adca_core::Mutation::SkipOweGate),
+        ..AdaptiveConfig::default()
+    };
+    let model = Model::new(topo, move |cell, t| {
+        AdaptiveNode::new(cell, t, mutated.clone())
+    })
+    .with_uniform_script(&[Op::StartCall])
+    .with_budgets(Budgets {
+        crashes: 1,
+        ..Budgets::default()
+    });
+
+    let out = model.explore();
+    let cex = out
+        .violation
+        .expect("the seeded mutation must violate Theorem 1");
+    println!(
+        "checker found: {} ({} states explored, schedule of {} choices)",
+        cex.defect,
+        out.states,
+        cex.schedule.len()
+    );
+
+    // Archive the minimized schedule exactly as the CI artifact does.
+    let path = std::env::temp_dir().join("adca_counterexample.sched");
+    std::fs::write(&path, cex.schedule.to_text()).expect("write schedule");
+    println!("schedule archived -> {}", path.display());
+
+    // Reload and replay against a fresh model.
+    let reloaded = Schedule::parse(&std::fs::read_to_string(&path).expect("read schedule"))
+        .expect("parse schedule");
+    assert_eq!(
+        reloaded, cex.schedule,
+        "schedule round-trip must be lossless"
+    );
+    let replay = model.replay(&reloaded);
+    for rec in &replay.trace {
+        println!("  {}", rec.to_json());
+    }
+    assert_eq!(
+        replay.defect.as_ref(),
+        Some(&cex.defect),
+        "replay must reproduce the defect"
+    );
+    println!("replay reproduced: {}", cex.defect);
 }

@@ -14,6 +14,7 @@
 
 pub use adca_analysis as analysis;
 pub use adca_baselines as baselines;
+pub use adca_checker as checker;
 pub use adca_core as core;
 pub use adca_harness as harness;
 pub use adca_hexgrid as hexgrid;
