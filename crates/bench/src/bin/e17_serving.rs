@@ -1,0 +1,239 @@
+//! `e17_serving` — throughput and tail latency of the serving layer.
+//!
+//! Benchmarks both [`AllocService`] backends on the same schemes and
+//! grid and writes `BENCH_serve.json` (gated in CI by `perf_gate
+//! --serve`):
+//!
+//! * **des** — the deterministic backend replaying a buffered workload
+//!   through the engine at `quiesce`; its throughput is the engine's
+//!   batch replay rate, its latency sketch is in virtual ticks.
+//! * **production** — the bounded-mailbox executor driven by the
+//!   closed-loop load generator (each subscriber keeps one request in
+//!   flight); sustained acquisitions/sec and p50/p99/p999 acquisition
+//!   latency are wall-clock-honest, and the backpressure counters report
+//!   how often admission blocked on a full mailbox.
+//!
+//! ```text
+//! cargo run --release -p adca-bench --bin e17_serving -- \
+//!     [--smoke] [--repeat N] [--out PATH] [--scheme NAME]
+//! ```
+//!
+//! * `--smoke` shrinks the grid and subscriber count (CI).
+//! * `--repeat N` runs each cell N times and keeps the fastest wall
+//!   clock (default 2).
+//! * `--scheme NAME` restricts the sweep to one scheme.
+//!
+//! `ADCA_SUBSCRIBERS` overrides the closed-loop subscriber count (warn
+//! once on invalid values, exactly like `ADCA_THREADS`).
+//!
+//! [`AllocService`]: adca_serve::AllocService
+
+use adca_bench::perf::{write_serve_json, ServeRow};
+use adca_harness::sweep::subscriber_count;
+use adca_harness::{Scenario, SchemeKind};
+use adca_metrics::PercentileSketch;
+use adca_serve::{ChannelRequest, LoadSpec, ProductionConfig};
+use std::time::{Duration, Instant};
+
+const RHO: f64 = 0.9;
+const SCHEMES: [SchemeKind; 2] = [SchemeKind::Fixed, SchemeKind::Adaptive];
+
+struct Shape {
+    rows: u32,
+    cols: u32,
+    horizon: u64,
+    subscribers: usize,
+    requests_per_sub: u32,
+    workers: usize,
+}
+
+fn quantiles(sketch: &PercentileSketch) -> (f64, f64, f64) {
+    (
+        sketch.quantile(0.50).unwrap_or(0.0),
+        sketch.quantile(0.99).unwrap_or(0.0),
+        sketch.quantile(0.999).unwrap_or(0.0),
+    )
+}
+
+/// One deterministic-backend cell: buffer the scenario's own workload,
+/// replay it at `quiesce`, and time the replay.
+fn des_cell(sc: &Scenario, kind: SchemeKind, repeat: u32) -> ServeRow {
+    let topo = sc.topology();
+    let arrivals = sc.arrivals(&topo);
+    let mut best: Option<ServeRow> = None;
+    for _ in 0..repeat {
+        let mut svc = sc.serve(kind);
+        for a in &arrivals {
+            svc.request_channel(ChannelRequest::new_call(a.at, a.cell, a.duration))
+                .expect("buffering accepts every request");
+        }
+        let start = Instant::now();
+        assert!(
+            svc.quiesce(Duration::from_secs(600)),
+            "{kind} des replay must complete"
+        );
+        let wall = start.elapsed();
+        let mut latency = PercentileSketch::new();
+        while let Some(c) = svc.confirm() {
+            if let adca_serve::Confirm::Granted { latency: l, .. } = c {
+                latency.push(l as f64);
+            }
+        }
+        let stats = svc.stats();
+        assert!(stats.violations.is_empty(), "des backend audited clean");
+        let wall_s = wall.as_secs_f64();
+        let (p50, p99, p999) = quantiles(&latency);
+        let row = ServeRow {
+            backend: "des".into(),
+            scheme: kind.name().to_string(),
+            grid: format!("{}x{}", sc.rows, sc.cols),
+            subscribers: arrivals.len() as u64,
+            offered: stats.offered,
+            granted: stats.granted,
+            rejected: stats.rejected,
+            wall_s,
+            acq_per_sec: if wall_s > 0.0 {
+                stats.granted as f64 / wall_s
+            } else {
+                0.0
+            },
+            p50_ticks: p50,
+            p99_ticks: p99,
+            p999_ticks: p999,
+            bp_stalls: 0,
+            bp_forced: 0,
+        };
+        if best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
+            best = Some(row);
+        }
+    }
+    best.expect("repeat >= 1")
+}
+
+/// One production-backend cell: closed-loop subscribers against the
+/// live executor.
+fn production_cell(sc: &Scenario, kind: SchemeKind, shape: &Shape, repeat: u32) -> ServeRow {
+    let spec = LoadSpec {
+        subscribers: shape.subscribers,
+        requests_per_sub: shape.requests_per_sub,
+        think: Duration::ZERO,
+        hold: 200,
+        deadline: Duration::from_secs(120),
+    };
+    let mut best: Option<ServeRow> = None;
+    for _ in 0..repeat {
+        let cfg = ProductionConfig {
+            workers: shape.workers,
+            ..Default::default()
+        };
+        let (report, stats) = sc.serve_closed_loop(kind, cfg, &spec);
+        assert_eq!(
+            report.unresolved, 0,
+            "{kind} closed loop must drain before the deadline"
+        );
+        assert!(
+            stats.violations.is_empty(),
+            "production backend audited clean: {:?}",
+            stats.violations
+        );
+        let (p50, p99, p999) = quantiles(&report.latency);
+        let row = ServeRow {
+            backend: "production".into(),
+            scheme: kind.name().to_string(),
+            grid: format!("{}x{}", sc.rows, sc.cols),
+            subscribers: spec.subscribers as u64,
+            offered: report.offered,
+            granted: report.granted,
+            rejected: report.rejected,
+            wall_s: report.wall.as_secs_f64(),
+            acq_per_sec: report.acq_per_sec(),
+            p50_ticks: p50,
+            p99_ticks: p99,
+            p999_ticks: p999,
+            bp_stalls: stats.backpressure_stalls,
+            bp_forced: stats.backpressure_forced,
+        };
+        if best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
+            best = Some(row);
+        }
+    }
+    best.expect("repeat >= 1")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut repeat: u32 = 2;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut only_scheme: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a positive integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scheme" => only_scheme = Some(args.next().expect("--scheme needs a name")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    assert!(repeat >= 1, "--repeat needs a positive integer");
+    let shape = if smoke {
+        Shape {
+            rows: 6,
+            cols: 6,
+            horizon: 20_000,
+            subscribers: subscriber_count(32),
+            requests_per_sub: 2,
+            workers: 2,
+        }
+    } else {
+        Shape {
+            rows: 12,
+            cols: 12,
+            horizon: 60_000,
+            subscribers: subscriber_count(256),
+            requests_per_sub: 8,
+            workers: 4,
+        }
+    };
+    println!(
+        "e17_serving: rho={RHO}, grid={}x{}, subscribers={}, repeat={repeat}",
+        shape.rows, shape.cols, shape.subscribers
+    );
+    let sc = Scenario::uniform(RHO, shape.horizon).with_grid(shape.rows, shape.cols);
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for kind in SCHEMES {
+        if only_scheme.as_deref().is_some_and(|s| s != kind.name()) {
+            continue;
+        }
+        for row in [
+            des_cell(&sc, kind, repeat),
+            production_cell(&sc, kind, &shape, repeat),
+        ] {
+            println!(
+                "  {:<11} {:<14} offered={:>7} granted={:>7} wall={:>7.3}s \
+                 acq/s={:>9.0} p50={:>6.0} p99={:>6.0} p999={:>6.0} \
+                 bp_stalls={} bp_forced={}",
+                row.backend,
+                row.scheme,
+                row.offered,
+                row.granted,
+                row.wall_s,
+                row.acq_per_sec,
+                row.p50_ticks,
+                row.p99_ticks,
+                row.p999_ticks,
+                row.bp_stalls,
+                row.bp_forced,
+            );
+            rows.push(row);
+        }
+    }
+    write_serve_json(&out_path, RHO, repeat, &rows)
+        .unwrap_or_else(|e| panic!("cannot write `{out_path}`: {e}"));
+    println!("wrote {out_path} ({} rows)", rows.len());
+}

@@ -16,6 +16,9 @@
 //! 4. **Sharded throughput** (`--shard`): each `(scheme, grid, shards)`
 //!    row of `BENCH_shard.json` holds its `events_per_sec` against the
 //!    baseline, same band as gate 1.
+//! 5. **Serving throughput** (`--serve`): each `(backend, scheme, grid,
+//!    subscribers)` row of `BENCH_serve.json` holds its `acq_per_sec`
+//!    against the baseline, same band as gate 1.
 //!
 //! Rows whose measured wall time is under one millisecond are skipped —
 //! at that scale the numbers are timer noise, not performance (the
@@ -33,7 +36,7 @@
 //! ```text
 //! cargo run --release -p adca-bench --bin perf_gate -- \
 //!     [--engine FRESH BASELINE] [--snapshot FRESH BASELINE] \
-//!     [--shard FRESH BASELINE] [--tolerance X]
+//!     [--shard FRESH BASELINE] [--serve FRESH BASELINE] [--tolerance X]
 //! ```
 
 use std::process::ExitCode;
@@ -168,6 +171,55 @@ impl Gate {
         }
     }
 
+    /// Gate 5 (`--serve`): each `(backend, scheme, grid, subscribers)`
+    /// row of `BENCH_serve.json` holds its `acq_per_sec` against the
+    /// baseline, under the same tolerance band and sub-millisecond skip
+    /// as the engine gate. Rows keyed on `backend` and `subscribers` as
+    /// well: a CI smoke run (small subscriber count) only ever matches
+    /// baseline rows measured at the same scale.
+    fn serve(&mut self, fresh: &str, baseline: &str) {
+        let base_rows = scheme_rows(baseline);
+        for row in scheme_rows(fresh) {
+            let (Some(key), Some(backend), Some(subs)) = (
+                row.key(),
+                row.str_field("backend"),
+                row.f64_field("subscribers"),
+            ) else {
+                continue;
+            };
+            let (Some(wall), Some(acq)) = (row.f64_field("wall_s"), row.f64_field("acq_per_sec"))
+            else {
+                continue;
+            };
+            if wall < SUB_MS {
+                self.skipped += 1;
+                continue;
+            }
+            let Some(base) = base_rows
+                .iter()
+                .find(|b| {
+                    b.key().as_ref() == Some(&key)
+                        && b.str_field("backend") == Some(backend)
+                        && b.f64_field("subscribers") == Some(subs)
+                })
+                .and_then(|b| b.f64_field("acq_per_sec"))
+            else {
+                continue; // smoke runs measure at a different scale
+            };
+            self.checked += 1;
+            if acq * self.tolerance < base {
+                self.fail(format!(
+                    "{backend}/{}/{}/{} subs: acq_per_sec {acq:.0} vs baseline {base:.0} \
+                     (>{:.2}x regression)",
+                    key.0,
+                    key.1,
+                    subs as u64,
+                    base / acq,
+                ));
+            }
+        }
+    }
+
     /// Gates 2 and 3: warm-path parity within `fresh`, resume wall vs
     /// baseline across files.
     fn snapshot(&mut self, fresh: &str, baseline: Option<&str>) {
@@ -228,6 +280,7 @@ fn main() -> ExitCode {
     let mut engine: Option<(String, String)> = None;
     let mut snapshot: Option<(String, String)> = None;
     let mut shard: Option<(String, String)> = None;
+    let mut serve: Option<(String, String)> = None;
     let mut tolerance = 2.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -240,6 +293,7 @@ fn main() -> ExitCode {
             "--engine" => engine = Some(pair()),
             "--snapshot" => snapshot = Some(pair()),
             "--shard" => shard = Some(pair()),
+            "--serve" => serve = Some(pair()),
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -253,8 +307,8 @@ fn main() -> ExitCode {
         tolerance >= 1.0,
         "--tolerance below 1 rejects noise-free runs"
     );
-    if engine.is_none() && snapshot.is_none() && shard.is_none() {
-        panic!("nothing to do: pass --engine, --snapshot, and/or --shard");
+    if engine.is_none() && snapshot.is_none() && shard.is_none() && serve.is_none() {
+        panic!("nothing to do: pass --engine, --snapshot, --shard, and/or --serve");
     }
 
     let bless = std::env::var_os("ADCA_BLESS_PERF").is_some_and(|v| v == "1");
@@ -279,6 +333,14 @@ fn main() -> ExitCode {
         } else {
             println!("shard gate: {fresh_path} vs {base_path}");
             gate.shard(&read(fresh_path), &read(base_path));
+        }
+    }
+    if let Some((fresh_path, base_path)) = &serve {
+        if bless {
+            bless_copy(fresh_path, base_path);
+        } else {
+            println!("serve gate: {fresh_path} vs {base_path}");
+            gate.serve(&read(fresh_path), &read(base_path));
         }
     }
     if let Some((fresh_path, base_path)) = &snapshot {
@@ -385,6 +447,32 @@ mod tests {
         assert_eq!(gate.checked, 2);
         assert_eq!(gate.failures.len(), 1);
         assert!(gate.failures[0].contains("adaptive/48x48/4 shards"));
+    }
+
+    #[test]
+    fn serve_gate_keys_on_backend_and_subscribers() {
+        let base = r#"{"backend": "des", "scheme": "adaptive", "grid": "12x12", "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 20000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"backend": "production", "scheme": "adaptive", "grid": "12x12", "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 20000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        // The production row regresses 4x; the des row (same scheme and
+        // grid — what two-field keying would conflate) is fine, and a
+        // smoke-scale row (32 subscribers) has no baseline to match.
+        let fresh = r#"{"backend": "des", "scheme": "adaptive", "grid": "12x12", "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 19000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"backend": "production", "scheme": "adaptive", "grid": "12x12", "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.400000, "acq_per_sec": 5000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"backend": "production", "scheme": "adaptive", "grid": "6x6", "subscribers": 32, "offered": 64, "granted": 64, "rejected": 0, "wall_s": 0.010000, "acq_per_sec": 6400.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.serve(fresh, base);
+        assert_eq!(gate.checked, 2);
+        assert_eq!(gate.failures.len(), 1);
+        assert!(
+            gate.failures[0].contains("production/adaptive/12x12/256 subs"),
+            "{:?}",
+            gate.failures
+        );
     }
 
     #[test]

@@ -131,6 +131,80 @@ pub fn write_shard_json(
     std::fs::write(path, s)
 }
 
+/// One `(backend, scheme, grid)` measurement row of the serving bench
+/// (`BENCH_serve.json`).
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Serving backend: `"des"` (deterministic replay) or
+    /// `"production"` (bounded-mailbox executor).
+    pub backend: String,
+    /// Scheme name (`SchemeKind::name`).
+    pub scheme: String,
+    /// Grid label, e.g. `"12x12"`.
+    pub grid: String,
+    /// Closed-loop subscribers (production) or buffered requests (des).
+    pub subscribers: u64,
+    /// Requests submitted.
+    pub offered: u64,
+    /// Requests granted a channel.
+    pub granted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Wall clock of the serving run, seconds.
+    pub wall_s: f64,
+    /// Sustained grant throughput over the run.
+    pub acq_per_sec: f64,
+    /// Median acquisition latency, backend ticks.
+    pub p50_ticks: f64,
+    /// 99th-percentile acquisition latency, backend ticks.
+    pub p99_ticks: f64,
+    /// 99.9th-percentile acquisition latency, backend ticks.
+    pub p999_ticks: f64,
+    /// Admissions that blocked on a full mailbox before fitting.
+    pub bp_stalls: u64,
+    /// Pushes forced past a still-full mailbox after the stall patience
+    /// expired (the deadlock-freedom escape valve; should be rare).
+    pub bp_forced: u64,
+}
+
+/// Writes `rows` as `BENCH_serve.json`-style JSON to `path`.
+pub fn write_serve_json(path: &str, rho: f64, repeat: u32, rows: &[ServeRow]) -> io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"e17_serving\",\n");
+    s.push_str("  \"workload\": \"closed-loop subscribers vs buffered DES replay\",\n");
+    let _ = writeln!(s, "  \"rho\": {rho},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"backend\": \"{}\", \"scheme\": \"{}\", \"grid\": \"{}\", \
+             \"subscribers\": {}, \"offered\": {}, \"granted\": {}, \"rejected\": {}, \
+             \"wall_s\": {:.6}, \"acq_per_sec\": {:.1}, \"p50_ticks\": {:.1}, \
+             \"p99_ticks\": {:.1}, \"p999_ticks\": {:.1}, \"bp_stalls\": {}, \
+             \"bp_forced\": {}}}",
+            r.backend,
+            r.scheme,
+            r.grid,
+            r.subscribers,
+            r.offered,
+            r.granted,
+            r.rejected,
+            r.wall_s,
+            r.acq_per_sec,
+            r.p50_ticks,
+            r.p99_ticks,
+            r.p999_ticks,
+            r.bp_stalls,
+            r.bp_forced
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
 /// A previously written `BENCH_engine.json`, reduced to its throughput
 /// cells.
 #[derive(Debug, Clone, Default)]
@@ -232,6 +306,41 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"speedup\": 2.000"));
         assert!(text.contains("\"baseline_events_per_sec\": 1500000.0"));
+    }
+
+    #[test]
+    fn serve_rows_parse_back_with_the_row_extractors() {
+        let dir = std::env::temp_dir().join("adca_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_serve.json");
+        let path = path.to_str().unwrap();
+        let r = ServeRow {
+            backend: "production".into(),
+            scheme: "adaptive".into(),
+            grid: "12x12".into(),
+            subscribers: 256,
+            offered: 2048,
+            granted: 2000,
+            rejected: 48,
+            wall_s: 1.25,
+            acq_per_sec: 1600.0,
+            p50_ticks: 30.0,
+            p99_ticks: 90.0,
+            p999_ticks: 200.0,
+            bp_stalls: 3,
+            bp_forced: 0,
+        };
+        write_serve_json(path, 0.9, 1, &[r]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let row = text
+            .lines()
+            .find(|l| l.contains("\"backend\""))
+            .expect("one row line");
+        assert_eq!(find_str(row, "backend"), Some("production"));
+        assert_eq!(find_str(row, "scheme"), Some("adaptive"));
+        assert_eq!(find_num(row, "subscribers"), Some(256.0));
+        assert_eq!(find_num(row, "acq_per_sec"), Some(1600.0));
+        assert_eq!(find_num(row, "p999_ticks"), Some(200.0));
     }
 
     #[test]

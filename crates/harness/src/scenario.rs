@@ -8,6 +8,10 @@ use adca_baselines::{
 };
 use adca_core::{AdaptiveConfig, AdaptiveNode};
 use adca_hexgrid::{Partition, Topology};
+use adca_serve::{
+    AllocService, DesAllocService, LoadReport, LoadSpec, ProductionAllocService, ProductionConfig,
+    ServeStats,
+};
 use adca_simkit::engine::{run_protocol, run_traced, Engine};
 use adca_simkit::trace::{NoopSink, TraceSink};
 use adca_simkit::{Arrival, AuditMode, DecodeError, FaultPlan, LatencyModel, SimConfig, SimTime};
@@ -173,7 +177,7 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The defaults of `DESIGN.md` §7: 12×12 grid, 70 channels, `T` = 100
+    /// The defaults of `DESIGN.md` §8: 12×12 grid, 70 channels, `T` = 100
     /// ticks, θ = (1, 3), `W` = 8T, `α` = 3 — at uniform offered load
     /// `rho` (Erlangs per primary channel) for `horizon` ticks.
     pub fn uniform(rho: f64, horizon: u64) -> Self {
@@ -310,6 +314,55 @@ impl Scenario {
         let report =
             dispatch_scheme!(self, kind, factory => run_protocol(topo, cfg, factory, arrivals));
         RunSummary::new(kind, report, self.t_ticks).with_wall(started.elapsed())
+    }
+
+    /// Wraps this scenario as a *deterministic*
+    /// [`AllocService`]: requests buffer until
+    /// [`AllocService::quiesce`] replays them through the DES engine
+    /// with this scenario's topology, latency `T`, seed, and audit
+    /// settings. Feeding it this scenario's own
+    /// [`arrivals`](Scenario::arrivals) yields a
+    /// [`SimReport`](adca_simkit::SimReport) bit-identical to
+    /// [`Scenario::run`]'s (pinned by the `serve_identity` integration
+    /// test for all six schemes).
+    pub fn serve(&self, kind: SchemeKind) -> Box<dyn AllocService + Send> {
+        let topo = self.topology();
+        let cfg = self.sim_config();
+        dispatch_scheme!(self, kind, factory => {
+            Box::new(DesAllocService::new(topo, cfg, factory))
+        })
+    }
+
+    /// Starts this scenario's protocol as a *live* [`AllocService`] on
+    /// the bounded-mailbox production executor (`serve_cfg` sets
+    /// workers, tick scale, mailbox capacity). Confirms arrive at
+    /// wall-clock time; drop the returned service (or let it fall out
+    /// of scope) to stop the executor.
+    pub fn serve_production(
+        &self,
+        kind: SchemeKind,
+        serve_cfg: ProductionConfig,
+    ) -> Box<dyn AllocService + Send> {
+        let topo = self.topology();
+        dispatch_scheme!(self, kind, factory => {
+            Box::new(ProductionAllocService::new(topo, serve_cfg, factory))
+        })
+    }
+
+    /// Convenience: starts the production backend for `kind` and drives
+    /// it with the closed-loop load generator; returns the load report
+    /// and the service's final counters (backpressure, violations).
+    pub fn serve_closed_loop(
+        &self,
+        kind: SchemeKind,
+        serve_cfg: ProductionConfig,
+        spec: &LoadSpec,
+    ) -> (LoadReport, ServeStats) {
+        let topo = self.topology();
+        let mut svc = self.serve_production(kind, serve_cfg);
+        let report = adca_serve::closed_loop(&mut *svc, &topo, spec);
+        let stats = svc.stats();
+        (report, stats)
     }
 
     /// Runs one scheme on the sharded conservative-PDES engine (see

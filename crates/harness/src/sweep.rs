@@ -27,6 +27,10 @@ pub const THREADS_ENV: &str = "ADCA_THREADS";
 /// run uses (see [`crate::Scenario::run_sharded`]).
 pub const SHARDS_ENV: &str = "ADCA_SHARDS";
 
+/// Environment variable controlling how many closed-loop subscribers
+/// the serving bench drives (see [`subscriber_count`]).
+pub const SUBSCRIBERS_ENV: &str = "ADCA_SUBSCRIBERS";
+
 /// The machine's available parallelism (1 if unknown).
 fn available() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -36,8 +40,13 @@ fn available() -> usize {
 /// unparseable value warns **once** per process per variable (sweeps
 /// call these per experiment cell; repeating the warning would drown
 /// the experiment's own output), naming both the rejected value and the
-/// fallback actually used, then also returns `None`.
-fn env_count(var: &str, warned: &'static std::sync::Once) -> Option<usize> {
+/// fallback actually used (`fallback_desc`, e.g. "available parallelism
+/// (8)"), then also returns `None`.
+fn env_count(
+    var: &str,
+    warned: &'static std::sync::Once,
+    fallback_desc: impl FnOnce() -> String,
+) -> Option<usize> {
     let v = std::env::var(var).ok()?;
     if let Ok(n) = v.trim().parse::<usize>() {
         if n >= 1 {
@@ -47,11 +56,17 @@ fn env_count(var: &str, warned: &'static std::sync::Once) -> Option<usize> {
     warned.call_once(|| {
         eprintln!(
             "warning: ignoring invalid {var}={v:?} (want a positive \
-             integer); falling back to available parallelism ({})",
-            available()
+             integer); falling back to {}",
+            fallback_desc()
         );
     });
     None
+}
+
+/// "available parallelism (N)" — the fallback wording shared by the
+/// thread-shaped knobs.
+fn available_desc() -> String {
+    format!("available parallelism ({})", available())
 }
 
 /// Worker count for sweeps: `ADCA_THREADS` if set to a positive integer,
@@ -59,7 +74,7 @@ fn env_count(var: &str, warned: &'static std::sync::Once) -> Option<usize> {
 /// `ADCA_THREADS=1` recovers fully sequential execution.
 pub fn worker_count() -> usize {
     static WARNED: std::sync::Once = std::sync::Once::new();
-    env_count(THREADS_ENV, &WARNED).unwrap_or_else(available)
+    env_count(THREADS_ENV, &WARNED, available_desc).unwrap_or_else(available)
 }
 
 /// Shard count for sharded engine runs: `ADCA_SHARDS` if set to a
@@ -69,7 +84,19 @@ pub fn worker_count() -> usize {
 /// [`worker_count`] does for `ADCA_THREADS`.
 pub fn shard_count() -> usize {
     static WARNED: std::sync::Once = std::sync::Once::new();
-    env_count(SHARDS_ENV, &WARNED).unwrap_or_else(available)
+    env_count(SHARDS_ENV, &WARNED, available_desc).unwrap_or_else(available)
+}
+
+/// Closed-loop subscriber count for the serving bench:
+/// `ADCA_SUBSCRIBERS` if set to a positive integer, otherwise the
+/// caller's `default`. Invalid values warn once and fall back, exactly
+/// like [`worker_count`] does for `ADCA_THREADS`.
+pub fn subscriber_count(default: usize) -> usize {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    env_count(SUBSCRIBERS_ENV, &WARNED, || {
+        format!("the bench default ({default})")
+    })
+    .unwrap_or(default)
 }
 
 /// Runs every closure in `jobs` on a pool of `workers` threads and
@@ -536,6 +563,7 @@ mod tests {
         // the fallback contract.
         assert!(worker_count() >= 1);
         assert!(shard_count() >= 1);
+        assert!(subscriber_count(256) >= 1);
         assert!(SweepRunner::new().workers() >= 1);
         assert_eq!(SweepRunner::new().with_workers(0).workers(), 1);
         let sharded = SweepRunner::new_sharded();

@@ -6,6 +6,8 @@
 //! * [`StreamingStats`] — constant-space count/mean/variance/min/max,
 //! * [`SampleSeries`] — exact quantiles over retained samples,
 //! * [`Histogram`] — fixed-width bucket counts,
+//! * [`PercentileSketch`] — constant-space log-bucketed quantile sketch
+//!   (p50/p99/p999 for the serving layer),
 //! * [`CounterMap`] — named event counters (message taxonomy, mode
 //!   transitions, acquisition outcomes),
 //! * [`fairness`] — Jain's fairness index over per-cell outcomes,
@@ -19,11 +21,13 @@ pub mod counters;
 pub mod dwell;
 pub mod fairness;
 pub mod histogram;
+pub mod percentile;
 pub mod series;
 pub mod stats;
 
 pub use counters::CounterMap;
 pub use dwell::StateDwell;
 pub use histogram::Histogram;
+pub use percentile::PercentileSketch;
 pub use series::{SampleSeries, TimeSeries};
 pub use stats::StreamingStats;

@@ -1,0 +1,231 @@
+//! Log-bucketed quantile sketch for latency distributions.
+//!
+//! [`SampleSeries`](crate::SampleSeries) gives exact quantiles but
+//! retains every sample, which is the wrong trade for a long-running
+//! service reporting p999 over millions of acquisitions. The
+//! [`PercentileSketch`] is an HDR-histogram-style sketch: values land in
+//! power-of-two octaves, each subdivided into [`SUB_BUCKETS`] linear
+//! sub-buckets, so any quantile is answered from a few KB of counters
+//! with a bounded *relative* error of `1 / SUB_BUCKETS` (≈ 3%)
+//! regardless of how many samples were pushed. Exact minimum and
+//! maximum are tracked on the side so the tails never drift outside the
+//! observed range.
+
+/// Linear sub-buckets per power-of-two octave. Relative quantile error
+/// is bounded by `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: usize = 32;
+
+/// Number of power-of-two octaves covered (values `1.0 .. 2^OCTAVES`);
+/// larger values saturate into the last bucket but stay counted, and
+/// the exact `max` keeps the top tail honest.
+const OCTAVES: usize = 40;
+
+/// Bucket 0 holds every value `< 1.0` (incl. negatives, clamped by the
+/// exact `min`); buckets `1..` are the octave sub-buckets.
+const BUCKETS: usize = 1 + OCTAVES * SUB_BUCKETS;
+
+/// Constant-space quantile sketch with ~3% relative error.
+///
+/// ```
+/// use adca_metrics::PercentileSketch;
+///
+/// let mut sketch = PercentileSketch::new();
+/// for v in 1..=10_000 {
+///     sketch.push(v as f64);
+/// }
+/// let p50 = sketch.quantile(0.5).unwrap();
+/// assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.05);
+/// assert_eq!(sketch.max(), Some(10_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSketch {
+    counts: Vec<u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+/// Must agree with [`PercentileSketch::new`]: a derived `Default` would
+/// zero `min`/`max` instead of using the ±∞ identity elements — the
+/// same class of bug the zeroed-`Default` on
+/// [`StreamingStats`](crate::StreamingStats) once had — so an empty
+/// sketch built via `..Default::default()` would report a spurious
+/// minimum of 0.
+impl Default for PercentileSketch {
+    fn default() -> Self {
+        PercentileSketch::new()
+    }
+}
+
+impl PercentileSketch {
+    /// A fresh, empty sketch.
+    pub fn new() -> Self {
+        PercentileSketch {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    fn bucket(x: f64) -> usize {
+        if x.is_nan() || x < 1.0 {
+            return 0; // sub-unit, negative, and NaN samples
+        }
+        let octave = (x.log2().floor() as usize).min(OCTAVES - 1);
+        let base = (1u64 << octave) as f64;
+        let sub = (((x / base) - 1.0) * SUB_BUCKETS as f64) as usize;
+        1 + octave * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
+    }
+
+    /// Representative value (bucket midpoint) for a bucket index.
+    fn midpoint(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.5;
+        }
+        let octave = (idx - 1) / SUB_BUCKETS;
+        let sub = (idx - 1) % SUB_BUCKETS;
+        let base = (1u64 << octave) as f64;
+        base * (1.0 + (sub as f64 + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.counts[Self::bucket(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another sketch into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &PercentileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples pushed.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), or `None` if empty. Answers are
+    /// bucket midpoints clamped to the exact observed `[min, max]`, so
+    /// `quantile(0.0)`/`quantile(1.0)` are exact and interior quantiles
+    /// carry ≤ `1 / SUB_BUCKETS` relative error.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::midpoint(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = PercentileSketch::new();
+        for v in 1..=100_000u64 {
+            s.push(v as f64);
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = s.quantile(q).unwrap();
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.05, "q={q}: got {got}, want ~{expect} (rel {rel})");
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100_000.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = PercentileSketch::new();
+        let mut b = PercentileSketch::new();
+        let mut all = PercentileSketch::new();
+        for v in 0..1_000u64 {
+            let x = (v * 37 % 997) as f64;
+            if v % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_and_extremes() {
+        let s = PercentileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        let mut s = PercentileSketch::new();
+        s.push(0.25);
+        s.push(f64::MAX);
+        assert_eq!(s.min(), Some(0.25));
+        assert_eq!(s.max(), Some(f64::MAX));
+        assert_eq!(s.count(), 2);
+    }
+
+    /// Mirrors `stats::tests::default_is_identical_to_new` — the PR 1
+    /// zeroed-`Default` bug class.
+    #[test]
+    fn default_is_identical_to_new() {
+        assert_eq!(PercentileSketch::default(), PercentileSketch::new());
+        let mut s = PercentileSketch::default();
+        s.push(7.5);
+        assert_eq!(s.min(), Some(7.5), "min must be the pushed sample, not 0");
+        assert_eq!(s.max(), Some(7.5));
+        let mut neg = PercentileSketch::default();
+        neg.push(-3.0);
+        assert_eq!(
+            neg.max(),
+            Some(-3.0),
+            "max must be the pushed sample, not 0"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The deterministic backend: [`AllocService`] over the DES engine.
+
+use crate::service::{
+    AllocService, ChannelRequest, Confirm, Indication, ServeError, ServeStats, Ticket,
+};
+use adca_hexgrid::CellId;
+use adca_hexgrid::Topology;
+use adca_simkit::engine::Engine;
+use adca_simkit::{Arrival, Protocol, RequestKind, SimConfig, SimReport};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// [`AllocService`] backed by the deterministic discrete-event engine.
+///
+/// Requests are *buffered*, not served: each accepted ticket becomes one
+/// [`Arrival`] at its declared tick, and [`AllocService::quiesce`]
+/// replays the whole batch through [`Engine`] — same topology, same
+/// seed, same event interleaving as `Scenario::run`, so the resulting
+/// [`SimReport`] is bit-identical to a plain simulation of the same
+/// workload (a test pins this for all six schemes). Confirms are then
+/// synthesized from the engine's per-request outcome log, in resolution
+/// order, and release indications from the granted holds.
+///
+/// Because virtual time only advances inside `quiesce`, this backend is
+/// single-shot: submissions after quiescence return
+/// [`ServeError::Quiesced`]. Latencies in confirms are virtual ticks.
+pub struct DesAllocService<P, F> {
+    topo: Arc<Topology>,
+    cfg: SimConfig,
+    factory: Option<F>,
+    pending: Vec<Arrival>,
+    confirms: VecDeque<Confirm>,
+    indications: VecDeque<Indication>,
+    report: Option<SimReport>,
+    _protocol: PhantomData<fn() -> P>,
+}
+
+impl<P, F> DesAllocService<P, F>
+where
+    P: Protocol,
+    F: FnMut(CellId, &Topology) -> P,
+{
+    /// A fresh deterministic service over `topo`, running one
+    /// `factory`-built protocol node per cell under `cfg`.
+    pub fn new(topo: Arc<Topology>, cfg: SimConfig, factory: F) -> Self {
+        DesAllocService {
+            topo,
+            cfg,
+            factory: Some(factory),
+            pending: Vec::new(),
+            confirms: VecDeque::new(),
+            indications: VecDeque::new(),
+            report: None,
+            _protocol: PhantomData,
+        }
+    }
+
+    /// Number of buffered, not-yet-replayed requests.
+    pub fn buffered(&self) -> usize {
+        if self.report.is_some() {
+            0
+        } else {
+            self.pending.len()
+        }
+    }
+}
+
+impl<P, F> AllocService for DesAllocService<P, F>
+where
+    P: Protocol,
+    F: FnMut(CellId, &Topology) -> P,
+{
+    fn request_channel(&mut self, req: ChannelRequest) -> Result<Ticket, ServeError> {
+        if self.report.is_some() {
+            return Err(ServeError::Quiesced);
+        }
+        if req.cell.index() >= self.topo.num_cells() {
+            return Err(ServeError::UnknownCell(req.cell));
+        }
+        if req.kind == RequestKind::Handoff {
+            return Err(ServeError::Unsupported(
+                "the deterministic backend serves new calls; handoffs need a mobility plan",
+            ));
+        }
+        let ticket = Ticket(self.pending.len() as u64);
+        self.pending.push(Arrival::new(req.at, req.cell, req.hold));
+        Ok(ticket)
+    }
+
+    fn release(&mut self, ticket: Ticket) -> Result<(), ServeError> {
+        let Some(arr) = self.pending.get_mut(ticket.0 as usize) else {
+            return Err(ServeError::UnknownTicket(ticket));
+        };
+        if self.report.is_some() {
+            return Err(ServeError::Quiesced);
+        }
+        // "Hang up immediately": the replay grants and instantly ends
+        // the call.
+        arr.duration = 0;
+        Ok(())
+    }
+
+    fn confirm(&mut self) -> Option<Confirm> {
+        self.confirms.pop_front()
+    }
+
+    fn indication(&mut self) -> Option<Indication> {
+        self.indications.pop_front()
+    }
+
+    fn quiesce(&mut self, _limit: Duration) -> bool {
+        if self.report.is_some() {
+            return true;
+        }
+        let factory = self.factory.take().expect("factory present until quiesce");
+        // The engine wants time-sorted arrivals; tickets are submission
+        // indices. A *stable* sort keeps the replay bit-identical to a
+        // pre-sorted workload fed to `Scenario::run`, and `order` maps
+        // engine call indices back to tickets for any submission order.
+        let mut order: Vec<u32> = (0..self.pending.len() as u32).collect();
+        order.sort_by_key(|&i| self.pending[i as usize].at);
+        let arrivals: Vec<Arrival> = order
+            .iter()
+            .map(|&i| self.pending[i as usize].clone())
+            .collect();
+        let mut engine = Engine::new(self.topo.clone(), self.cfg.clone(), factory, arrivals);
+        let report = engine.run();
+        // Confirms in resolution order; releases sorted by call end.
+        let mut ends: Vec<(u64, Ticket, CellId, adca_hexgrid::Channel)> = Vec::new();
+        for o in engine.take_outcomes() {
+            let ticket = Ticket(order[o.call as usize] as u64);
+            match o.result {
+                Ok(channel) => {
+                    self.confirms.push_back(Confirm::Granted {
+                        ticket,
+                        cell: o.cell,
+                        channel,
+                        latency: o.latency,
+                    });
+                    let hold = self.pending[order[o.call as usize] as usize].duration;
+                    ends.push((o.resolved_at.ticks() + hold, ticket, o.cell, channel));
+                }
+                Err(cause) => {
+                    self.confirms.push_back(Confirm::Rejected {
+                        ticket,
+                        cell: o.cell,
+                        cause,
+                    });
+                }
+            }
+        }
+        ends.sort_unstable_by_key(|&(end, ticket, _, _)| (end, ticket));
+        for (_, ticket, cell, channel) in ends {
+            self.indications.push_back(Indication::Released {
+                ticket,
+                cell,
+                channel,
+            });
+        }
+        self.report = Some(report);
+        true
+    }
+
+    fn stats(&self) -> ServeStats {
+        let mut stats = ServeStats {
+            offered: self.pending.len() as u64,
+            ..Default::default()
+        };
+        if let Some(r) = &self.report {
+            stats.granted = r.granted;
+            stats.rejected = r.dropped_new + r.dropped_handoff;
+            // The engine runs to an empty queue, so every granted call
+            // has ended by quiescence.
+            stats.completed = r.granted;
+            stats.messages = r.messages_total;
+            stats.violations = r.violations.iter().map(|v| v.to_string()).collect();
+        }
+        stats
+    }
+
+    fn sim_report(&self) -> Option<&SimReport> {
+        self.report.as_ref()
+    }
+}

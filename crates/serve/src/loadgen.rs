@@ -1,0 +1,195 @@
+//! Closed-loop load generation against a live [`AllocService`].
+//!
+//! A *closed loop* models subscribers, not an arrival rate: each of the
+//! `subscribers` users has at most one request outstanding, waits for
+//! its confirm, thinks for `think`, and submits the next request. The
+//! offered load therefore adapts to the service — when the service
+//! slows down (or its mailboxes push back), the loop slows with it,
+//! which is what makes sustained acquisitions/sec and tail latency
+//! honest numbers rather than queue-explosion artifacts.
+
+use crate::service::{AllocService, ChannelRequest, Confirm, Ticket};
+use adca_hexgrid::{CellId, Topology};
+use adca_metrics::PercentileSketch;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Shape of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent subscribers (each with one request in flight at a
+    /// time, assigned to home cells round-robin).
+    pub subscribers: usize,
+    /// Requests each subscriber issues before retiring.
+    pub requests_per_sub: u32,
+    /// Think time between a confirm and the subscriber's next request.
+    pub think: Duration,
+    /// Hold declared on every request, in backend ticks.
+    pub hold: u64,
+    /// Wall-clock safety limit for the whole run.
+    pub deadline: Duration,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            subscribers: 256,
+            requests_per_sub: 4,
+            think: Duration::ZERO,
+            hold: 200,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests submitted.
+    pub offered: u64,
+    /// Requests confirmed with a grant.
+    pub granted: u64,
+    /// Requests confirmed with a rejection.
+    pub rejected: u64,
+    /// Requests still unresolved when the deadline cut the run short
+    /// (0 on a clean run).
+    pub unresolved: u64,
+    /// Wall-clock duration of the loop.
+    pub wall: Duration,
+    /// Acquisition latency sketch, in backend ticks.
+    pub latency: PercentileSketch,
+}
+
+impl LoadReport {
+    /// Sustained grant throughput over the run.
+    pub fn acq_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.granted as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drives `svc` with a closed subscriber loop and measures it.
+///
+/// Requires a live backend (confirms must arrive while the loop runs —
+/// the deterministic backend resolves only inside `quiesce`, so drive
+/// it open-loop instead).
+pub fn closed_loop<S: AllocService + ?Sized>(
+    svc: &mut S,
+    topo: &Topology,
+    spec: &LoadSpec,
+) -> LoadReport {
+    let cells = topo.num_cells();
+    let total = spec.subscribers as u64 * spec.requests_per_sub as u64;
+    let mut remaining: Vec<u32> = vec![spec.requests_per_sub; spec.subscribers];
+    let mut ready: VecDeque<(Instant, usize)> = VecDeque::with_capacity(spec.subscribers);
+    let mut in_flight: HashMap<Ticket, usize> = HashMap::with_capacity(spec.subscribers);
+    let start = Instant::now();
+    for sub in 0..spec.subscribers {
+        ready.push_back((start, sub));
+    }
+    let hard_deadline = start + spec.deadline;
+    let mut report = LoadReport {
+        offered: 0,
+        granted: 0,
+        rejected: 0,
+        unresolved: 0,
+        wall: Duration::ZERO,
+        latency: PercentileSketch::new(),
+    };
+    let mut resolved = 0u64;
+    while resolved < total {
+        let now = Instant::now();
+        if now >= hard_deadline {
+            report.unresolved = total - resolved;
+            break;
+        }
+        let mut progressed = false;
+        // Issue every due request (this is where admission backpressure
+        // blocks the loop).
+        while ready.front().is_some_and(|&(due, _)| due <= now) {
+            let (_, sub) = ready.pop_front().expect("peeked");
+            let cell = CellId((sub % cells) as u32);
+            match svc.request_channel(ChannelRequest::new_call(0, cell, spec.hold)) {
+                Ok(ticket) => {
+                    report.offered += 1;
+                    in_flight.insert(ticket, sub);
+                }
+                Err(_) => {
+                    // Admission refused: retire the subscriber (all of
+                    // its outstanding budget counts as resolved).
+                    resolved += remaining[sub] as u64;
+                    remaining[sub] = 0;
+                }
+            }
+            progressed = true;
+        }
+        // Drain confirms; confirmed subscribers think, then requeue.
+        while let Some(confirm) = svc.confirm() {
+            progressed = true;
+            resolved += 1;
+            match confirm {
+                Confirm::Granted {
+                    ticket, latency, ..
+                } => {
+                    report.granted += 1;
+                    report.latency.push(latency as f64);
+                    requeue(&mut ready, &mut remaining, in_flight.remove(&ticket), spec);
+                }
+                Confirm::Rejected { ticket, .. } => {
+                    report.rejected += 1;
+                    requeue(&mut ready, &mut remaining, in_flight.remove(&ticket), spec);
+                }
+            }
+        }
+        // Keep the indication queue from accumulating for the whole run.
+        while svc.indication().is_some() {}
+        if !progressed {
+            // Nothing due, nothing confirmed: wait for the earliest of
+            // the next think-expiry or a confirm.
+            let next_due = ready.front().map(|&(due, _)| due).unwrap_or(hard_deadline);
+            let wait = next_due
+                .min(hard_deadline)
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(1));
+            if let Some(confirm) = svc.recv_confirm(wait) {
+                resolved += 1;
+                match confirm {
+                    Confirm::Granted {
+                        ticket, latency, ..
+                    } => {
+                        report.granted += 1;
+                        report.latency.push(latency as f64);
+                        requeue(&mut ready, &mut remaining, in_flight.remove(&ticket), spec);
+                    }
+                    Confirm::Rejected { ticket, .. } => {
+                        report.rejected += 1;
+                        requeue(&mut ready, &mut remaining, in_flight.remove(&ticket), spec);
+                    }
+                }
+            }
+        }
+    }
+    report.wall = start.elapsed();
+    report
+}
+
+/// After a confirm, the subscriber thinks and (if it has requests left)
+/// becomes ready again.
+fn requeue(
+    ready: &mut VecDeque<(Instant, usize)>,
+    remaining: &mut [u32],
+    sub: Option<usize>,
+    spec: &LoadSpec,
+) {
+    let Some(sub) = sub else {
+        return;
+    };
+    remaining[sub] = remaining[sub].saturating_sub(1);
+    if remaining[sub] > 0 {
+        ready.push_back((Instant::now() + spec.think, sub));
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded per-cell mailboxes — the backpressure surface of the
+//! production executor.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a [`Mailbox::push`] had to do to get the event in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Push {
+    /// Space was available immediately.
+    Fit,
+    /// The queue was full; the sender waited and then fit.
+    Stalled,
+    /// The sender outwaited its patience and the event was forced in
+    /// over capacity — the deadlock-freedom escape valve.
+    Forced,
+}
+
+/// A bounded MPSC queue with *blocking* push. Senders exceeding the
+/// capacity wait (that is the backpressure a closed-loop client feels);
+/// a sender that has waited `patience` forces its event in anyway, so a
+/// cycle of full mailboxes can never deadlock the worker pool —
+/// overflow is counted, not fatal.
+pub(crate) struct Mailbox<T> {
+    q: Mutex<VecDeque<T>>,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> Mailbox<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        Mailbox {
+            q: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `v`, blocking up to `patience` while over capacity.
+    pub(crate) fn push(&self, v: T, patience: Duration) -> Push {
+        let mut q = self.q.lock().expect("mailbox poisoned");
+        if q.len() < self.cap {
+            q.push_back(v);
+            return Push::Fit;
+        }
+        let deadline = Instant::now() + patience;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                q.push_back(v);
+                return Push::Forced;
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(q, deadline - now)
+                .expect("mailbox poisoned");
+            q = guard;
+            if q.len() < self.cap {
+                q.push_back(v);
+                return Push::Stalled;
+            }
+        }
+    }
+
+    /// Moves up to `max` events into `out`; wakes blocked senders when
+    /// space opens up.
+    pub(crate) fn drain(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut q = self.q.lock().expect("mailbox poisoned");
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        if q.len() < self.cap {
+            self.not_full.notify_all();
+        }
+        n
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.q.lock().expect("mailbox poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fit_until_capacity_then_force() {
+        let mb = Mailbox::new(2);
+        assert_eq!(mb.push(1, Duration::ZERO), Push::Fit);
+        assert_eq!(mb.push(2, Duration::ZERO), Push::Fit);
+        // Full, zero patience: forced straight in (never lost).
+        assert_eq!(mb.push(3, Duration::ZERO), Push::Forced);
+        let mut out = Vec::new();
+        assert_eq!(mb.drain(&mut out, 10), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_drain() {
+        let mb = Arc::new(Mailbox::new(1));
+        assert_eq!(mb.push(1u32, Duration::ZERO), Push::Fit);
+        let pusher = {
+            let mb = mb.clone();
+            std::thread::spawn(move || mb.push(2, Duration::from_secs(10)))
+        };
+        // Give the pusher time to block, then open space.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        mb.drain(&mut out, 1);
+        assert_eq!(pusher.join().unwrap(), Push::Stalled);
+        mb.drain(&mut out, 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

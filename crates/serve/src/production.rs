@@ -1,0 +1,680 @@
+//! The production backend: every MSS is a task on a bounded-mailbox
+//! executor, answering requests at wall-clock time.
+//!
+//! The executor is deliberately minimal (the build is offline — no
+//! tokio): a fixed pool of OS worker threads, one logical task per
+//! cell, a shared run queue, and a `scheduled` flag per task so a cell
+//! is never on the queue twice and never runs on two workers at once.
+//! Events flow through bounded mailboxes (`mailbox::Mailbox`); a full
+//! mailbox blocks the
+//! sender (real backpressure, surfaced all the way to
+//! [`AllocService::request_channel`]) until a stall deadline forces the
+//! event through, keeping the pool deadlock-free under any protocol
+//! messaging pattern. Protocol timers and call-hold expirations share
+//! one [`TimerWheel`].
+//!
+//! Grants are audited exactly like the thread-per-cell validation
+//! driver: the Theorem-1 check and the ground-truth commit happen
+//! atomically under one lock, so no interleaving can produce a
+//! false-clean run.
+
+use crate::mailbox::{Mailbox, Push};
+use crate::service::{
+    AllocService, ChannelRequest, Confirm, Indication, ServeError, ServeStats, Ticket,
+};
+use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
+use adca_simkit::{Ctx, CtxBackend, DropCause, Protocol, RequestId, RequestKind, SimTime};
+use adca_threadnet::TimerWheel;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the production executor.
+#[derive(Debug, Clone)]
+pub struct ProductionConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Wall-clock nanoseconds per virtual tick — scales protocol timer
+    /// delays, call holds, and reported latencies.
+    pub ns_per_tick: u64,
+    /// Bounded capacity of each cell's mailbox.
+    pub mailbox_capacity: usize,
+    /// How long a sender stalls on a full mailbox before forcing its
+    /// event through (the deadlock-freedom escape valve; forced pushes
+    /// are counted in [`ServeStats::backpressure_forced`]).
+    pub stall_patience: Duration,
+    /// Maximum events one task activation drains before yielding the
+    /// worker.
+    pub quantum: usize,
+}
+
+impl Default for ProductionConfig {
+    fn default() -> Self {
+        ProductionConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 16),
+            ns_per_tick: 100,
+            mailbox_capacity: 1024,
+            stall_patience: Duration::from_millis(2),
+            quantum: 64,
+        }
+    }
+}
+
+enum TaskEvent<M> {
+    Acquire { ticket: u64, kind: RequestKind },
+    End { ticket: u64 },
+    Msg { from: CellId, msg: M },
+    Timer { tag: u64 },
+}
+
+/// Timer-wheel payloads are non-generic so one wheel serves both
+/// protocol timers and call-hold expirations.
+#[derive(Debug, Clone, Copy)]
+enum WheelKind {
+    Timer(u64),
+    End(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    Pending,
+    Active(Channel),
+    Done,
+}
+
+struct TicketRec {
+    cell: CellId,
+    hold: u64,
+    issued: Instant,
+    state: TicketState,
+}
+
+struct Task<P: Protocol> {
+    mailbox: Mailbox<TaskEvent<P::Msg>>,
+    /// True while the task is queued or running; cleared after a drain
+    /// quantum, then re-checked against the mailbox so no wakeup is
+    /// ever lost and no task runs on two workers at once.
+    scheduled: AtomicBool,
+    node: Mutex<P>,
+}
+
+/// FIFO run queue feeding the worker pool.
+struct RunQueue {
+    state: Mutex<(VecDeque<usize>, bool)>,
+    cv: Condvar,
+}
+
+impl RunQueue {
+    fn new() -> Self {
+        RunQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, t: usize) {
+        let mut st = self.state.lock().expect("runq poisoned");
+        if st.1 {
+            return; // shutting down; stray wakeups are fine to drop
+        }
+        st.0.push_back(t);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("runq poisoned");
+        loop {
+            if let Some(t) = st.0.pop_front() {
+                return Some(t);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("runq poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("runq poisoned");
+        st.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    offered: AtomicU64,
+    granted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    messages: AtomicU64,
+    stalls: AtomicU64,
+    forced: AtomicU64,
+    pending: AtomicU64,
+    stopping: AtomicBool,
+}
+
+struct Inner<P: Protocol> {
+    topo: Arc<Topology>,
+    cfg: ProductionConfig,
+    epoch: Instant,
+    tasks: Vec<Task<P>>,
+    runq: RunQueue,
+    /// Ground-truth channel usage (Theorem-1 audit + commit, atomic).
+    ground: Mutex<Vec<ChannelSet>>,
+    tickets: Mutex<Vec<TicketRec>>,
+    confirms: Mutex<VecDeque<Confirm>>,
+    indications: Mutex<VecDeque<Indication>>,
+    violations: Mutex<Vec<String>>,
+    wheel: OnceLock<TimerWheel<(usize, WheelKind)>>,
+    counters: Counters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<P> Inner<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    fn ticks_to_duration(&self, ticks: u64) -> Duration {
+        Duration::from_nanos(ticks.saturating_mul(self.cfg.ns_per_tick))
+    }
+
+    fn elapsed_ticks(&self, since: Instant) -> u64 {
+        since.elapsed().as_nanos() as u64 / self.cfg.ns_per_tick.max(1)
+    }
+
+    /// Enqueues `ev` for cell `to` and makes sure the task will run.
+    fn deliver(&self, to: usize, ev: TaskEvent<P::Msg>, patience: Duration) {
+        match self.tasks[to].mailbox.push(ev, patience) {
+            Push::Fit => {}
+            Push::Stalled => {
+                self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            Push::Forced => {
+                self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                self.counters.forced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.schedule(to);
+    }
+
+    fn schedule(&self, t: usize) {
+        if !self.tasks[t].scheduled.swap(true, Ordering::AcqRel) {
+            self.runq.push(t);
+        }
+    }
+
+    /// One task activation: drain up to a quantum of events into the
+    /// node under its lock, then clear `scheduled` and re-check.
+    fn run_task(self: &Arc<Self>, t: usize, batch: &mut Vec<TaskEvent<P::Msg>>) {
+        let task = &self.tasks[t];
+        batch.clear();
+        task.mailbox.drain(batch, self.cfg.quantum);
+        if !batch.is_empty() {
+            let me = CellId(t as u32);
+            let mut node = task.node.lock().expect("node poisoned");
+            let mut backend = ProdCtx { inner: self, me };
+            for ev in batch.drain(..) {
+                match ev {
+                    TaskEvent::Acquire { ticket, kind } => {
+                        let mut ctx = Ctx::new(&mut backend);
+                        node.on_acquire(RequestId(ticket), kind, &mut ctx);
+                    }
+                    TaskEvent::End { ticket } => end_call(self, ticket, me, &mut *node),
+                    TaskEvent::Msg { from, msg } => {
+                        let mut ctx = Ctx::new(&mut backend);
+                        node.on_message(from, msg, &mut ctx);
+                    }
+                    TaskEvent::Timer { tag } => {
+                        let mut ctx = Ctx::new(&mut backend);
+                        node.on_timer(tag, &mut ctx);
+                    }
+                }
+            }
+        }
+        task.scheduled.store(false, Ordering::Release);
+        if !task.mailbox.is_empty() {
+            self.schedule(t);
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.counters.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.runq.close();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Returns an active ticket's channel to the pool (hold expiry and
+/// explicit release both land here, on the owning cell's task).
+fn end_call<P>(inner: &Arc<Inner<P>>, ticket: u64, me: CellId, node: &mut P)
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    let ch = {
+        let mut tickets = inner.tickets.lock().expect("tickets poisoned");
+        let rec = &mut tickets[ticket as usize];
+        match rec.state {
+            TicketState::Active(ch) => {
+                rec.state = TicketState::Done;
+                ch
+            }
+            // Benign race: released twice, or released while still
+            // pending (the release path truncated the hold instead).
+            _ => return,
+        }
+    };
+    {
+        let mut ground = inner.ground.lock().expect("ground poisoned");
+        ground[me.index()].remove(ch);
+    }
+    {
+        let mut backend = ProdCtx { inner, me };
+        let mut ctx = Ctx::new(&mut backend);
+        node.on_release(ch, &mut ctx);
+    }
+    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+    inner
+        .indications
+        .lock()
+        .expect("indications poisoned")
+        .push_back(Indication::Released {
+            ticket: Ticket(ticket),
+            cell: me,
+            channel: ch,
+        });
+}
+
+/// The [`CtxBackend`] protocol nodes see on the production executor.
+struct ProdCtx<'a, P: Protocol> {
+    inner: &'a Arc<Inner<P>>,
+    me: CellId,
+}
+
+impl<P> CtxBackend<P::Msg> for ProdCtx<'_, P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    fn me(&self) -> CellId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.inner.elapsed_ticks(self.inner.epoch))
+    }
+
+    fn topo(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    fn send_kind(&mut self, to: CellId, _kind: &'static str, msg: P::Msg) {
+        self.inner.counters.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.deliver(
+            to.index(),
+            TaskEvent::Msg { from: self.me, msg },
+            self.inner.cfg.stall_patience,
+        );
+    }
+
+    fn grant(&mut self, req: RequestId, ch: Channel) {
+        // Claim the ticket first (guards against a buggy protocol
+        // resolving one request twice, which would corrupt the pending
+        // counter), then audit + commit. The End timer is armed last,
+        // so no release can race this grant's ground commit.
+        let (latency, hold) = {
+            let mut tickets = self.inner.tickets.lock().expect("tickets poisoned");
+            let rec = &mut tickets[req.0 as usize];
+            debug_assert_eq!(rec.cell, self.me, "grant from the wrong cell");
+            if rec.state != TicketState::Pending {
+                drop(tickets);
+                self.inner
+                    .violations
+                    .lock()
+                    .expect("violations poisoned")
+                    .push(format!("{} resolved ticket#{} twice", self.me, req.0));
+                return;
+            }
+            rec.state = TicketState::Active(ch);
+            (self.inner.elapsed_ticks(rec.issued), rec.hold)
+        };
+        // Audit + commit atomically under the ground-truth lock, exactly
+        // like the threadnet driver: no interleaving can slip an
+        // interfering grant past the check.
+        let violation = {
+            let mut ground = self.inner.ground.lock().expect("ground poisoned");
+            let mut v = None;
+            if ground[self.me.index()].contains(ch) {
+                v = Some(format!("{} double-assigned {ch}", self.me));
+            }
+            for &j in self.inner.topo.region(self.me) {
+                if ground[j.index()].contains(ch) {
+                    v = Some(format!(
+                        "{} granted {ch} already used by {j} (interference)",
+                        self.me
+                    ));
+                }
+            }
+            ground[self.me.index()].insert(ch);
+            v
+        };
+        if let Some(v) = violation {
+            self.inner
+                .violations
+                .lock()
+                .expect("violations poisoned")
+                .push(v);
+        }
+        self.inner.counters.granted.fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.pending.fetch_sub(1, Ordering::Relaxed);
+        self.inner
+            .confirms
+            .lock()
+            .expect("confirms poisoned")
+            .push_back(Confirm::Granted {
+                ticket: Ticket(req.0),
+                cell: self.me,
+                channel: ch,
+                latency,
+            });
+        let after = self.inner.ticks_to_duration(hold);
+        self.inner
+            .wheel
+            .get()
+            .expect("wheel set at construction")
+            .schedule(after, (self.me.index(), WheelKind::End(req.0)));
+    }
+
+    fn reject(&mut self, req: RequestId, cause: DropCause) {
+        {
+            let mut tickets = self.inner.tickets.lock().expect("tickets poisoned");
+            let rec = &mut tickets[req.0 as usize];
+            if rec.state != TicketState::Pending {
+                drop(tickets);
+                self.inner
+                    .violations
+                    .lock()
+                    .expect("violations poisoned")
+                    .push(format!("{} resolved ticket#{} twice", self.me, req.0));
+                return;
+            }
+            rec.state = TicketState::Done;
+        }
+        self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.pending.fetch_sub(1, Ordering::Relaxed);
+        self.inner
+            .confirms
+            .lock()
+            .expect("confirms poisoned")
+            .push_back(Confirm::Rejected {
+                ticket: Ticket(req.0),
+                cell: self.me,
+                cause,
+            });
+    }
+
+    fn set_timer(&mut self, delay: u64, tag: u64) {
+        let after = self.inner.ticks_to_duration(delay);
+        self.inner
+            .wheel
+            .get()
+            .expect("wheel set at construction")
+            .schedule(after, (self.me.index(), WheelKind::Timer(tag)));
+    }
+
+    // Protocol-local metric counters are not collected by this backend
+    // (the service-level counters in `ServeStats` are); they stay
+    // observable through the deterministic backend's `SimReport`.
+    fn count(&mut self, _name: &'static str) {}
+
+    fn add(&mut self, _name: &'static str, _n: u64) {}
+
+    fn sample(&mut self, _name: &'static str, _value: f64) {}
+
+    fn truly_free_here(&self, ch: Channel) -> bool {
+        let ground = self.inner.ground.lock().expect("ground poisoned");
+        if ground[self.me.index()].contains(ch) {
+            return false;
+        }
+        self.inner
+            .topo
+            .region(self.me)
+            .iter()
+            .all(|j| !ground[j.index()].contains(ch))
+    }
+}
+
+/// [`AllocService`] served live by the bounded-mailbox executor.
+///
+/// Each cell's protocol node runs as a task on a fixed worker pool;
+/// requests are answered at wall-clock time (latencies are reported in
+/// ticks of [`ProductionConfig::ns_per_tick`]). Granted calls
+/// auto-release when their hold expires. Dropping the service shuts the
+/// executor down (stops the workers and discards unfired timers).
+pub struct ProductionAllocService<P: Protocol + Send + 'static>
+where
+    P::Msg: Send + 'static,
+{
+    inner: Arc<Inner<P>>,
+}
+
+impl<P> ProductionAllocService<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    /// Starts the executor: builds one `factory`-made node per cell,
+    /// fires every node's `on_start` (before any request can be
+    /// observed), arms the shared timer wheel, and spawns the worker
+    /// pool.
+    pub fn new<F>(topo: Arc<Topology>, cfg: ProductionConfig, mut factory: F) -> Self
+    where
+        F: FnMut(CellId, &Topology) -> P,
+    {
+        let n = topo.num_cells();
+        let tasks: Vec<Task<P>> = topo
+            .cells()
+            .map(|c| Task {
+                mailbox: Mailbox::new(cfg.mailbox_capacity),
+                scheduled: AtomicBool::new(false),
+                node: Mutex::new(factory(c, &topo)),
+            })
+            .collect();
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            ground: Mutex::new(vec![topo.spectrum().empty_set(); n]),
+            topo,
+            cfg,
+            epoch: Instant::now(),
+            tasks,
+            runq: RunQueue::new(),
+            tickets: Mutex::new(Vec::new()),
+            confirms: Mutex::new(VecDeque::new()),
+            indications: Mutex::new(VecDeque::new()),
+            violations: Mutex::new(Vec::new()),
+            wheel: OnceLock::new(),
+            counters: Counters::default(),
+            workers: Mutex::new(Vec::new()),
+        });
+        // The wheel holds only a weak reference, so service teardown is
+        // not kept alive by its own timer thread.
+        let weak: Weak<Inner<P>> = Arc::downgrade(&inner);
+        let wheel = TimerWheel::new(move |(cell, kind): (usize, WheelKind)| {
+            if let Some(inner) = weak.upgrade() {
+                let ev = match kind {
+                    WheelKind::Timer(tag) => TaskEvent::Timer { tag },
+                    WheelKind::End(ticket) => TaskEvent::End { ticket },
+                };
+                // The wheel thread never blocks on a full mailbox.
+                inner.deliver(cell, ev, Duration::ZERO);
+            }
+        });
+        let _ = inner.wheel.set(wheel);
+        // on_start before the workers exist: startup sends enqueue, and
+        // no node can observe a message before its own on_start ran.
+        for t in 0..n {
+            let me = CellId(t as u32);
+            let mut node = inner.tasks[t].node.lock().expect("node poisoned");
+            let mut backend = ProdCtx { inner: &inner, me };
+            let mut ctx = Ctx::new(&mut backend);
+            node.on_start(&mut ctx);
+        }
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || {
+                    let mut batch = Vec::new();
+                    while let Some(t) = inner.runq.pop() {
+                        inner.run_task(t, &mut batch);
+                    }
+                })
+            })
+            .collect();
+        *inner.workers.lock().expect("workers poisoned") = handles;
+        ProductionAllocService { inner }
+    }
+
+    /// Stops the worker pool (idempotent). Called automatically on
+    /// drop; exposed so callers can bound teardown explicitly.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+impl<P> Drop for ProductionAllocService<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    fn drop(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+impl<P> AllocService for ProductionAllocService<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    fn request_channel(&mut self, req: ChannelRequest) -> Result<Ticket, ServeError> {
+        if self.inner.counters.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::Unsupported("service is shutting down"));
+        }
+        if req.cell.index() >= self.inner.topo.num_cells() {
+            return Err(ServeError::UnknownCell(req.cell));
+        }
+        if req.kind == RequestKind::Handoff {
+            return Err(ServeError::Unsupported(
+                "the production backend serves stationary subscribers; handoffs are future work",
+            ));
+        }
+        let ticket = {
+            let mut tickets = self.inner.tickets.lock().expect("tickets poisoned");
+            let id = tickets.len() as u64;
+            tickets.push(TicketRec {
+                cell: req.cell,
+                hold: req.hold,
+                issued: Instant::now(),
+                state: TicketState::Pending,
+            });
+            id
+        };
+        self.inner.counters.offered.fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.pending.fetch_add(1, Ordering::Relaxed);
+        // Blocking push: admission is behind the same bounded mailbox
+        // as protocol traffic, so an overloaded cell pushes back on the
+        // client.
+        self.inner.deliver(
+            req.cell.index(),
+            TaskEvent::Acquire {
+                ticket,
+                kind: req.kind,
+            },
+            self.inner.cfg.stall_patience,
+        );
+        Ok(Ticket(ticket))
+    }
+
+    fn release(&mut self, ticket: Ticket) -> Result<(), ServeError> {
+        let cell = {
+            let mut tickets = self.inner.tickets.lock().expect("tickets poisoned");
+            let Some(rec) = tickets.get_mut(ticket.0 as usize) else {
+                return Err(ServeError::UnknownTicket(ticket));
+            };
+            match rec.state {
+                // Not granted yet: truncate the hold so the eventual
+                // grant auto-releases immediately.
+                TicketState::Pending => {
+                    rec.hold = 0;
+                    return Ok(());
+                }
+                TicketState::Done => return Ok(()), // benign double release
+                TicketState::Active(_) => rec.cell,
+            }
+        };
+        self.inner.deliver(
+            cell.index(),
+            TaskEvent::End { ticket: ticket.0 },
+            self.inner.cfg.stall_patience,
+        );
+        Ok(())
+    }
+
+    fn confirm(&mut self) -> Option<Confirm> {
+        self.inner
+            .confirms
+            .lock()
+            .expect("confirms poisoned")
+            .pop_front()
+    }
+
+    fn indication(&mut self) -> Option<Indication> {
+        self.inner
+            .indications
+            .lock()
+            .expect("indications poisoned")
+            .pop_front()
+    }
+
+    fn quiesce(&mut self, limit: Duration) -> bool {
+        let deadline = Instant::now() + limit;
+        while self.inner.counters.pending.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    fn stats(&self) -> ServeStats {
+        let c = &self.inner.counters;
+        ServeStats {
+            offered: c.offered.load(Ordering::Relaxed),
+            granted: c.granted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            messages: c.messages.load(Ordering::Relaxed),
+            backpressure_stalls: c.stalls.load(Ordering::Relaxed),
+            backpressure_forced: c.forced.load(Ordering::Relaxed),
+            violations: self
+                .inner
+                .violations
+                .lock()
+                .expect("violations poisoned")
+                .clone(),
+        }
+    }
+}

@@ -124,6 +124,36 @@ pub(crate) struct ReqRecord {
     pub(crate) state: ReqState,
 }
 
+/// The resolution of one channel request, in resolution order.
+///
+/// The engine appends one record per resolved request — grants, protocol
+/// rejects, and crash-path force-rejects alike. The log is how the
+/// serving layer (`adca-serve`) converts a finished simulation into
+/// per-ticket request/confirm pairs: [`TraceEvent::Granted`] carries no
+/// [`RequestId`], so traces cannot drive per-ticket confirms, and the
+/// log is deliberately kept *out* of [`SimReport`] (reports stay
+/// bit-identical whether or not anyone drains outcomes) and out of
+/// snapshots (a restored engine starts with an empty log). Drain it with
+/// [`Engine::take_outcomes`]. The sharded executor does not record
+/// outcomes; serve adapts the sequential engine only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqOutcome {
+    /// The request this record resolves.
+    pub req: RequestId,
+    /// Engine call index (the arrival's position in the workload vec).
+    pub call: u32,
+    /// Cell the request was resolved at.
+    pub cell: CellId,
+    /// New call or mobility handoff.
+    pub kind: RequestKind,
+    /// Virtual time of resolution.
+    pub resolved_at: SimTime,
+    /// Acquisition latency in ticks (resolution − issue).
+    pub latency: u64,
+    /// Granted channel, or the drop cause.
+    pub result: Result<Channel, DropCause>,
+}
+
 /// Per-link FIFO clamps: the latest delivery time scheduled on each
 /// `(from, to)` link. Distributed channel-allocation protocols of this
 /// family assume FIFO channels (a RELEASE must not overtake the GRANT
@@ -316,6 +346,9 @@ pub struct Shared<M, S: TraceSink = NoopSink> {
     pub(crate) custom: SlotCounters,
     pub(crate) custom_samples: SlotSamples,
     pub(crate) report: SimReport,
+    /// Per-request resolution log (see [`ReqOutcome`]). Always recorded;
+    /// excluded from reports, snapshots, and the sharded path.
+    pub(crate) outcomes: Vec<ReqOutcome>,
     /// Structured trace destination (observes; never influences).
     pub(crate) sink: S,
 }
@@ -358,6 +391,29 @@ impl<M, S: TraceSink> Shared<M, S> {
         Some((rec.call, rec.cell, rec.kind, latency))
     }
 
+    /// Appends one [`ReqOutcome`] record (every resolution path calls
+    /// this exactly once, right after [`Shared::finish_request`]).
+    #[inline]
+    pub(crate) fn record_outcome(
+        &mut self,
+        req: RequestId,
+        call: u32,
+        cell: CellId,
+        kind: RequestKind,
+        latency: u64,
+        result: Result<Channel, DropCause>,
+    ) {
+        self.outcomes.push(ReqOutcome {
+            req,
+            call,
+            cell,
+            kind,
+            resolved_at: self.now,
+            latency,
+            result,
+        });
+    }
+
     pub(crate) fn issue_request(
         &mut self,
         call: u32,
@@ -392,9 +448,10 @@ impl<M, S: TraceSink> Shared<M, S> {
     /// Force-resolves `req` as a drop attributed to `cause` — the crash
     /// paths, where no protocol node is up to answer the request.
     pub(crate) fn force_reject(&mut self, req: RequestId, cause: DropCause) {
-        let Some((call, cell, kind, _latency)) = self.finish_request(req) else {
+        let Some((call, cell, kind, latency)) = self.finish_request(req) else {
             return;
         };
+        self.record_outcome(req, call, cell, kind, latency, Err(cause));
         self.trace_with(|| TraceEvent::Rejected {
             cell,
             cause: cause.label(),
@@ -521,6 +578,11 @@ impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
             panic!("request {req:?} resolved twice");
         };
         debug_assert_eq!(cell, self.me, "grant from the wrong node");
+        // Recorded before the stale-grant check: the protocol *did*
+        // grant, even if the call has since ended and the channel is
+        // auto-released a moment later.
+        self.sh
+            .record_outcome(req, call, cell, kind, latency, Ok(ch));
         self.sh
             .trace_with(|| TraceEvent::Granted { cell, ch, latency });
         if let Some(bound) = self.sh.cfg.watchdog_ticks {
@@ -588,6 +650,8 @@ impl<M: Clone, S: TraceSink> CtxBackend<M> for DesCtx<'_, M, S> {
             panic!("request {req:?} resolved twice");
         };
         debug_assert_eq!(cell, self.me, "reject from the wrong node");
+        self.sh
+            .record_outcome(req, call, cell, kind, latency, Err(cause));
         self.sh.trace_with(|| TraceEvent::Rejected {
             cell,
             cause: cause.label(),
@@ -736,6 +800,7 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
             custom: SlotCounters::default(),
             custom_samples: SlotSamples::default(),
             report,
+            outcomes: Vec::with_capacity(arrivals.len() + total_hops),
             sink,
         };
         // Crash windows are scheduled before arrivals so that, at a tied
@@ -786,6 +851,13 @@ impl<P: Protocol, S: TraceSink> Engine<P, S> {
     /// The current report (final after [`Engine::run`] returns).
     pub fn report(&self) -> &SimReport {
         &self.sh.report
+    }
+
+    /// Drains the per-request resolution log accumulated so far (see
+    /// [`ReqOutcome`]). Records are in resolution order; draining them
+    /// never affects the report or the event sequence.
+    pub fn take_outcomes(&mut self) -> Vec<ReqOutcome> {
+        std::mem::take(&mut self.sh.outcomes)
     }
 
     /// The attached trace sink.
@@ -2087,6 +2159,9 @@ impl<P: ProtocolState, S: TraceSink> Engine<P, S> {
                 custom_samples
             },
             report,
+            // Outcomes are not part of a snapshot; a restored engine
+            // logs only resolutions it processes itself.
+            outcomes: Vec::new(),
             sink,
             started,
             halted,

@@ -53,7 +53,7 @@ pub mod trace;
 pub mod workload;
 
 pub use backend::{Ctx, CtxBackend};
-pub use engine::{Engine, SimConfig};
+pub use engine::{Engine, ReqOutcome, SimConfig};
 pub use faults::{Crash, FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use protocol::{Protocol, RequestId, RequestKind};

@@ -21,8 +21,9 @@
 //! Scope: new-call traffic only (no mobility), immediate message
 //! delivery (FIFO per link by channel order), wall-clock time scaled by
 //! [`ThreadNetConfig::ns_per_tick`]. Protocol timers are supported:
-//! `set_timer` spawns a sleeper thread that posts a `Timer` event back to
-//! the owning node after the scaled delay. Optional fault injection:
+//! `set_timer` arms an entry on a shared [`TimerWheel`] (one dispatcher
+//! thread for the whole run) that posts a `Timer` event back to the
+//! owning node after the scaled delay. Optional fault injection:
 //! [`ThreadNetConfig::drop_prob`] drops each sent message independently
 //! at the sender (deterministic per-node RNG stream, but the
 //! interleaving stays nondeterministic), exercising the protocols'
@@ -30,6 +31,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod timer;
+
+pub use timer::TimerWheel;
 
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
 use adca_metrics::CounterMap;
@@ -152,6 +157,7 @@ struct ThreadBackend<M> {
     peers: Vec<Sender<NodeEvent<M>>>,
     coord: Sender<CoordMsg>,
     ground: Arc<Mutex<Ground>>,
+    wheel: Arc<TimerWheel<(usize, u64)>>,
     epoch: Instant,
     ns_per_tick: u64,
     counters: CounterMap,
@@ -226,17 +232,12 @@ impl<M: Send + 'static> CtxBackend<M> for ThreadBackend<M> {
     }
 
     fn set_timer(&mut self, delay: u64, tag: u64) {
-        // A sleeper thread per timer: wasteful for production, fine for a
-        // validation driver. Stale firings are the protocol's problem
-        // (every workspace protocol tags timers with an epoch and
-        // ignores mismatches), and a send after shutdown is a silent
-        // no-op on the closed channel.
-        let tx = self.peers[self.me.index()].clone();
+        // One shared wheel for the whole run. Stale firings are the
+        // protocol's problem (every workspace protocol tags timers with
+        // an epoch and ignores mismatches), and a send after shutdown is
+        // a silent no-op on the closed channel.
         let dur = Duration::from_nanos(delay.saturating_mul(self.ns_per_tick));
-        std::thread::spawn(move || {
-            std::thread::sleep(dur);
-            let _ = tx.send(NodeEvent::Timer(tag));
-        });
+        self.wheel.schedule(dur, (self.me.index(), tag));
     }
 
     fn count(&mut self, name: &'static str) {
@@ -327,6 +328,15 @@ where
         node_rxs.push(rx);
     }
     let epoch = Instant::now();
+    // One wheel for every protocol timer in the run; its dispatcher
+    // posts back into the owning node's mailbox. Dropped (and joined)
+    // when this function returns, discarding stale timers.
+    let wheel = {
+        let txs = node_txs.clone();
+        Arc::new(TimerWheel::new(move |(idx, tag): (usize, u64)| {
+            let _ = txs[idx].send(NodeEvent::Timer(tag));
+        }))
+    };
     let mut handles = Vec::with_capacity(n);
     for (idx, rx) in node_rxs.into_iter().enumerate() {
         let me = CellId(idx as u32);
@@ -337,6 +347,7 @@ where
             peers: node_txs.clone(),
             coord: coord_tx.clone(),
             ground: ground.clone(),
+            wheel: wheel.clone(),
             epoch,
             ns_per_tick: cfg.ns_per_tick,
             counters: CounterMap::new(),

@@ -1,0 +1,204 @@
+//! A shared timer wheel: one dispatcher thread, many timers.
+//!
+//! The first cut of this crate spawned one sleeper OS thread per
+//! protocol timer — fine for a validation driver, hopeless for a
+//! serving backend where every borrow round arms a retry timer. The
+//! [`TimerWheel`] replaces that with a single thread parked on a
+//! deadline min-heap: [`TimerWheel::schedule`] is a heap push plus a
+//! condvar wake, and the dispatcher invokes one caller-supplied
+//! callback per expired timer, in deadline order (FIFO among ties).
+//!
+//! Both the thread-per-cell driver in this crate and the production
+//! backend in `adca-serve` arm their timers here.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct Entry<T> {
+    due: Instant,
+    seq: u64,
+    payload: T,
+}
+
+// Reversed ordering so the `BinaryHeap` max-heap pops the *earliest*
+// deadline; `seq` breaks ties FIFO.
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    stop: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// A single dispatcher thread firing scheduled payloads in deadline
+/// order.
+///
+/// Dropping the wheel stops the dispatcher and discards timers that
+/// have not yet expired — exactly the shutdown semantics both drivers
+/// want (a stale protocol timer after the run is over must not fire).
+pub struct TimerWheel<T: Send + 'static> {
+    inner: Arc<Inner<T>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> TimerWheel<T> {
+    /// Starts the dispatcher thread. `dispatch` is called once per
+    /// expired timer, on the wheel's own thread — keep it cheap and
+    /// non-blocking (both users post to an unbounded / force-capable
+    /// queue).
+    pub fn new<F>(mut dispatch: F) -> Self
+    where
+        F: FnMut(T) + Send + 'static,
+    {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread_inner = inner.clone();
+        let handle = std::thread::spawn(move || {
+            let mut st = thread_inner.state.lock().expect("wheel poisoned");
+            loop {
+                if st.stop {
+                    return;
+                }
+                let now = Instant::now();
+                let mut fired = Vec::new();
+                while st.heap.peek().is_some_and(|e| e.due <= now) {
+                    fired.push(st.heap.pop().expect("peeked").payload);
+                }
+                if !fired.is_empty() {
+                    // Dispatch outside the lock so callbacks can call
+                    // `schedule` re-entrantly.
+                    drop(st);
+                    for p in fired {
+                        dispatch(p);
+                    }
+                    st = thread_inner.state.lock().expect("wheel poisoned");
+                    continue;
+                }
+                st = match st.heap.peek().map(|e| e.due) {
+                    Some(due) => {
+                        let wait = due.saturating_duration_since(now);
+                        thread_inner
+                            .cv
+                            .wait_timeout(st, wait)
+                            .expect("wheel poisoned")
+                            .0
+                    }
+                    None => thread_inner.cv.wait(st).expect("wheel poisoned"),
+                };
+            }
+        });
+        TimerWheel {
+            inner,
+            handle: Some(handle),
+        }
+    }
+
+    /// Arms one timer: `dispatch(payload)` fires after `after` elapses.
+    pub fn schedule(&self, after: Duration, payload: T) {
+        let mut st = self.inner.state.lock().expect("wheel poisoned");
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Entry {
+            due: Instant::now() + after,
+            seq,
+            payload,
+        });
+        self.inner.cv.notify_one();
+    }
+
+    /// Number of armed, not-yet-fired timers.
+    pub fn pending(&self) -> usize {
+        self.inner.state.lock().expect("wheel poisoned").heap.len()
+    }
+}
+
+impl<T: Send + 'static> Drop for TimerWheel<T> {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("wheel poisoned");
+            st.stop = true;
+        }
+        self.inner.cv.notify_one();
+        if let Some(h) = self.handle.take() {
+            if h.thread().id() == std::thread::current().id() {
+                // The wheel can be dropped *on its own dispatcher
+                // thread*: a dispatch callback may upgrade a weak
+                // owner reference and end up holding the last strong
+                // one (adca-serve's production backend does during
+                // shutdown races). Joining ourselves would be an
+                // instant EDEADLK panic; the stop flag is already
+                // set, so detach and let the thread exit on its own.
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let (tx, rx) = mpsc::channel();
+        let wheel = TimerWheel::new(move |v: u32| {
+            let _ = tx.send(v);
+        });
+        wheel.schedule(Duration::from_millis(30), 3);
+        wheel.schedule(Duration::from_millis(10), 1);
+        wheel.schedule(Duration::from_millis(20), 2);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).expect("fired"));
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn drop_discards_unfired_timers() {
+        let (tx, rx) = mpsc::channel();
+        let wheel = TimerWheel::new(move |v: u32| {
+            let _ = tx.send(v);
+        });
+        wheel.schedule(Duration::from_secs(3600), 9);
+        assert_eq!(wheel.pending(), 1);
+        drop(wheel); // must not hang for an hour
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+    }
+}

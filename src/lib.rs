@@ -19,6 +19,7 @@ pub use adca_core as core;
 pub use adca_harness as harness;
 pub use adca_hexgrid as hexgrid;
 pub use adca_metrics as metrics;
+pub use adca_serve as serve;
 pub use adca_simkit as simkit;
 pub use adca_threadnet as threadnet;
 pub use adca_traffic as traffic;
@@ -29,6 +30,9 @@ pub mod prelude {
     pub use adca_core::{AdaptiveConfig, AdaptiveNode, Mode};
     pub use adca_harness::{Replicated, RunSummary, Scenario, SchemeKind, SweepRunner};
     pub use adca_hexgrid::{CellId, Channel, ChannelSet, Spectrum, Topology};
+    pub use adca_serve::{
+        AllocService, ChannelRequest, Confirm, LoadSpec, ProductionConfig, ServeStats, Ticket,
+    };
     pub use adca_simkit::{Arrival, AuditMode, LatencyModel, SimConfig, SimReport};
     pub use adca_traffic::{Hotspot, WorkloadSpec};
 }
