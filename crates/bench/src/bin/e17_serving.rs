@@ -23,13 +23,14 @@
 //!   clock (default 2).
 //! * `--scheme NAME` restricts the sweep to one scheme.
 //!
-//! `ADCA_SUBSCRIBERS` overrides the closed-loop subscriber count (warn
-//! once on invalid values, exactly like `ADCA_THREADS`).
+//! `ADCA_SUBSCRIBERS` overrides the closed-loop subscriber count and
+//! `ADCA_DRIVERS` the concurrent driver-thread count (each warns once
+//! on invalid values, exactly like `ADCA_THREADS`).
 //!
 //! [`AllocService`]: adca_serve::AllocService
 
 use adca_bench::perf::{write_serve_json, ServeRow};
-use adca_harness::sweep::subscriber_count;
+use adca_harness::sweep::{driver_count, subscriber_count};
 use adca_harness::{Scenario, SchemeKind};
 use adca_metrics::PercentileSketch;
 use adca_serve::{ChannelRequest, LoadSpec, ProductionConfig};
@@ -45,6 +46,7 @@ struct Shape {
     subscribers: usize,
     requests_per_sub: u32,
     workers: usize,
+    drivers: usize,
 }
 
 fn quantiles(sketch: &PercentileSketch) -> (f64, f64, f64) {
@@ -87,6 +89,7 @@ fn des_cell(sc: &Scenario, kind: SchemeKind, repeat: u32) -> ServeRow {
             backend: "des".into(),
             scheme: kind.name().to_string(),
             grid: format!("{}x{}", sc.rows, sc.cols),
+            drivers: 1,
             subscribers: arrivals.len() as u64,
             offered: stats.offered,
             granted: stats.granted,
@@ -126,7 +129,7 @@ fn production_cell(sc: &Scenario, kind: SchemeKind, shape: &Shape, repeat: u32) 
             workers: shape.workers,
             ..Default::default()
         };
-        let (report, stats) = sc.serve_closed_loop(kind, cfg, &spec);
+        let (report, stats) = sc.serve_closed_loop(kind, cfg, &spec, shape.drivers);
         assert_eq!(
             report.unresolved, 0,
             "{kind} closed loop must drain before the deadline"
@@ -141,6 +144,7 @@ fn production_cell(sc: &Scenario, kind: SchemeKind, shape: &Shape, repeat: u32) 
             backend: "production".into(),
             scheme: kind.name().to_string(),
             grid: format!("{}x{}", sc.rows, sc.cols),
+            drivers: shape.drivers as u64,
             subscribers: spec.subscribers as u64,
             offered: report.offered,
             granted: report.granted,
@@ -189,6 +193,7 @@ fn main() {
             subscribers: subscriber_count(32),
             requests_per_sub: 2,
             workers: 2,
+            drivers: driver_count(2),
         }
     } else {
         Shape {
@@ -198,11 +203,12 @@ fn main() {
             subscribers: subscriber_count(256),
             requests_per_sub: 8,
             workers: 4,
+            drivers: driver_count(4),
         }
     };
     println!(
-        "e17_serving: rho={RHO}, grid={}x{}, subscribers={}, repeat={repeat}",
-        shape.rows, shape.cols, shape.subscribers
+        "e17_serving: rho={RHO}, grid={}x{}, subscribers={}, drivers={}, repeat={repeat}",
+        shape.rows, shape.cols, shape.subscribers, shape.drivers
     );
     let sc = Scenario::uniform(RHO, shape.horizon).with_grid(shape.rows, shape.cols);
     let mut rows: Vec<ServeRow> = Vec::new();
@@ -215,11 +221,12 @@ fn main() {
             production_cell(&sc, kind, &shape, repeat),
         ] {
             println!(
-                "  {:<11} {:<14} offered={:>7} granted={:>7} wall={:>7.3}s \
+                "  {:<11} {:<14} drivers={} offered={:>7} granted={:>7} wall={:>7.3}s \
                  acq/s={:>9.0} p50={:>6.0} p99={:>6.0} p999={:>6.0} \
                  bp_stalls={} bp_forced={}",
                 row.backend,
                 row.scheme,
+                row.drivers,
                 row.offered,
                 row.granted,
                 row.wall_s,

@@ -17,7 +17,11 @@
 //!    row of `BENCH_shard.json` holds its `events_per_sec` against the
 //!    baseline, same band as gate 1.
 //! 5. **Serving throughput** (`--serve`): each `(backend, scheme, grid,
-//!    subscribers)` row of `BENCH_serve.json` holds its `acq_per_sec`
+//!    drivers, subscribers)` row of `BENCH_serve.json` holds its
+//!    `acq_per_sec` against the baseline, same band as gate 1 (rows
+//!    written before the driver axis existed count as `drivers = 1`).
+//! 6. **Wire throughput** (`--wire`): each `(scheme, grid, drivers,
+//!    subscribers)` row of `BENCH_wire.json` holds its `acq_per_sec`
 //!    against the baseline, same band as gate 1.
 //!
 //! Rows whose measured wall time is under one millisecond are skipped —
@@ -36,7 +40,8 @@
 //! ```text
 //! cargo run --release -p adca-bench --bin perf_gate -- \
 //!     [--engine FRESH BASELINE] [--snapshot FRESH BASELINE] \
-//!     [--shard FRESH BASELINE] [--serve FRESH BASELINE] [--tolerance X]
+//!     [--shard FRESH BASELINE] [--serve FRESH BASELINE] \
+//!     [--wire FRESH BASELINE] [--tolerance X]
 //! ```
 
 use std::process::ExitCode;
@@ -171,18 +176,72 @@ impl Gate {
         }
     }
 
-    /// Gate 5 (`--serve`): each `(backend, scheme, grid, subscribers)`
-    /// row of `BENCH_serve.json` holds its `acq_per_sec` against the
-    /// baseline, under the same tolerance band and sub-millisecond skip
-    /// as the engine gate. Rows keyed on `backend` and `subscribers` as
-    /// well: a CI smoke run (small subscriber count) only ever matches
-    /// baseline rows measured at the same scale.
+    /// Gate 5 (`--serve`): each `(backend, scheme, grid, drivers,
+    /// subscribers)` row of `BENCH_serve.json` holds its `acq_per_sec`
+    /// against the baseline, under the same tolerance band and
+    /// sub-millisecond skip as the engine gate. Rows keyed on `backend`,
+    /// `drivers`, and `subscribers` as well: a CI smoke run (small
+    /// subscriber count, fewer drivers) only ever matches baseline rows
+    /// measured at the same scale. A row with no `drivers` field (files
+    /// written before the driver axis existed) counts as `drivers = 1`.
     fn serve(&mut self, fresh: &str, baseline: &str) {
         let base_rows = scheme_rows(baseline);
         for row in scheme_rows(fresh) {
             let (Some(key), Some(backend), Some(subs)) = (
                 row.key(),
                 row.str_field("backend"),
+                row.f64_field("subscribers"),
+            ) else {
+                continue;
+            };
+            let drivers = row.f64_field("drivers").unwrap_or(1.0);
+            let (Some(wall), Some(acq)) = (row.f64_field("wall_s"), row.f64_field("acq_per_sec"))
+            else {
+                continue;
+            };
+            if wall < SUB_MS {
+                self.skipped += 1;
+                continue;
+            }
+            let Some(base) = base_rows
+                .iter()
+                .find(|b| {
+                    b.key().as_ref() == Some(&key)
+                        && b.str_field("backend") == Some(backend)
+                        && b.f64_field("drivers").unwrap_or(1.0) == drivers
+                        && b.f64_field("subscribers") == Some(subs)
+                })
+                .and_then(|b| b.f64_field("acq_per_sec"))
+            else {
+                continue; // smoke runs measure at a different scale
+            };
+            self.checked += 1;
+            if acq * self.tolerance < base {
+                self.fail(format!(
+                    "{backend}/{}/{}/{} drivers/{} subs: acq_per_sec {acq:.0} \
+                     vs baseline {base:.0} (>{:.2}x regression)",
+                    key.0,
+                    key.1,
+                    drivers as u64,
+                    subs as u64,
+                    base / acq,
+                ));
+            }
+        }
+    }
+
+    /// Gate 6 (`--wire`): each `(scheme, grid, drivers, subscribers)`
+    /// row of `BENCH_wire.json` holds its `acq_per_sec` against the
+    /// baseline, under the same tolerance band and sub-millisecond skip
+    /// as the engine gate. Keying on `drivers` keeps the driver-sweep
+    /// rows distinct; keying on `subscribers` keeps a CI smoke run from
+    /// matching full-scale baseline rows.
+    fn wire(&mut self, fresh: &str, baseline: &str) {
+        let base_rows = scheme_rows(baseline);
+        for row in scheme_rows(fresh) {
+            let (Some(key), Some(drivers), Some(subs)) = (
+                row.key(),
+                row.f64_field("drivers"),
                 row.f64_field("subscribers"),
             ) else {
                 continue;
@@ -199,7 +258,7 @@ impl Gate {
                 .iter()
                 .find(|b| {
                     b.key().as_ref() == Some(&key)
-                        && b.str_field("backend") == Some(backend)
+                        && b.f64_field("drivers") == Some(drivers)
                         && b.f64_field("subscribers") == Some(subs)
                 })
                 .and_then(|b| b.f64_field("acq_per_sec"))
@@ -209,10 +268,11 @@ impl Gate {
             self.checked += 1;
             if acq * self.tolerance < base {
                 self.fail(format!(
-                    "{backend}/{}/{}/{} subs: acq_per_sec {acq:.0} vs baseline {base:.0} \
-                     (>{:.2}x regression)",
+                    "wire/{}/{}/{} drivers/{} subs: acq_per_sec {acq:.0} \
+                     vs baseline {base:.0} (>{:.2}x regression)",
                     key.0,
                     key.1,
+                    drivers as u64,
                     subs as u64,
                     base / acq,
                 ));
@@ -281,6 +341,7 @@ fn main() -> ExitCode {
     let mut snapshot: Option<(String, String)> = None;
     let mut shard: Option<(String, String)> = None;
     let mut serve: Option<(String, String)> = None;
+    let mut wire: Option<(String, String)> = None;
     let mut tolerance = 2.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -294,6 +355,7 @@ fn main() -> ExitCode {
             "--snapshot" => snapshot = Some(pair()),
             "--shard" => shard = Some(pair()),
             "--serve" => serve = Some(pair()),
+            "--wire" => wire = Some(pair()),
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -307,8 +369,13 @@ fn main() -> ExitCode {
         tolerance >= 1.0,
         "--tolerance below 1 rejects noise-free runs"
     );
-    if engine.is_none() && snapshot.is_none() && shard.is_none() && serve.is_none() {
-        panic!("nothing to do: pass --engine, --snapshot, --shard, and/or --serve");
+    if engine.is_none()
+        && snapshot.is_none()
+        && shard.is_none()
+        && serve.is_none()
+        && wire.is_none()
+    {
+        panic!("nothing to do: pass --engine, --snapshot, --shard, --serve, and/or --wire");
     }
 
     let bless = std::env::var_os("ADCA_BLESS_PERF").is_some_and(|v| v == "1");
@@ -341,6 +408,14 @@ fn main() -> ExitCode {
         } else {
             println!("serve gate: {fresh_path} vs {base_path}");
             gate.serve(&read(fresh_path), &read(base_path));
+        }
+    }
+    if let Some((fresh_path, base_path)) = &wire {
+        if bless {
+            bless_copy(fresh_path, base_path);
+        } else {
+            println!("wire gate: {fresh_path} vs {base_path}");
+            gate.wire(&read(fresh_path), &read(base_path));
         }
     }
     if let Some((fresh_path, base_path)) = &snapshot {
@@ -468,8 +543,60 @@ mod tests {
         gate.serve(fresh, base);
         assert_eq!(gate.checked, 2);
         assert_eq!(gate.failures.len(), 1);
+        // Neither file carries a `drivers` field (pre-driver-axis
+        // layout): both sides default to 1 and still match.
         assert!(
-            gate.failures[0].contains("production/adaptive/12x12/256 subs"),
+            gate.failures[0].contains("production/adaptive/12x12/1 drivers/256 subs"),
+            "{:?}",
+            gate.failures
+        );
+    }
+
+    #[test]
+    fn serve_gate_keys_on_drivers() {
+        let base = r#"{"backend": "production", "scheme": "adaptive", "grid": "12x12", "drivers": 1, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 20000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"backend": "production", "scheme": "adaptive", "grid": "12x12", "drivers": 4, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 60000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        // The drivers=4 row regresses 4x; the drivers=1 row (same
+        // backend/scheme/grid/subscribers — what driver-less keying
+        // would conflate) is fine.
+        let fresh = r#"{"backend": "production", "scheme": "adaptive", "grid": "12x12", "drivers": 1, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.100000, "acq_per_sec": 19000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"backend": "production", "scheme": "adaptive", "grid": "12x12", "drivers": 4, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 48, "wall_s": 0.400000, "acq_per_sec": 15000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.serve(fresh, base);
+        assert_eq!(gate.checked, 2);
+        assert_eq!(gate.failures.len(), 1);
+        assert!(
+            gate.failures[0].contains("production/adaptive/12x12/4 drivers/256 subs"),
+            "{:?}",
+            gate.failures
+        );
+    }
+
+    #[test]
+    fn wire_gate_keys_on_drivers_and_subscribers() {
+        let base = r#"{"scheme": "adaptive", "grid": "12x12", "drivers": 1, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 40, "refused": 0, "retries": 0, "timeouts": 0, "dedup_hits": 0, "wall_s": 0.100000, "acq_per_sec": 20000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"scheme": "adaptive", "grid": "12x12", "drivers": 4, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 40, "refused": 0, "retries": 0, "timeouts": 0, "dedup_hits": 0, "wall_s": 0.100000, "acq_per_sec": 60000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        // drivers=4 regresses 4x; drivers=1 is fine; a smoke-scale row
+        // (32 subscribers) has no baseline to match.
+        let fresh = r#"{"scheme": "adaptive", "grid": "12x12", "drivers": 1, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 40, "refused": 0, "retries": 0, "timeouts": 0, "dedup_hits": 0, "wall_s": 0.100000, "acq_per_sec": 19000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"scheme": "adaptive", "grid": "12x12", "drivers": 4, "subscribers": 256, "offered": 2048, "granted": 2000, "rejected": 40, "refused": 0, "retries": 2, "timeouts": 0, "dedup_hits": 2, "wall_s": 0.400000, "acq_per_sec": 15000.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}
+{"scheme": "adaptive", "grid": "6x6", "drivers": 2, "subscribers": 32, "offered": 64, "granted": 64, "rejected": 0, "refused": 0, "retries": 0, "timeouts": 0, "dedup_hits": 0, "wall_s": 0.010000, "acq_per_sec": 6400.0, "p50_ticks": 30.0, "p99_ticks": 90.0, "p999_ticks": 200.0, "bp_stalls": 0, "bp_forced": 0}"#;
+        let mut gate = Gate {
+            tolerance: 2.0,
+            failures: Vec::new(),
+            checked: 0,
+            skipped: 0,
+        };
+        gate.wire(fresh, base);
+        assert_eq!(gate.checked, 2);
+        assert_eq!(gate.failures.len(), 1);
+        assert!(
+            gate.failures[0].contains("wire/adaptive/12x12/4 drivers/256 subs"),
             "{:?}",
             gate.failures
         );

@@ -142,6 +142,9 @@ pub struct ServeRow {
     pub scheme: String,
     /// Grid label, e.g. `"12x12"`.
     pub grid: String,
+    /// Concurrent closed-loop driver threads (1 for the des backend's
+    /// batch replay).
+    pub drivers: u64,
     /// Closed-loop subscribers (production) or buffered requests (des).
     pub subscribers: u64,
     /// Requests submitted.
@@ -180,17 +183,106 @@ pub fn write_serve_json(path: &str, rho: f64, repeat: u32, rows: &[ServeRow]) ->
         let _ = write!(
             s,
             "    {{\"backend\": \"{}\", \"scheme\": \"{}\", \"grid\": \"{}\", \
-             \"subscribers\": {}, \"offered\": {}, \"granted\": {}, \"rejected\": {}, \
-             \"wall_s\": {:.6}, \"acq_per_sec\": {:.1}, \"p50_ticks\": {:.1}, \
-             \"p99_ticks\": {:.1}, \"p999_ticks\": {:.1}, \"bp_stalls\": {}, \
-             \"bp_forced\": {}}}",
+             \"drivers\": {}, \"subscribers\": {}, \"offered\": {}, \"granted\": {}, \
+             \"rejected\": {}, \"wall_s\": {:.6}, \"acq_per_sec\": {:.1}, \
+             \"p50_ticks\": {:.1}, \"p99_ticks\": {:.1}, \"p999_ticks\": {:.1}, \
+             \"bp_stalls\": {}, \"bp_forced\": {}}}",
             r.backend,
             r.scheme,
             r.grid,
+            r.drivers,
             r.subscribers,
             r.offered,
             r.granted,
             r.rejected,
+            r.wall_s,
+            r.acq_per_sec,
+            r.p50_ticks,
+            r.p99_ticks,
+            r.p999_ticks,
+            r.bp_stalls,
+            r.bp_forced
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// One `(scheme, grid, drivers)` measurement row of the wire-transport
+/// bench (`BENCH_wire.json`): the production backend behind a
+/// `WireServer` on loopback TCP, driven by `drivers` concurrent
+/// closed-loop `WireClient` connections.
+#[derive(Debug, Clone)]
+pub struct WireRow {
+    /// Scheme name (`SchemeKind::name`).
+    pub scheme: String,
+    /// Grid label, e.g. `"12x12"`.
+    pub grid: String,
+    /// Concurrent driver threads, each with its own TCP connection.
+    pub drivers: u64,
+    /// Closed-loop subscribers across all drivers.
+    pub subscribers: u64,
+    /// Requests submitted over the wire.
+    pub offered: u64,
+    /// Requests granted a channel.
+    pub granted: u64,
+    /// Requests rejected by the protocol.
+    pub rejected: u64,
+    /// Requests refused at admission.
+    pub refused: u64,
+    /// Client-side retransmissions across all drivers.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Duplicate submissions absorbed by the server's idempotency layer.
+    pub dedup_hits: u64,
+    /// Wall clock of the wire run, seconds.
+    pub wall_s: f64,
+    /// Sustained grant throughput over the run.
+    pub acq_per_sec: f64,
+    /// Median acquisition latency, backend ticks.
+    pub p50_ticks: f64,
+    /// 99th-percentile acquisition latency, backend ticks.
+    pub p99_ticks: f64,
+    /// 99.9th-percentile acquisition latency, backend ticks.
+    pub p999_ticks: f64,
+    /// Admissions that blocked on a full mailbox before fitting.
+    pub bp_stalls: u64,
+    /// Pushes forced past a still-full mailbox after the stall patience
+    /// expired.
+    pub bp_forced: u64,
+}
+
+/// Writes `rows` as `BENCH_wire.json`-style JSON to `path`.
+pub fn write_wire_json(path: &str, rho: f64, repeat: u32, rows: &[WireRow]) -> io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"e18_wire\",\n");
+    s.push_str("  \"workload\": \"closed-loop drivers over loopback TCP\",\n");
+    let _ = writeln!(s, "  \"rho\": {rho},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"grid\": \"{}\", \"drivers\": {}, \
+             \"subscribers\": {}, \"offered\": {}, \"granted\": {}, \"rejected\": {}, \
+             \"refused\": {}, \"retries\": {}, \"timeouts\": {}, \"dedup_hits\": {}, \
+             \"wall_s\": {:.6}, \"acq_per_sec\": {:.1}, \"p50_ticks\": {:.1}, \
+             \"p99_ticks\": {:.1}, \"p999_ticks\": {:.1}, \"bp_stalls\": {}, \
+             \"bp_forced\": {}}}",
+            r.scheme,
+            r.grid,
+            r.drivers,
+            r.subscribers,
+            r.offered,
+            r.granted,
+            r.rejected,
+            r.refused,
+            r.retries,
+            r.timeouts,
+            r.dedup_hits,
             r.wall_s,
             r.acq_per_sec,
             r.p50_ticks,
@@ -318,6 +410,7 @@ mod tests {
             backend: "production".into(),
             scheme: "adaptive".into(),
             grid: "12x12".into(),
+            drivers: 4,
             subscribers: 256,
             offered: 2048,
             granted: 2000,
@@ -338,9 +431,50 @@ mod tests {
             .expect("one row line");
         assert_eq!(find_str(row, "backend"), Some("production"));
         assert_eq!(find_str(row, "scheme"), Some("adaptive"));
+        assert_eq!(find_num(row, "drivers"), Some(4.0));
         assert_eq!(find_num(row, "subscribers"), Some(256.0));
         assert_eq!(find_num(row, "acq_per_sec"), Some(1600.0));
         assert_eq!(find_num(row, "p999_ticks"), Some(200.0));
+    }
+
+    #[test]
+    fn wire_rows_parse_back_with_the_row_extractors() {
+        let dir = std::env::temp_dir().join("adca_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_wire.json");
+        let path = path.to_str().unwrap();
+        let r = WireRow {
+            scheme: "adaptive".into(),
+            grid: "12x12".into(),
+            drivers: 4,
+            subscribers: 256,
+            offered: 2048,
+            granted: 2000,
+            rejected: 40,
+            refused: 0,
+            retries: 8,
+            timeouts: 0,
+            dedup_hits: 8,
+            wall_s: 0.75,
+            acq_per_sec: 2666.7,
+            p50_ticks: 35.0,
+            p99_ticks: 120.0,
+            p999_ticks: 400.0,
+            bp_stalls: 2,
+            bp_forced: 0,
+        };
+        write_wire_json(path, 0.9, 2, &[r]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let row = text
+            .lines()
+            .find(|l| l.contains("\"retries\""))
+            .expect("one row line");
+        assert_eq!(find_str(row, "scheme"), Some("adaptive"));
+        assert_eq!(find_num(row, "drivers"), Some(4.0));
+        assert_eq!(find_num(row, "retries"), Some(8.0));
+        assert_eq!(find_num(row, "timeouts"), Some(0.0));
+        assert_eq!(find_num(row, "dedup_hits"), Some(8.0));
+        assert_eq!(find_num(row, "acq_per_sec"), Some(2666.7));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use adca_simkit::engine::{run_protocol, run_traced, Engine};
 use adca_simkit::trace::{NoopSink, TraceSink};
 use adca_simkit::{Arrival, AuditMode, DecodeError, FaultPlan, LatencyModel, SimConfig, SimTime};
 use adca_traffic::WorkloadSpec;
+use adca_wire::{closed_loop_wire, WireLoadReport, WireLoadSpec, WireServer};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -350,19 +351,47 @@ impl Scenario {
     }
 
     /// Convenience: starts the production backend for `kind` and drives
-    /// it with the closed-loop load generator; returns the load report
-    /// and the service's final counters (backpressure, violations).
+    /// it with `drivers` concurrent closed-loop drivers (1 recovers the
+    /// single-threaded loop exactly); returns the load report and the
+    /// service's final counters (backpressure, violations).
     pub fn serve_closed_loop(
         &self,
         kind: SchemeKind,
         serve_cfg: ProductionConfig,
         spec: &LoadSpec,
+        drivers: usize,
     ) -> (LoadReport, ServeStats) {
         let topo = self.topology();
-        let mut svc = self.serve_production(kind, serve_cfg);
-        let report = adca_serve::closed_loop(&mut *svc, &topo, spec);
-        let stats = svc.stats();
-        (report, stats)
+        dispatch_scheme!(self, kind, factory => {
+            let svc = ProductionAllocService::new(topo.clone(), serve_cfg, factory);
+            let report = adca_serve::closed_loop_drivers(&svc, &topo, spec, drivers);
+            let stats = svc.stats();
+            (report, stats)
+        })
+    }
+
+    /// Puts the production backend for `kind` on a loopback TCP socket
+    /// behind a [`WireServer`] and drives it with
+    /// [`closed_loop_wire`]'s multi-driver load generator (each driver
+    /// owns one connection). Returns the wire-side load report and the
+    /// backend's final counters, plus the server's idempotency-cache
+    /// hit count — under injected client retries every duplicate must
+    /// land there instead of reaching the backend twice.
+    pub fn serve_wire(
+        &self,
+        kind: SchemeKind,
+        serve_cfg: ProductionConfig,
+        spec: &WireLoadSpec,
+    ) -> std::io::Result<(WireLoadReport, ServeStats, u64)> {
+        let topo = self.topology();
+        dispatch_scheme!(self, kind, factory => {
+            let svc = ProductionAllocService::new(topo.clone(), serve_cfg, factory);
+            let mut server = WireServer::start(svc.clone(), "127.0.0.1:0")?;
+            let report = closed_loop_wire(server.local_addr(), topo.num_cells(), spec)?;
+            server.shutdown();
+            let stats = svc.stats();
+            Ok((report, stats, server.dedup_hits()))
+        })
     }
 
     /// Runs one scheme on the sharded conservative-PDES engine (see

@@ -31,6 +31,10 @@ pub const SHARDS_ENV: &str = "ADCA_SHARDS";
 /// the serving bench drives (see [`subscriber_count`]).
 pub const SUBSCRIBERS_ENV: &str = "ADCA_SUBSCRIBERS";
 
+/// Environment variable controlling how many concurrent closed-loop
+/// driver threads the serving benches use (see [`driver_count`]).
+pub const DRIVERS_ENV: &str = "ADCA_DRIVERS";
+
 /// The machine's available parallelism (1 if unknown).
 fn available() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -94,6 +98,19 @@ pub fn shard_count() -> usize {
 pub fn subscriber_count(default: usize) -> usize {
     static WARNED: std::sync::Once = std::sync::Once::new();
     env_count(SUBSCRIBERS_ENV, &WARNED, || {
+        format!("the bench default ({default})")
+    })
+    .unwrap_or(default)
+}
+
+/// Closed-loop driver-thread count for the serving benches:
+/// `ADCA_DRIVERS` if set to a positive integer, otherwise the caller's
+/// `default`. `ADCA_DRIVERS=1` recovers the single-driver loop exactly.
+/// Invalid values warn once and fall back, exactly like [`worker_count`]
+/// does for `ADCA_THREADS`.
+pub fn driver_count(default: usize) -> usize {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    env_count(DRIVERS_ENV, &WARNED, || {
         format!("the bench default ({default})")
     })
     .unwrap_or(default)
@@ -564,6 +581,7 @@ mod tests {
         assert!(worker_count() >= 1);
         assert!(shard_count() >= 1);
         assert!(subscriber_count(256) >= 1);
+        assert!(driver_count(4) >= 1);
         assert!(SweepRunner::new().workers() >= 1);
         assert_eq!(SweepRunner::new().with_workers(0).workers(), 1);
         let sharded = SweepRunner::new_sharded();

@@ -30,13 +30,14 @@
 #![forbid(unsafe_code)]
 
 pub mod des;
+mod ground;
 pub mod loadgen;
 mod mailbox;
 pub mod production;
 pub mod service;
 
 pub use des::DesAllocService;
-pub use loadgen::{closed_loop, LoadReport, LoadSpec};
+pub use loadgen::{closed_loop, closed_loop_drivers, LoadReport, LoadSpec};
 pub use production::{ProductionAllocService, ProductionConfig};
 pub use service::{
     AllocService, ChannelRequest, Confirm, Indication, ServeError, ServeStats, Ticket,
@@ -148,6 +149,188 @@ mod tests {
         assert!(stats.violations.is_empty(), "{:?}", stats.violations);
         // Latency sketch saw every grant.
         assert_eq!(report.latency.count(), report.granted);
+    }
+
+    #[test]
+    fn des_backend_maps_handoffs_onto_hop_plans() {
+        let topo = topo();
+        let mut svc = DesAllocService::new(topo.clone(), SimConfig::default(), FixedNode::new);
+        // Call in cell 0, hold 100; hop to the neighbor at t = 50.
+        let call = svc
+            .request_channel(ChannelRequest::new_call(0, CellId(0), 100))
+            .unwrap();
+        let hop = svc
+            .request_channel(ChannelRequest::handoff(50, call, CellId(1), 0))
+            .unwrap();
+        // A hop after the call has ended: the engine skips it, the
+        // service surfaces a Blocked rejection.
+        let late = svc
+            .request_channel(ChannelRequest::handoff(500, hop, CellId(2), 0))
+            .unwrap();
+        // Validation errors: missing source, non-increasing hop time.
+        let sourceless = ChannelRequest {
+            handoff_of: None,
+            ..ChannelRequest::handoff(60, call, CellId(3), 0)
+        };
+        assert!(matches!(
+            svc.request_channel(sourceless),
+            Err(ServeError::BadHandoff(_))
+        ));
+        assert!(matches!(
+            svc.request_channel(ChannelRequest::handoff(50, call, CellId(3), 0)),
+            Err(ServeError::BadHandoff(_))
+        ));
+        assert!(svc.quiesce(Duration::from_secs(5)));
+        let mut confirms = Vec::new();
+        while let Some(c) = svc.confirm() {
+            confirms.push(c);
+        }
+        assert!(confirms[0].is_granted() && confirms[0].ticket() == call);
+        assert!(confirms[1].is_granted() && confirms[1].ticket() == hop);
+        assert!(
+            matches!(confirms[2], Confirm::Rejected { ticket, .. } if ticket == late),
+            "skipped hop surfaces as a rejection: {:?}",
+            confirms[2]
+        );
+        // Break-before-make: the call's channel returns at the hop, the
+        // hop's channel at the call's end.
+        let mut released = Vec::new();
+        while let Some(Indication::Released { ticket, .. }) = svc.indication() {
+            released.push(ticket);
+        }
+        assert_eq!(released, vec![call, hop]);
+        let stats = svc.stats();
+        assert_eq!(stats.offered, 3);
+        assert_eq!(stats.granted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1, "one call completed, across two cells");
+        assert!(stats.violations.is_empty(), "{:?}", stats.violations);
+    }
+
+    #[test]
+    fn production_handoff_migrates_and_failed_handoff_drops() {
+        let topo = topo();
+        let mut svc = ProductionAllocService::new(
+            topo.clone(),
+            ProductionConfig {
+                workers: 2,
+                // Day-long ticks: nothing auto-releases during the test.
+                ns_per_tick: 1_000_000_000,
+                ..Default::default()
+            },
+            FixedNode::new,
+        );
+        // A call in cell 1, then migrate it to cell 2.
+        let src = svc
+            .request_channel(ChannelRequest::new_call(0, CellId(1), 86_400))
+            .unwrap();
+        assert!(svc.quiesce(Duration::from_secs(10)));
+        assert!(svc.confirm().expect("granted").is_granted());
+        let hop = svc
+            .request_channel(ChannelRequest::handoff(0, src, CellId(2), 86_400))
+            .unwrap();
+        assert!(svc.quiesce(Duration::from_secs(10)));
+        match svc.confirm().expect("handoff resolved") {
+            Confirm::Granted { ticket, cell, .. } => {
+                assert_eq!(ticket, hop);
+                assert_eq!(cell, CellId(2));
+            }
+            other => panic!("handoff into a free cell must be granted: {other:?}"),
+        }
+        // Break-before-make: the source channel was released at submit.
+        let Indication::Released { ticket, cell, .. } = svc.indication().expect("source released");
+        assert_eq!(ticket, src);
+        assert_eq!(cell, CellId(1));
+        // The source ticket is spent: a second handoff of it is refused.
+        assert!(matches!(
+            svc.request_channel(ChannelRequest::handoff(0, src, CellId(3), 10)),
+            Err(ServeError::BadHandoff(_))
+        ));
+        // Saturate cell 0's fixed primaries, then hand the migrated call
+        // into the full cell: the handoff is rejected and the call drops
+        // (its channel was already returned at submit).
+        let spectrum = topo.spectrum().len() as usize;
+        for _ in 0..spectrum {
+            svc.request_channel(ChannelRequest::new_call(0, CellId(0), 86_400))
+                .unwrap();
+        }
+        assert!(svc.quiesce(Duration::from_secs(20)));
+        let mut cell0_rejected = false;
+        while let Some(c) = svc.confirm() {
+            cell0_rejected |= !c.is_granted();
+        }
+        assert!(cell0_rejected, "cell 0 must be saturated");
+        let doomed = svc
+            .request_channel(ChannelRequest::handoff(0, hop, CellId(0), 86_400))
+            .unwrap();
+        assert!(svc.quiesce(Duration::from_secs(10)));
+        match svc.confirm().expect("handoff resolved") {
+            Confirm::Rejected { ticket, .. } => assert_eq!(ticket, doomed),
+            other => panic!("handoff into a full fixed cell must fail: {other:?}"),
+        }
+        let stats = svc.stats();
+        assert!(stats.violations.is_empty(), "{:?}", stats.violations);
+        // Migrations are not completions.
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn production_clones_share_one_executor() {
+        let topo = topo();
+        let mut a = ProductionAllocService::new(
+            topo.clone(),
+            ProductionConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            FixedNode::new,
+        );
+        let mut b = a.clone();
+        a.request_channel(ChannelRequest::new_call(0, CellId(0), 10))
+            .unwrap();
+        b.request_channel(ChannelRequest::new_call(0, CellId(1), 10))
+            .unwrap();
+        assert!(b.quiesce(Duration::from_secs(10)));
+        // Both handles observe the same shared stats.
+        assert_eq!(a.stats().offered, 2);
+        assert_eq!(b.stats().granted, 2);
+        drop(a);
+        // The executor survives the first handle: `b` still serves.
+        b.request_channel(ChannelRequest::new_call(0, CellId(2), 10))
+            .unwrap();
+        assert!(b.quiesce(Duration::from_secs(10)));
+        assert_eq!(b.stats().granted, 3);
+    }
+
+    #[test]
+    fn multi_driver_closed_loop_resolves_every_request() {
+        let topo = topo();
+        let svc = ProductionAllocService::new(
+            topo.clone(),
+            ProductionConfig {
+                workers: 4,
+                ns_per_tick: 50,
+                ..Default::default()
+            },
+            FixedNode::new,
+        );
+        let spec = LoadSpec {
+            subscribers: 48,
+            requests_per_sub: 3,
+            think: Duration::ZERO,
+            hold: 100,
+            deadline: Duration::from_secs(30),
+        };
+        let report = closed_loop_drivers(&svc, &topo, &spec, 4);
+        assert_eq!(report.unresolved, 0, "run drained before the deadline");
+        assert_eq!(
+            report.granted + report.rejected,
+            spec.subscribers as u64 * spec.requests_per_sub as u64
+        );
+        assert!(report.granted > 0);
+        assert_eq!(report.latency.count(), report.granted);
+        let stats = svc.stats();
+        assert!(stats.violations.is_empty(), "{:?}", stats.violations);
     }
 
     #[test]

@@ -39,16 +39,35 @@ impl<T> Mailbox<T> {
 
     /// Enqueues `v`, blocking up to `patience` while over capacity.
     pub(crate) fn push(&self, v: T, patience: Duration) -> Push {
+        self.enqueue(v, patience, false)
+    }
+
+    /// Priority variant of [`Mailbox::push`]: `v` goes to the *front*
+    /// of the queue (handoff acquires overtake queued new-call work),
+    /// but it obeys the same capacity, stall, and forcing rules —
+    /// priority jumps the line, it does not escape backpressure.
+    pub(crate) fn push_front(&self, v: T, patience: Duration) -> Push {
+        self.enqueue(v, patience, true)
+    }
+
+    fn enqueue(&self, v: T, patience: Duration, front: bool) -> Push {
+        let insert = |q: &mut VecDeque<T>, v| {
+            if front {
+                q.push_front(v);
+            } else {
+                q.push_back(v);
+            }
+        };
         let mut q = self.q.lock().expect("mailbox poisoned");
         if q.len() < self.cap {
-            q.push_back(v);
+            insert(&mut q, v);
             return Push::Fit;
         }
         let deadline = Instant::now() + patience;
         loop {
             let now = Instant::now();
             if now >= deadline {
-                q.push_back(v);
+                insert(&mut q, v);
                 return Push::Forced;
             }
             let (guard, _) = self
@@ -57,7 +76,7 @@ impl<T> Mailbox<T> {
                 .expect("mailbox poisoned");
             q = guard;
             if q.len() < self.cap {
-                q.push_back(v);
+                insert(&mut q, v);
                 return Push::Stalled;
             }
         }
@@ -96,6 +115,18 @@ mod tests {
         assert_eq!(mb.drain(&mut out, 10), 3);
         assert_eq!(out, vec![1, 2, 3]);
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn push_front_overtakes_queued_work_but_not_capacity() {
+        let mb = Mailbox::new(2);
+        assert_eq!(mb.push(1, Duration::ZERO), Push::Fit);
+        assert_eq!(mb.push_front(0, Duration::ZERO), Push::Fit);
+        // Full: priority still obeys the capacity rules.
+        assert_eq!(mb.push_front(9, Duration::ZERO), Push::Forced);
+        let mut out = Vec::new();
+        mb.drain(&mut out, 10);
+        assert_eq!(out, vec![9, 0, 1]);
     }
 
     #[test]

@@ -15,14 +15,24 @@
 //!
 //! Grants are audited exactly like the thread-per-cell validation
 //! driver: the Theorem-1 check and the ground-truth commit happen
-//! atomically under one lock, so no interleaving can produce a
-//! false-clean run.
+//! atomically under the covering stripe locks of the sharded
+//! ground-truth table (`crate::ground`), so no interleaving can
+//! produce a false-clean run — but grants in non-interfering regions
+//! no longer serialize on one global mutex.
+//!
+//! Handoffs follow the engine's (and the paper's) break-before-make
+//! order: the source channel is relinquished at submission, then the
+//! acquire at the target cell jumps the mailbox queue (priority, same
+//! backpressure). A rejected handoff drops the call — the paper's
+//! forced termination — with nothing left to clean up, because the
+//! source channel was already returned.
 
+use crate::ground::GroundTruth;
 use crate::mailbox::{Mailbox, Push};
 use crate::service::{
     AllocService, ChannelRequest, Confirm, Indication, ServeError, ServeStats, Ticket,
 };
-use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};
+use adca_hexgrid::{CellId, Channel, Topology};
 use adca_simkit::{Ctx, CtxBackend, DropCause, Protocol, RequestId, RequestKind, SimTime};
 use adca_threadnet::TimerWheel;
 use std::collections::VecDeque;
@@ -48,6 +58,11 @@ pub struct ProductionConfig {
     /// Maximum events one task activation drains before yielding the
     /// worker.
     pub quantum: usize,
+    /// Lock stripes for the ground-truth audit (`crate::ground`):
+    /// grants in non-interfering regions commit
+    /// concurrently when their stripe sets are disjoint. `1` recovers
+    /// the single global audit lock.
+    pub audit_stripes: usize,
 }
 
 impl Default for ProductionConfig {
@@ -61,15 +76,32 @@ impl Default for ProductionConfig {
             mailbox_capacity: 1024,
             stall_patience: Duration::from_millis(2),
             quantum: 64,
+            audit_stripes: 8,
         }
     }
 }
 
 enum TaskEvent<M> {
-    Acquire { ticket: u64, kind: RequestKind },
-    End { ticket: u64 },
-    Msg { from: CellId, msg: M },
-    Timer { tag: u64 },
+    Acquire {
+        ticket: u64,
+        kind: RequestKind,
+    },
+    End {
+        ticket: u64,
+    },
+    /// A handoff away from this cell committed at its target: run
+    /// `on_release` for the vacated channel *without* ending the call
+    /// (the call lives on under the handoff ticket).
+    Relinquish {
+        ch: Channel,
+    },
+    Msg {
+        from: CellId,
+        msg: M,
+    },
+    Timer {
+        tag: u64,
+    },
 }
 
 /// Timer-wheel payloads are non-generic so one wheel serves both
@@ -165,14 +197,18 @@ struct Inner<P: Protocol> {
     epoch: Instant,
     tasks: Vec<Task<P>>,
     runq: RunQueue,
-    /// Ground-truth channel usage (Theorem-1 audit + commit, atomic).
-    ground: Mutex<Vec<ChannelSet>>,
+    /// Ground-truth channel usage (Theorem-1 audit + commit, atomic
+    /// under the covering stripe locks).
+    ground: GroundTruth,
     tickets: Mutex<Vec<TicketRec>>,
     confirms: Mutex<VecDeque<Confirm>>,
     indications: Mutex<VecDeque<Indication>>,
     violations: Mutex<Vec<String>>,
     wheel: OnceLock<TimerWheel<(usize, WheelKind)>>,
     counters: Counters,
+    /// Live [`ProductionAllocService`] clones sharing this executor;
+    /// the last one to drop shuts the pool down.
+    handles: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -191,7 +227,24 @@ where
 
     /// Enqueues `ev` for cell `to` and makes sure the task will run.
     fn deliver(&self, to: usize, ev: TaskEvent<P::Msg>, patience: Duration) {
-        match self.tasks[to].mailbox.push(ev, patience) {
+        self.deliver_with(to, ev, patience, false);
+    }
+
+    /// Priority delivery: `ev` jumps the mailbox queue (handoff work
+    /// overtakes waiting new-call work) but obeys the same capacity and
+    /// stall rules — priority does not escape backpressure.
+    fn deliver_front(&self, to: usize, ev: TaskEvent<P::Msg>, patience: Duration) {
+        self.deliver_with(to, ev, patience, true);
+    }
+
+    fn deliver_with(&self, to: usize, ev: TaskEvent<P::Msg>, patience: Duration, front: bool) {
+        let mb = &self.tasks[to].mailbox;
+        let push = if front {
+            mb.push_front(ev, patience)
+        } else {
+            mb.push(ev, patience)
+        };
+        match push {
             Push::Fit => {}
             Push::Stalled => {
                 self.counters.stalls.fetch_add(1, Ordering::Relaxed);
@@ -227,6 +280,10 @@ where
                         node.on_acquire(RequestId(ticket), kind, &mut ctx);
                     }
                     TaskEvent::End { ticket } => end_call(self, ticket, me, &mut *node),
+                    TaskEvent::Relinquish { ch } => {
+                        let mut ctx = Ctx::new(&mut backend);
+                        node.on_release(ch, &mut ctx);
+                    }
                     TaskEvent::Msg { from, msg } => {
                         let mut ctx = Ctx::new(&mut backend);
                         node.on_message(from, msg, &mut ctx);
@@ -276,10 +333,7 @@ where
             _ => return,
         }
     };
-    {
-        let mut ground = inner.ground.lock().expect("ground poisoned");
-        ground[me.index()].remove(ch);
-    }
+    inner.ground.remove(me, ch);
     {
         let mut backend = ProdCtx { inner, me };
         let mut ctx = Ctx::new(&mut backend);
@@ -350,27 +404,14 @@ where
             rec.state = TicketState::Active(ch);
             (self.inner.elapsed_ticks(rec.issued), rec.hold)
         };
-        // Audit + commit atomically under the ground-truth lock, exactly
-        // like the threadnet driver: no interleaving can slip an
+        // Audit + commit atomically under the covering stripe locks,
+        // exactly like the threadnet driver: no interleaving can slip an
         // interfering grant past the check.
-        let violation = {
-            let mut ground = self.inner.ground.lock().expect("ground poisoned");
-            let mut v = None;
-            if ground[self.me.index()].contains(ch) {
-                v = Some(format!("{} double-assigned {ch}", self.me));
-            }
-            for &j in self.inner.topo.region(self.me) {
-                if ground[j.index()].contains(ch) {
-                    v = Some(format!(
-                        "{} granted {ch} already used by {j} (interference)",
-                        self.me
-                    ));
-                }
-            }
-            ground[self.me.index()].insert(ch);
-            v
-        };
-        if let Some(v) = violation {
+        if let Some(v) = self
+            .inner
+            .ground
+            .commit_grant(&self.inner.topo, self.me, ch)
+        {
             self.inner
                 .violations
                 .lock()
@@ -444,15 +485,7 @@ where
     fn sample(&mut self, _name: &'static str, _value: f64) {}
 
     fn truly_free_here(&self, ch: Channel) -> bool {
-        let ground = self.inner.ground.lock().expect("ground poisoned");
-        if ground[self.me.index()].contains(ch) {
-            return false;
-        }
-        self.inner
-            .topo
-            .region(self.me)
-            .iter()
-            .all(|j| !ground[j.index()].contains(ch))
+        self.inner.ground.truly_free(&self.inner.topo, self.me, ch)
     }
 }
 
@@ -461,8 +494,14 @@ where
 /// Each cell's protocol node runs as a task on a fixed worker pool;
 /// requests are answered at wall-clock time (latencies are reported in
 /// ticks of [`ProductionConfig::ns_per_tick`]). Granted calls
-/// auto-release when their hold expires. Dropping the service shuts the
-/// executor down (stops the workers and discards unfired timers).
+/// auto-release when their hold expires.
+///
+/// The service is [`Clone`]: every clone is a handle onto the *same*
+/// executor (shared tickets, confirms, stats), so independent driver
+/// threads — or a wire server's connection workers — can each own a
+/// handle. Each queued confirm is observed by exactly one handle. The
+/// executor shuts down (stops the workers and discards unfired timers)
+/// when the last handle drops, or on an explicit [`Self::shutdown`].
 pub struct ProductionAllocService<P: Protocol + Send + 'static>
 where
     P::Msg: Send + 'static,
@@ -494,7 +533,7 @@ where
             .collect();
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
-            ground: Mutex::new(vec![topo.spectrum().empty_set(); n]),
+            ground: GroundTruth::new(&topo, cfg.audit_stripes),
             topo,
             cfg,
             epoch: Instant::now(),
@@ -506,6 +545,7 @@ where
             violations: Mutex::new(Vec::new()),
             wheel: OnceLock::new(),
             counters: Counters::default(),
+            handles: AtomicU64::new(1),
             workers: Mutex::new(Vec::new()),
         });
         // The wheel holds only a weak reference, so service teardown is
@@ -553,13 +593,31 @@ where
     }
 }
 
+impl<P> Clone for ProductionAllocService<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    fn clone(&self) -> Self {
+        self.inner.handles.fetch_add(1, Ordering::AcqRel);
+        ProductionAllocService {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
 impl<P> Drop for ProductionAllocService<P>
 where
     P: Protocol + Send + 'static,
     P::Msg: Send + 'static,
 {
     fn drop(&mut self) {
-        self.inner.shutdown();
+        // The workers hold their own `Arc<Inner>` clones, so the strong
+        // count cannot tell handles apart from pool internals — count
+        // handles explicitly and shut down with the last one.
+        if self.inner.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.shutdown();
+        }
     }
 }
 
@@ -575,13 +633,34 @@ where
         if req.cell.index() >= self.inner.topo.num_cells() {
             return Err(ServeError::UnknownCell(req.cell));
         }
-        if req.kind == RequestKind::Handoff {
-            return Err(ServeError::Unsupported(
-                "the production backend serves stationary subscribers; handoffs are future work",
-            ));
-        }
+        let priority = req.kind == RequestKind::Handoff;
+        // Break-before-make, matching the engine's `Ev::Hop`: claim and
+        // retire the source ticket, return its channel, *then* issue the
+        // priority acquire at the target. A rejected handoff therefore
+        // drops the call with nothing left to clean up.
+        let mut vacated = None;
         let ticket = {
             let mut tickets = self.inner.tickets.lock().expect("tickets poisoned");
+            if priority {
+                let Some(src) = req.handoff_of else {
+                    return Err(ServeError::BadHandoff(
+                        "a handoff needs its source ticket (ChannelRequest::handoff)",
+                    ));
+                };
+                let Some(rec) = tickets.get_mut(src.0 as usize) else {
+                    return Err(ServeError::UnknownTicket(src));
+                };
+                // Claiming under the tickets lock makes concurrent
+                // handoffs of the same source mutually exclusive: the
+                // loser sees Done and is refused.
+                let TicketState::Active(src_ch) = rec.state else {
+                    return Err(ServeError::BadHandoff(
+                        "the source ticket is not holding a channel",
+                    ));
+                };
+                rec.state = TicketState::Done;
+                vacated = Some((src, rec.cell, src_ch));
+            }
             let id = tickets.len() as u64;
             tickets.push(TicketRec {
                 cell: req.cell,
@@ -591,19 +670,47 @@ where
             });
             id
         };
+        if let Some((src, src_cell, src_ch)) = vacated {
+            // The channel is out of the ground truth before the target
+            // search can observe it; the source node hears the release
+            // on its own task; the subscriber sees the usual Released
+            // (the call itself lives on under the new ticket — this is
+            // a migration, not a completion, so `completed` is not
+            // bumped).
+            self.inner.ground.remove(src_cell, src_ch);
+            self.inner.deliver(
+                src_cell.index(),
+                TaskEvent::Relinquish { ch: src_ch },
+                self.inner.cfg.stall_patience,
+            );
+            self.inner
+                .indications
+                .lock()
+                .expect("indications poisoned")
+                .push_back(Indication::Released {
+                    ticket: src,
+                    cell: src_cell,
+                    channel: src_ch,
+                });
+        }
         self.inner.counters.offered.fetch_add(1, Ordering::Relaxed);
         self.inner.counters.pending.fetch_add(1, Ordering::Relaxed);
         // Blocking push: admission is behind the same bounded mailbox
         // as protocol traffic, so an overloaded cell pushes back on the
-        // client.
-        self.inner.deliver(
-            req.cell.index(),
-            TaskEvent::Acquire {
-                ticket,
-                kind: req.kind,
-            },
-            self.inner.cfg.stall_patience,
-        );
+        // client. Handoff acquires jump the target's queue — the paper
+        // prioritizes handoffs over new calls — but feel the same
+        // backpressure.
+        let ev = TaskEvent::Acquire {
+            ticket,
+            kind: req.kind,
+        };
+        if priority {
+            self.inner
+                .deliver_front(req.cell.index(), ev, self.inner.cfg.stall_patience);
+        } else {
+            self.inner
+                .deliver(req.cell.index(), ev, self.inner.cfg.stall_patience);
+        }
         Ok(Ticket(ticket))
     }
 

@@ -33,6 +33,10 @@ pub struct ChannelRequest {
     /// service auto-releases when the hold expires; an explicit
     /// [`AllocService::release`] ends it earlier.
     pub hold: u64,
+    /// For a [`RequestKind::Handoff`] request: the ticket of the call
+    /// being handed off (the ticket currently holding, or about to
+    /// hold, a channel). `None` for new calls.
+    pub handoff_of: Option<Ticket>,
 }
 
 impl ChannelRequest {
@@ -44,6 +48,23 @@ impl ChannelRequest {
             cell,
             kind: RequestKind::NewCall,
             hold,
+            handoff_of: None,
+        }
+    }
+
+    /// A handoff of the call behind `of` into `target`: the source cell
+    /// releases the call's channel and `target` acquires a new one with
+    /// handoff priority, holding it for a further `hold` ticks. On the
+    /// deterministic backend `at` must lie strictly after the source
+    /// call's arrival (and after any earlier hop of the same call) —
+    /// the request becomes a hop on the call's mobility plan.
+    pub fn handoff(at: u64, of: Ticket, target: CellId, hold: u64) -> Self {
+        ChannelRequest {
+            at,
+            cell: target,
+            kind: RequestKind::Handoff,
+            hold,
+            handoff_of: Some(of),
         }
     }
 }
@@ -57,8 +78,13 @@ pub enum ServeError {
     /// The ticket was never issued by this service.
     UnknownTicket(Ticket),
     /// The backend cannot perform this operation (the message names the
-    /// limitation, e.g. handoffs on the deterministic backend).
+    /// limitation, e.g. submitting after shutdown).
     Unsupported(&'static str),
+    /// A malformed handoff request: no source ticket, a source that is
+    /// not holding a channel, or (on the deterministic backend) a hop
+    /// time that does not lie strictly after the call's previous
+    /// position change. The message names the rule that was broken.
+    BadHandoff(&'static str),
     /// The deterministic backend already ran to quiescence; it accepts
     /// no further requests.
     Quiesced,
@@ -70,6 +96,7 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownCell(c) => write!(f, "unknown cell {c:?}"),
             ServeError::UnknownTicket(t) => write!(f, "unknown {t}"),
             ServeError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ServeError::BadHandoff(why) => write!(f, "bad handoff: {why}"),
             ServeError::Quiesced => write!(f, "service already quiesced"),
         }
     }

@@ -1,0 +1,108 @@
+//! Bounded retry-with-backoff schedules for wall-clock clients.
+//!
+//! The wire client (`adca-wire`) retries a timed-out request at most
+//! `max_retries` times, waiting `base`, `2·base`, `4·base`, … (capped
+//! at `cap`) between attempts. The schedule is a tiny value type so it
+//! can live inside a per-request record and be advanced from a timer
+//! callback without allocation.
+
+use std::time::Duration;
+
+/// A bounded exponential-backoff schedule.
+///
+/// ```
+/// use adca_threadnet::Backoff;
+/// use std::time::Duration;
+///
+/// let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(25), 3);
+/// assert_eq!(b.next_delay(), Some(Duration::from_millis(10)));
+/// assert_eq!(b.next_delay(), Some(Duration::from_millis(20)));
+/// assert_eq!(b.next_delay(), Some(Duration::from_millis(25))); // capped
+/// assert_eq!(b.next_delay(), None); // budget exhausted
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    max_retries: u32,
+    used: u32,
+}
+
+impl Backoff {
+    /// A schedule of at most `max_retries` retries, starting at `base`
+    /// and doubling up to `cap`.
+    pub fn new(base: Duration, cap: Duration, max_retries: u32) -> Self {
+        Backoff {
+            base,
+            cap: cap.max(base),
+            max_retries,
+            used: 0,
+        }
+    }
+
+    /// The delay to wait before the next retry, or `None` when the
+    /// retry budget is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.used >= self.max_retries {
+            return None;
+        }
+        let delay = self
+            .base
+            .checked_mul(1u32 << self.used.min(20))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        self.used += 1;
+        Some(delay)
+    }
+
+    /// Retries taken so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Retries remaining in the budget.
+    pub fn remaining(&self) -> u32 {
+        self.max_retries - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap_then_exhausts() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(18), 4);
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(5)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(10)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(18)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(18)));
+        assert_eq!(b.next_delay(), None);
+        assert_eq!(b.used(), 4);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_never_retries() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(5), 0);
+        assert_eq!(b.next_delay(), None);
+    }
+
+    #[test]
+    fn cap_below_base_is_lifted_to_base() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(1), 2);
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(10)));
+        assert_eq!(b.next_delay(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_cap() {
+        let mut b = Backoff::new(Duration::from_secs(1), Duration::from_secs(30), 64);
+        let mut last = Duration::ZERO;
+        for _ in 0..64 {
+            last = b.next_delay().unwrap();
+        }
+        assert_eq!(last, Duration::from_secs(30));
+        assert_eq!(b.next_delay(), None);
+    }
+}

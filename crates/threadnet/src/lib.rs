@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod timer;
 
+pub use backoff::Backoff;
 pub use timer::TimerWheel;
 
 use adca_hexgrid::{CellId, Channel, ChannelSet, Topology};

@@ -1,0 +1,428 @@
+//! [`WireClient`]: a pipelining TCP client for a [`WireServer`].
+//!
+//! Requests are **pipelined**: [`WireClient::submit`] writes the frame
+//! and returns the idempotency id immediately, so many requests ride
+//! the connection concurrently; answers surface through
+//! [`WireClient::recv`] in whatever order the protocol resolves them.
+//!
+//! Every request carries a deadline on a shared
+//! [`TimerWheel`] — one wheel (and one dispatcher thread) serves every
+//! client in the process. When the deadline fires the request is
+//! retransmitted under the **same id** with the next delay from its
+//! bounded [`Backoff`] schedule; the server's idempotency layer
+//! guarantees the retry can never double-commit a grant, and a request
+//! whose budget runs dry resolves as [`WireEvent::TimedOut`].
+//!
+//! [`WireServer`]: crate::WireServer
+
+use crate::frame::{encode, FrameDecoder, WireMsg};
+use adca_serve::ChannelRequest;
+use adca_simkit::DropCause;
+use adca_threadnet::{Backoff, TimerWheel};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for one client connection.
+#[derive(Debug, Clone, Copy)]
+pub struct WireClientConfig {
+    /// Patience for the first answer to each attempt.
+    pub deadline: Duration,
+    /// Retransmissions allowed per request before it times out.
+    pub max_retries: u32,
+    /// Base of the per-request backoff schedule: attempt *k* is given
+    /// `deadline` plus the *k*-th delay of a [`Backoff`] starting here
+    /// (doubling, capped at `deadline`).
+    pub backoff: Duration,
+    /// Test knob: transmit every request frame **twice** on first send,
+    /// simulating an aggressive retry. With an idempotent server this
+    /// must change nothing but its dedup counter.
+    pub inject_dup_first_send: bool,
+}
+
+impl Default for WireClientConfig {
+    fn default() -> Self {
+        WireClientConfig {
+            deadline: Duration::from_secs(2),
+            max_retries: 2,
+            backoff: Duration::from_millis(100),
+            inject_dup_first_send: false,
+        }
+    }
+}
+
+/// One answer (or locally-resolved outcome) surfaced by
+/// [`WireClient::recv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireEvent {
+    /// The protocol granted a channel.
+    Granted {
+        /// The request's idempotency id.
+        id: u64,
+        /// Server ticket (use it to hand off or release the call).
+        ticket: u64,
+        /// Serving cell index.
+        cell: u32,
+        /// Granted channel number.
+        channel: u16,
+        /// Acquisition latency in backend ticks.
+        latency: u64,
+    },
+    /// The protocol denied service.
+    Rejected {
+        /// The request's idempotency id.
+        id: u64,
+        /// Server ticket of the denied request.
+        ticket: u64,
+        /// Denying cell index.
+        cell: u32,
+        /// Failure class.
+        cause: DropCause,
+    },
+    /// The server refused the request at admission.
+    Refused {
+        /// The request's idempotency id.
+        id: u64,
+        /// The service error text.
+        reason: String,
+    },
+    /// A held channel returned to the pool.
+    Released {
+        /// The ticket whose channel was returned.
+        ticket: u64,
+        /// Cell index that held it.
+        cell: u32,
+        /// Returned channel number.
+        channel: u16,
+    },
+    /// The request's retry budget ran dry with no answer.
+    TimedOut {
+        /// The request's idempotency id.
+        id: u64,
+    },
+}
+
+/// Payload armed on the shared deadline wheel: *which request of which
+/// client* just ran out of patience.
+pub struct WireDeadline {
+    client: Weak<ClientShared>,
+    id: u64,
+}
+
+/// Builds the shared deadline wheel every [`WireClient`] in a process
+/// should be handed. The dispatch callback only flags the request as
+/// due and wakes its client — cheap and non-blocking, as the wheel
+/// requires; the actual retransmit happens on the client's own thread
+/// inside [`WireClient::recv`].
+pub fn deadline_wheel() -> Arc<TimerWheel<WireDeadline>> {
+    Arc::new(TimerWheel::new(|d: WireDeadline| {
+        if let Some(shared) = d.client.upgrade() {
+            let mut st = shared.st.lock().expect("client poisoned");
+            if st.pending.contains_key(&d.id) {
+                st.due.push(d.id);
+                shared.cv.notify_all();
+            }
+        }
+    }))
+}
+
+struct PendingReq {
+    /// The encoded frame, kept for byte-identical retransmission.
+    frame: Vec<u8>,
+    backoff: Backoff,
+}
+
+struct ClientState {
+    pending: HashMap<u64, PendingReq>,
+    /// Requests whose deadline fired, awaiting a retry/timeout decision.
+    due: Vec<u64>,
+    events: VecDeque<WireEvent>,
+    closed: bool,
+}
+
+/// State shared between the driver thread, the reader thread, and the
+/// wheel's dispatch callback.
+pub struct ClientShared {
+    st: Mutex<ClientState>,
+    cv: Condvar,
+}
+
+/// A connected wire client. Not `Sync`: one driver thread owns it (the
+/// closed-loop load generator gives each driver its own client).
+pub struct WireClient {
+    shared: Arc<ClientShared>,
+    wheel: Arc<TimerWheel<WireDeadline>>,
+    cfg: WireClientConfig,
+    stream: TcpStream,
+    reader: Option<JoinHandle<()>>,
+    next_id: u64,
+    retries: u64,
+    timeouts: u64,
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`](crate::WireServer) at `addr`,
+    /// arming deadlines on the process-shared `wheel` (from
+    /// [`deadline_wheel`]).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        cfg: WireClientConfig,
+        wheel: &Arc<TimerWheel<WireDeadline>>,
+    ) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::new(ClientShared {
+            st: Mutex::new(ClientState {
+                pending: HashMap::new(),
+                due: Vec::new(),
+                events: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let reader = {
+            let shared = shared.clone();
+            let stream = stream.try_clone()?;
+            std::thread::spawn(move || run_reader(&shared, stream))
+        };
+        Ok(WireClient {
+            shared,
+            wheel: wheel.clone(),
+            cfg,
+            stream,
+            reader: Some(reader),
+            next_id: 0,
+            retries: 0,
+            timeouts: 0,
+        })
+    }
+
+    /// Submits one channel request (pipelined; does not wait for the
+    /// answer) and returns its idempotency id. A handoff's
+    /// `handoff_of` names the **server** ticket from the source call's
+    /// [`WireEvent::Granted`].
+    pub fn submit(&mut self, req: &ChannelRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode(&WireMsg::Request {
+            id,
+            at: req.at,
+            cell: req.cell.index() as u32,
+            kind: req.kind,
+            hold: req.hold,
+            handoff_of: req.handoff_of.map(|t| t.0),
+        });
+        {
+            let mut st = self.shared.st.lock().expect("client poisoned");
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "wire connection closed",
+                ));
+            }
+            st.pending.insert(
+                id,
+                PendingReq {
+                    frame: frame.clone(),
+                    backoff: Backoff::new(
+                        self.cfg.backoff,
+                        self.cfg.deadline,
+                        self.cfg.max_retries,
+                    ),
+                },
+            );
+        }
+        self.stream.write_all(&frame)?;
+        if self.cfg.inject_dup_first_send {
+            self.stream.write_all(&frame)?;
+        }
+        self.wheel.schedule(
+            self.cfg.deadline,
+            WireDeadline {
+                client: Arc::downgrade(&self.shared),
+                id,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Ends the call behind server `ticket` early (fire and forget; the
+    /// answer is a [`WireEvent::Released`] once the channel returns).
+    pub fn release(&mut self, ticket: u64) -> io::Result<()> {
+        self.stream.write_all(&encode(&WireMsg::Release { ticket }))
+    }
+
+    /// Waits up to `wait` for the next event. Expired deadlines are
+    /// serviced here, on the driver's own thread: a request with budget
+    /// left is retransmitted byte-identically under the same id; one
+    /// without resolves as [`WireEvent::TimedOut`]. Returns `None` on
+    /// timeout, or when the connection is closed and fully drained.
+    pub fn recv(&mut self, wait: Duration) -> Option<WireEvent> {
+        let deadline = Instant::now() + wait;
+        loop {
+            let mut resend: Vec<(u64, Vec<u8>, Duration)> = Vec::new();
+            let (ev, closed) = {
+                let mut st = self.shared.st.lock().expect("client poisoned");
+                let due = std::mem::take(&mut st.due);
+                for id in due {
+                    let Some(p) = st.pending.get_mut(&id) else {
+                        continue; // answered in the meantime
+                    };
+                    match p.backoff.next_delay() {
+                        Some(delay) => resend.push((id, p.frame.clone(), delay)),
+                        None => {
+                            st.pending.remove(&id);
+                            st.events.push_back(WireEvent::TimedOut { id });
+                            self.timeouts += 1;
+                        }
+                    }
+                }
+                (st.events.pop_front(), st.closed)
+            };
+            for (id, frame, delay) in resend {
+                self.retries += 1;
+                if self.stream.write_all(&frame).is_err() {
+                    // The reader will observe the broken stream and
+                    // close; the request's next deadline times it out.
+                }
+                self.wheel.schedule(
+                    self.cfg.deadline + delay,
+                    WireDeadline {
+                        client: Arc::downgrade(&self.shared),
+                        id,
+                    },
+                );
+            }
+            if let Some(ev) = ev {
+                return Some(ev);
+            }
+            if closed || Instant::now() >= deadline {
+                return None;
+            }
+            let st = self.shared.st.lock().expect("client poisoned");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let _ = self
+                .shared
+                .cv
+                .wait_timeout(st, remaining.min(Duration::from_millis(5)))
+                .expect("client poisoned");
+        }
+    }
+
+    /// Requests submitted but not yet resolved (answered or timed out).
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .st
+            .lock()
+            .expect("client poisoned")
+            .pending
+            .len()
+    }
+
+    /// Retransmissions performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests that exhausted their retry budget.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+}
+
+impl Drop for WireClient {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.shared.st.lock().expect("client poisoned").closed = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decodes server frames into events. An answer whose id is no longer
+/// pending — it already timed out, or a retry raced its original
+/// response — is dropped: exactly-once delivery to the driver.
+fn run_reader(shared: &ClientShared, mut stream: TcpStream) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        dec.extend(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(msg)) => deliver(shared, msg),
+                Ok(None) => break,
+                Err(_) => break 'conn,
+            }
+        }
+    }
+    shared.st.lock().expect("client poisoned").closed = true;
+    shared.cv.notify_all();
+}
+
+fn deliver(shared: &ClientShared, msg: WireMsg) {
+    let mut st = shared.st.lock().expect("client poisoned");
+    let ev = match msg {
+        WireMsg::Granted {
+            id,
+            ticket,
+            cell,
+            channel,
+            latency,
+        } => {
+            if st.pending.remove(&id).is_none() {
+                return; // stale duplicate or post-timeout answer
+            }
+            WireEvent::Granted {
+                id,
+                ticket,
+                cell,
+                channel,
+                latency,
+            }
+        }
+        WireMsg::Rejected {
+            id,
+            ticket,
+            cell,
+            cause,
+        } => {
+            if st.pending.remove(&id).is_none() {
+                return;
+            }
+            WireEvent::Rejected {
+                id,
+                ticket,
+                cell,
+                cause,
+            }
+        }
+        WireMsg::Refused { id, reason } => {
+            if st.pending.remove(&id).is_none() {
+                return;
+            }
+            WireEvent::Refused { id, reason }
+        }
+        WireMsg::Released {
+            ticket,
+            cell,
+            channel,
+        } => WireEvent::Released {
+            ticket,
+            cell,
+            channel,
+        },
+        // Client→server vocabulary arriving at a client: ignore.
+        WireMsg::Request { .. } | WireMsg::Release { .. } => return,
+    };
+    st.events.push_back(ev);
+    shared.cv.notify_all();
+}

@@ -1,0 +1,36 @@
+//! A real TCP wire transport for the `adca-serve` serving layer.
+//!
+//! Everything below `AllocService` in this workspace is in-process;
+//! this crate puts the service on an actual socket:
+//!
+//! * [`frame`] — the hand-rolled ADCW frame codec: length-prefixed,
+//!   versioned, FNV-1a64-checksummed binary envelopes for the full
+//!   request/confirm/indication vocabulary (including handoffs), in
+//!   the style of `simkit`'s ADCASNAP snapshot envelope. No serde;
+//!   malformed bytes decode to typed errors, never panics.
+//! * [`WireServer`] — a [`TcpListener`](std::net::TcpListener) front
+//!   for any `AllocService + Clone` backend. Each connection gets a
+//!   reader/writer worker pair; a reader submitting into a full
+//!   bounded mailbox simply blocks, which closes the client's TCP
+//!   window — backpressure propagates socket-deep with no unbounded
+//!   queue anywhere.
+//! * [`WireClient`] — a pipelining client with per-request deadlines
+//!   on a process-shared [`TimerWheel`](adca_threadnet::TimerWheel)
+//!   and bounded retry-with-backoff. Requests carry idempotency ids;
+//!   the server answers a retried id from its response cache, so a
+//!   retry can never double-commit a grant.
+//! * [`closed_loop_wire`] — a multi-driver closed-loop load generator
+//!   for end-to-end benchmarks over loopback TCP (experiment `e18`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+
+pub use client::{deadline_wheel, WireClient, WireClientConfig, WireDeadline, WireEvent};
+pub use frame::{decode, encode, FrameDecoder, FrameError, WireMsg, MAX_PAYLOAD, WIRE_VERSION};
+pub use loadgen::{closed_loop_wire, WireLoadReport, WireLoadSpec};
+pub use server::WireServer;

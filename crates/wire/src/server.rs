@@ -1,0 +1,581 @@
+//! [`WireServer`]: an [`AllocService`] on a real TCP listener.
+//!
+//! Threading model, per server:
+//!
+//! * one **accept** thread on the [`TcpListener`];
+//! * per connection, a **reader**/**writer** worker pair — the reader
+//!   decodes frames and submits requests on its own service clone, the
+//!   writer drains that connection's outbox;
+//! * one **dispatcher** thread popping confirms and indications off the
+//!   backend's shared queues and routing them to the owning connection.
+//!
+//! **Backpressure** needs no queue of its own: the reader calls
+//! [`AllocService::request_channel`], which on the production backend
+//! blocks while the target cell's bounded mailbox is over capacity.
+//! A blocked reader stops reading, the kernel receive buffer fills,
+//! the client's TCP window closes, and the client's `write` stalls —
+//! mailbox pressure propagated to the socket with no unbounded buffer
+//! anywhere on the path.
+//!
+//! **Idempotency**: each connection remembers every client request id
+//! it has seen. A retransmitted id whose answer is still in flight is
+//! dropped (the answer will arrive once); one that already resolved is
+//! answered from the cached response bytes. Either way the request is
+//! *not* re-submitted to the backend, so a client retry can never
+//! double-commit a grant.
+
+use crate::frame::{encode, FrameDecoder, WireMsg};
+use adca_hexgrid::CellId;
+use adca_serve::{AllocService, ChannelRequest, Confirm, Indication, ServeError, Ticket};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a response whose connection has not registered its route
+/// yet is parked before being dropped (covers the instant between
+/// `request_channel` returning on the reader and the route insert).
+const PARK_TTL: Duration = Duration::from_secs(5);
+
+/// Object-safe face of `AllocService + Clone`, so [`WireServer`] need
+/// not be generic over the backend.
+trait DynService: Send {
+    fn request_channel(&mut self, req: ChannelRequest) -> Result<Ticket, ServeError>;
+    fn release(&mut self, ticket: Ticket) -> Result<(), ServeError>;
+    fn confirm(&mut self) -> Option<Confirm>;
+    fn indication(&mut self) -> Option<Indication>;
+    fn clone_box(&self) -> Box<dyn DynService>;
+}
+
+impl<S: AllocService + Clone + Send + 'static> DynService for S {
+    fn request_channel(&mut self, req: ChannelRequest) -> Result<Ticket, ServeError> {
+        AllocService::request_channel(self, req)
+    }
+    fn release(&mut self, ticket: Ticket) -> Result<(), ServeError> {
+        AllocService::release(self, ticket)
+    }
+    fn confirm(&mut self) -> Option<Confirm> {
+        AllocService::confirm(self)
+    }
+    fn indication(&mut self) -> Option<Indication> {
+        AllocService::indication(self)
+    }
+    fn clone_box(&self) -> Box<dyn DynService> {
+        Box::new(self.clone())
+    }
+}
+
+/// Where a ticket's answers go: which connection, under which client id.
+struct Route {
+    conn: u64,
+    id: u64,
+    /// Set once the grant was relayed; the later `Released` indication
+    /// must not retire the route before the grant itself went out.
+    granted: bool,
+}
+
+/// Per-connection outbound queue, drained by the writer worker.
+#[derive(Default)]
+struct Outbox {
+    q: Mutex<OutboxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct OutboxState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Outbox {
+    fn send(&self, frame: Vec<u8>) {
+        let mut st = self.q.lock().expect("outbox poisoned");
+        if !st.closed {
+            st.frames.push_back(frame);
+            self.cv.notify_one();
+        }
+    }
+
+    fn close(&self) {
+        self.q.lock().expect("outbox poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// What a connection remembers about one client request id.
+enum Dedup {
+    /// Submitted to the backend; the answer has not come back yet.
+    InFlight,
+    /// Resolved; the encoded response frame, replayed on a retry.
+    Done(Vec<u8>),
+}
+
+struct ConnState {
+    out: Outbox,
+    /// Client request id → idempotency record.
+    dedup: Mutex<HashMap<u64, Dedup>>,
+    /// Reader-side stream handle, shut down to unblock the reader.
+    stream: TcpStream,
+}
+
+struct Shared {
+    stopping: AtomicBool,
+    /// Server ticket → where its confirm (and later release) goes.
+    routes: Mutex<HashMap<u64, Route>>,
+    /// Live connections by id.
+    conns: Mutex<HashMap<u64, Arc<ConnState>>>,
+    /// Duplicate submissions absorbed by the idempotency layer.
+    dedup_hits: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A TCP server exposing one [`AllocService`] backend to remote
+/// [`WireClient`](crate::WireClient)s.
+///
+/// The server holds clones of the service (one per connection reader,
+/// one for the dispatcher); with the production backend those clones
+/// share the one executor, so the caller's own handle keeps working and
+/// the backend shuts down only when the last handle drops.
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl WireServer {
+    /// Binds `addr` and starts serving `svc`. Bind to port 0 and read
+    /// back [`local_addr`](WireServer::local_addr) for an ephemeral
+    /// loopback server.
+    pub fn start<S>(svc: S, addr: impl ToSocketAddrs) -> io::Result<WireServer>
+    where
+        S: AllocService + Clone + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stopping: AtomicBool::new(false),
+            routes: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            dedup_hits: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+
+        let dispatcher = {
+            let shared = shared.clone();
+            let mut svc: Box<dyn DynService> = Box::new(svc.clone());
+            std::thread::spawn(move || run_dispatcher(&shared, svc.as_mut()))
+        };
+
+        let accept = {
+            let shared = shared.clone();
+            let workers = workers.clone();
+            let proto: Box<dyn DynService> = Box::new(svc);
+            std::thread::spawn(move || run_accept(listener, &shared, &workers, proto))
+        };
+
+        Ok(WireServer {
+            addr,
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Duplicate request submissions absorbed by the per-connection
+    /// idempotency layer (each one a retry that did **not** reach the
+    /// backend a second time).
+    pub fn dedup_hits(&self) -> u64 {
+        self.shared.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, closes every connection, and joins all workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close every live connection to unblock its reader.
+        for conn in self.shared.conns.lock().expect("conns poisoned").values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // A throwaway connection unblocks the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.lock().expect("workers poisoned").drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_accept(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    workers: &Mutex<Vec<JoinHandle<()>>>,
+    proto: Box<dyn DynService>,
+) {
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let conn_id = next_conn;
+        next_conn += 1;
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(ConnState {
+            out: Outbox::default(),
+            dedup: Mutex::new(HashMap::new()),
+            stream,
+        });
+        shared
+            .conns
+            .lock()
+            .expect("conns poisoned")
+            .insert(conn_id, conn.clone());
+
+        let reader = {
+            let shared = shared.clone();
+            let conn = conn.clone();
+            let mut svc = proto.clone_box();
+            std::thread::spawn(move || run_reader(&shared, conn_id, &conn, svc.as_mut()))
+        };
+        let writer = std::thread::spawn(move || run_writer(conn, write_half));
+        let mut w = workers.lock().expect("workers poisoned");
+        w.push(reader);
+        w.push(writer);
+    }
+}
+
+/// Reads and executes one connection's frames until EOF, a protocol
+/// error, or shutdown.
+fn run_reader(shared: &Shared, conn_id: u64, conn: &ConnState, svc: &mut dyn DynService) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut stream = &conn.stream;
+    'conn: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        dec.extend(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(msg)) => {
+                    if !handle_frame(shared, conn_id, conn, svc, msg) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                // Unrecoverable stream (bad magic/version/checksum/…):
+                // close the connection rather than guess at resync.
+                Err(_) => break 'conn,
+            }
+        }
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .remove(&conn_id);
+    conn.out.close();
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}
+
+/// Executes one client frame. Returns `false` when the connection must
+/// close (a client sent a server→client message).
+fn handle_frame(
+    shared: &Shared,
+    conn_id: u64,
+    conn: &ConnState,
+    svc: &mut dyn DynService,
+    msg: WireMsg,
+) -> bool {
+    match msg {
+        WireMsg::Request {
+            id,
+            at,
+            cell,
+            kind,
+            hold,
+            handoff_of,
+        } => {
+            {
+                let mut dedup = conn.dedup.lock().expect("dedup poisoned");
+                match dedup.get(&id) {
+                    None => {
+                        dedup.insert(id, Dedup::InFlight);
+                    }
+                    Some(Dedup::InFlight) => {
+                        // Retry of a request whose answer is still in
+                        // flight: the one answer will arrive; resubmitting
+                        // is exactly the double-commit we must prevent.
+                        shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    Some(Dedup::Done(bytes)) => {
+                        let replay = bytes.clone();
+                        shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        drop(dedup);
+                        conn.out.send(replay);
+                        return true;
+                    }
+                }
+            }
+            let req = ChannelRequest {
+                at,
+                cell: CellId(cell),
+                kind,
+                hold,
+                handoff_of: handoff_of.map(Ticket),
+            };
+            // On the production backend this call *blocks* while the
+            // cell's mailbox is over capacity — the backpressure path.
+            match svc.request_channel(req) {
+                Ok(ticket) => {
+                    shared.routes.lock().expect("routes poisoned").insert(
+                        ticket.0,
+                        Route {
+                            conn: conn_id,
+                            id,
+                            granted: false,
+                        },
+                    );
+                }
+                Err(e) => {
+                    let frame = encode(&WireMsg::Refused {
+                        id,
+                        reason: e.to_string(),
+                    });
+                    conn.dedup
+                        .lock()
+                        .expect("dedup poisoned")
+                        .insert(id, Dedup::Done(frame.clone()));
+                    conn.out.send(frame);
+                }
+            }
+            true
+        }
+        WireMsg::Release { ticket } => {
+            // Releasing an unknown or already-ended ticket is benign
+            // (the service call reports it; the wire stays silent —
+            // the interesting answer is the Released indication).
+            let _ = svc.release(Ticket(ticket));
+            true
+        }
+        // Server→client vocabulary arriving at the server is a protocol
+        // violation; drop the connection.
+        WireMsg::Granted { .. }
+        | WireMsg::Rejected { .. }
+        | WireMsg::Refused { .. }
+        | WireMsg::Released { .. } => false,
+    }
+}
+
+fn run_writer(conn: Arc<ConnState>, mut stream: TcpStream) {
+    loop {
+        let frame = {
+            let mut st = conn.out.q.lock().expect("outbox poisoned");
+            loop {
+                if let Some(f) = st.frames.pop_front() {
+                    break f;
+                }
+                if st.closed {
+                    return;
+                }
+                st = conn.out.cv.wait(st).expect("outbox poisoned");
+            }
+        };
+        if stream.write_all(&frame).is_err() {
+            conn.out.close();
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// An answer the dispatcher could not deliver yet because the reader
+/// has not registered the ticket's route (or, for a release racing its
+/// own grant, the grant has not been relayed yet).
+enum Parked {
+    Confirm(Confirm),
+    Released(Ticket, CellId, adca_hexgrid::Channel),
+}
+
+/// Pops confirms/indications off the backend's shared queues and relays
+/// each to the connection that owns the ticket.
+fn run_dispatcher(shared: &Shared, svc: &mut dyn DynService) {
+    let mut parked: Vec<(Instant, Parked)> = Vec::new();
+    loop {
+        let stopping = shared.stopping.load(Ordering::SeqCst);
+        let mut worked = false;
+        while let Some(c) = svc.confirm() {
+            worked = true;
+            if let Some(p) = relay_confirm(shared, c) {
+                parked.push((Instant::now(), p));
+            }
+        }
+        while let Some(Indication::Released {
+            ticket,
+            cell,
+            channel,
+        }) = svc.indication()
+        {
+            worked = true;
+            if let Some(p) = relay_released(shared, ticket, cell, channel) {
+                parked.push((Instant::now(), p));
+            }
+        }
+        if !parked.is_empty() {
+            let now = Instant::now();
+            parked.retain(|(since, p)| {
+                let again = match p {
+                    Parked::Confirm(c) => relay_confirm(shared, *c),
+                    Parked::Released(t, cell, ch) => relay_released(shared, *t, *cell, *ch),
+                };
+                again.is_some() && now.duration_since(*since) < PARK_TTL
+            });
+        }
+        if stopping {
+            return;
+        }
+        if !worked {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Relays one confirm to its connection; returns it back when the route
+/// is not registered yet.
+fn relay_confirm(shared: &Shared, c: Confirm) -> Option<Parked> {
+    let mut routes = shared.routes.lock().expect("routes poisoned");
+    let (frame, conn_id, client_id) = match c {
+        Confirm::Granted {
+            ticket,
+            cell,
+            channel,
+            latency,
+        } => {
+            let Some(route) = routes.get_mut(&ticket.0) else {
+                return Some(Parked::Confirm(c));
+            };
+            route.granted = true;
+            (
+                encode(&WireMsg::Granted {
+                    id: route.id,
+                    ticket: ticket.0,
+                    cell: cell.index() as u32,
+                    channel: channel.0,
+                    latency,
+                }),
+                route.conn,
+                route.id,
+            )
+        }
+        Confirm::Rejected {
+            ticket,
+            cell,
+            cause,
+        } => {
+            let Some(route) = routes.remove(&ticket.0) else {
+                return Some(Parked::Confirm(c));
+            };
+            (
+                encode(&WireMsg::Rejected {
+                    id: route.id,
+                    ticket: ticket.0,
+                    cell: cell.index() as u32,
+                    cause,
+                }),
+                route.conn,
+                route.id,
+            )
+        }
+    };
+    drop(routes);
+    deliver(shared, conn_id, client_id, frame);
+    None
+}
+
+/// Relays a released indication; returns it back when the grant that
+/// created the hold has not been relayed yet.
+fn relay_released(
+    shared: &Shared,
+    ticket: Ticket,
+    cell: CellId,
+    channel: adca_hexgrid::Channel,
+) -> Option<Parked> {
+    let mut routes = shared.routes.lock().expect("routes poisoned");
+    match routes.get(&ticket.0) {
+        Some(route) if route.granted => {
+            let conn_id = route.conn;
+            routes.remove(&ticket.0);
+            drop(routes);
+            let frame = encode(&WireMsg::Released {
+                ticket: ticket.0,
+                cell: cell.index() as u32,
+                channel: channel.0,
+            });
+            if let Some(conn) = shared
+                .conns
+                .lock()
+                .expect("conns poisoned")
+                .get(&conn_id)
+                .cloned()
+            {
+                conn.out.send(frame);
+            }
+            None
+        }
+        Some(_) | None => Some(Parked::Released(ticket, cell, channel)),
+    }
+}
+
+/// Caches `frame` as `client_id`'s answer (so a later retry of the same
+/// id replays it) and queues it for writing. A dead connection drops
+/// the frame, and its dedup cache with it.
+fn deliver(shared: &Shared, conn_id: u64, client_id: u64, frame: Vec<u8>) {
+    let conn = shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .get(&conn_id)
+        .cloned();
+    let Some(conn) = conn else { return };
+    conn.dedup
+        .lock()
+        .expect("dedup poisoned")
+        .insert(client_id, Dedup::Done(frame.clone()));
+    conn.out.send(frame);
+}
